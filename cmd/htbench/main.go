@@ -1,0 +1,106 @@
+// Command htbench regenerates the figures and tables of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	htbench                      # every experiment, quick scale
+//	htbench -exp fig2            # one experiment
+//	htbench -exp table3 -full    # paper-scale parameters (slow)
+//	htbench -circuits c432,s298  # restrict the circuit set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cghti/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig2, fig3, table2, table3, table4, table5 or all")
+		full     = flag.Bool("full", false, "paper-scale parameters (10k vectors, 100 instances, MERO N=1000)")
+		circuits = flag.String("circuits", "", "comma-separated circuit list (default: the paper's eight)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Full: *full,
+		Seed: *seed,
+		Out:  os.Stdout,
+	}
+	if *circuits != "" {
+		opts.Circuits = strings.Split(*circuits, ",")
+	}
+
+	runners := map[string]func(experiments.Options) (time.Duration, error){
+		"fig2": func(o experiments.Options) (time.Duration, error) {
+			r, err := experiments.Fig2(o)
+			return elapsed(r, err), err
+		},
+		"fig3": func(o experiments.Options) (time.Duration, error) {
+			r, err := experiments.Fig3(o)
+			return elapsed(r, err), err
+		},
+		"table2": func(o experiments.Options) (time.Duration, error) {
+			r, err := experiments.Table2(o)
+			return elapsed(r, err), err
+		},
+		"table3": func(o experiments.Options) (time.Duration, error) {
+			r, err := experiments.Table3(o)
+			return elapsed(r, err), err
+		},
+		"table4": func(o experiments.Options) (time.Duration, error) {
+			r, err := experiments.Table4(o)
+			return elapsed(r, err), err
+		},
+		"table5": func(o experiments.Options) (time.Duration, error) {
+			r, err := experiments.Table5(o)
+			return elapsed(r, err), err
+		},
+	}
+	order := []string{"fig2", "fig3", "table2", "table3", "table4", "table5"}
+
+	selected := order
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "htbench: unknown experiment %q (have %v, all)\n", *exp, order)
+			os.Exit(2)
+		}
+		selected = []string{*exp}
+	}
+	for _, name := range selected {
+		d, err := runners[name](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "htbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, d.Round(time.Millisecond))
+	}
+}
+
+// elapsed extracts the Elapsed field common to every result type.
+func elapsed(r any, err error) time.Duration {
+	if err != nil {
+		return 0
+	}
+	switch v := r.(type) {
+	case *experiments.Fig2Result:
+		return v.Elapsed
+	case *experiments.Fig3Result:
+		return v.Elapsed
+	case *experiments.Table2Result:
+		return v.Elapsed
+	case *experiments.Table3Result:
+		return v.Elapsed
+	case *experiments.Table4Result:
+		return v.Elapsed
+	case *experiments.Table5Result:
+		return v.Elapsed
+	}
+	return 0
+}

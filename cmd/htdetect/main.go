@@ -1,0 +1,134 @@
+// Command htdetect evaluates HT-infected netlists against the three
+// logic-testing detection schemes (Random, MERO, ND-ATPG).
+//
+// Usage:
+//
+//	htdetect -golden c2670.bench -infected c2670_ht0.bench -trigger ht0_trig4
+//	htdetect -golden g.bench -infected bad.bench -trigger t1 -scheme mero -n 100
+//
+// The tool reports, per scheme, whether the trigger fired (TC) and
+// whether an output difference was observed (DC), with the first firing
+// vector index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cghti"
+	"cghti/internal/detect"
+	"cghti/internal/faultsim"
+	"cghti/internal/rare"
+)
+
+func main() {
+	var (
+		goldenPath   = flag.String("golden", "", "golden .bench netlist")
+		infectedPath = flag.String("infected", "", "HT-infected .bench netlist")
+		trigger      = flag.String("trigger", "", "trigger net name in the infected netlist")
+		activation   = flag.Int("activation", 1, "trigger value that fires the payload (0 or 1)")
+		scheme       = flag.String("scheme", "all", "detection scheme: random, mero, ndatpg, cotd or all")
+		faultCov     = flag.Bool("faultcov", false, "also report stuck-at fault coverage of each test set on the golden circuit")
+		patterns     = flag.Int("patterns", 100000, "random-scheme pattern count")
+		meroN        = flag.Int("n", 1000, "MERO / ND-ATPG N parameter")
+		meroPool     = flag.Int("pool", 100000, "MERO random pool size")
+		theta        = flag.Float64("theta", 0.20, "rareness threshold for MERO/ND-ATPG rare nodes")
+		vectors      = flag.Int("vectors", 10000, "rare-node extraction vector count")
+		seed         = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *goldenPath == "" || *infectedPath == "" || *trigger == "" {
+		fmt.Fprintln(os.Stderr, "htdetect: -golden, -infected and -trigger are required")
+		os.Exit(2)
+	}
+	golden, err := cghti.ParseBenchFile(*goldenPath)
+	if err != nil {
+		fatal(err)
+	}
+	infected, err := cghti.ParseBenchFile(*infectedPath)
+	if err != nil {
+		fatal(err)
+	}
+	trigID, ok := infected.Lookup(*trigger)
+	if !ok {
+		fatal(fmt.Errorf("trigger net %q not found in %s", *trigger, *infectedPath))
+	}
+	tgt := detect.Target{
+		Golden:     golden,
+		Infected:   infected,
+		TriggerOut: trigID,
+		Activation: uint8(*activation & 1),
+	}
+
+	needRare := *scheme == "all" || *scheme == "mero" || *scheme == "ndatpg"
+	var rs *rare.Set
+	if needRare {
+		rs, err = rare.Extract(golden, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d rare nodes at θ=%.0f%%\n", golden.Name, rs.Len(), *theta*100)
+	}
+
+	run := func(name string, ts *detect.TestSet) {
+		out, err := detect.Evaluate(tgt, ts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s %6d vectors  triggered=%-5v (first %d)  detected=%-5v (first %d)\n",
+			name, ts.Len(), out.Triggered, out.FirstTrigger, out.Detected, out.FirstDetect)
+		if *faultCov {
+			cov, err := faultsim.Run(golden, ts.Vectors, nil)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("         stuck-at fault coverage on golden: %.1f%% (%d/%d)\n",
+				cov.Percent(), cov.Detected, cov.Total)
+		}
+	}
+
+	if *scheme == "all" || *scheme == "random" {
+		run("random", detect.RandomTestSet(golden, *patterns, *seed))
+	}
+	if *scheme == "all" || *scheme == "mero" {
+		ts, err := detect.MERO(golden, rs, detect.MEROConfig{N: *meroN, RandomVectors: *meroPool, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		run("mero", ts)
+	}
+	if *scheme == "all" || *scheme == "ndatpg" {
+		n := *meroN
+		if n > 10 {
+			n = 5 // ND-ATPG's N is per rare event; cap the default
+		}
+		ts, err := detect.NDATPG(golden, rs, detect.NDATPGConfig{N: n, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		run("ndatpg", ts)
+	}
+	if *scheme == "all" || *scheme == "cotd" {
+		rep, err := detect.COTD(infected, detect.COTDConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s structural analysis  flagged=%-5v suspicious=%d threshold=%.0f\n",
+			"cotd", rep.Flagged, len(rep.Suspicious), rep.Threshold)
+		for i, id := range rep.Suspicious {
+			if i >= 5 {
+				fmt.Printf("         ... and %d more\n", len(rep.Suspicious)-5)
+				break
+			}
+			fmt.Printf("         suspicious net %s (score %.0f)\n",
+				infected.Gates[id].Name, rep.Scores[id])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "htdetect:", err)
+	os.Exit(1)
+}

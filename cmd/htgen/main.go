@@ -1,0 +1,169 @@
+// Command htgen generates Hardware Trojan benchmarks with the
+// compatibility-graph insertion framework.
+//
+// Usage:
+//
+//	htgen -circuit c2670 -q 25 -n 10 -out ./out
+//	htgen -bench mydesign.bench -q 10 -n 5 -theta 0.2 -vectors 10000 -out ./out
+//
+// For every emitted instance the tool writes <name>.bench (and with
+// -verilog also <name>.v) plus a <name>.trigger file recording the
+// trigger nodes, victim net and activation cube.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cghti"
+	"cghti/internal/opt"
+	"cghti/internal/trojan"
+	"cghti/internal/vparse"
+)
+
+func main() {
+	var (
+		circuit  = flag.String("circuit", "", "built-in benchmark circuit name (see -list)")
+		benchIn  = flag.String("bench", "", "path to a .bench netlist to infect (overrides -circuit)")
+		outDir   = flag.String("out", "ht_out", "output directory")
+		q        = flag.Int("q", 8, "minimum number of trigger nodes per instance")
+		n        = flag.Int("n", 1, "number of HT instances to generate")
+		theta    = flag.Float64("theta", 0.20, "rareness threshold θ_RN (fraction of |V|)")
+		vectors  = flag.Int("vectors", 10000, "random vector count |V| for rare-node extraction")
+		faninK   = flag.Int("k", 4, "max fanin of trigger-tree gates")
+		seed     = flag.Int64("seed", 1, "random seed")
+		payload  = flag.String("payload", "flip", "trojan effect: flip (invert victim), leak (new output), force (jam victim)")
+		verilog  = flag.Bool("verilog", false, "also emit structural Verilog")
+		check    = flag.Bool("check", true, "re-prove every instance's activation cube before writing")
+		list     = flag.Bool("list", false, "list built-in circuits and exit")
+		maxNodes = flag.Int("max-rare", 0, "cap PODEM cube generation to the rarest K nodes (0 = all)")
+		timebomb = flag.Int("timebomb", 0, "convert each instance to a sequential time bomb with this many counter bits (0 = off)")
+		dedup    = flag.Bool("dedup", false, "run structural deduplication after insertion (blends trojan gates with functional logic)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range cghti.CircuitNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	base, err := loadInput(*benchIn, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := cghti.Config{
+		RareVectors:     *vectors,
+		RareThreshold:   *theta,
+		MinTriggerNodes: *q,
+		Instances:       *n,
+		FaninK:          *faninK,
+		MaxRareNodes:    *maxNodes,
+		Seed:            *seed,
+	}
+	switch *payload {
+	case "flip", "":
+		cfg.Payload = trojan.PayloadFlip
+	case "leak":
+		cfg.Payload = trojan.PayloadLeakToOutput
+	case "force":
+		cfg.Payload = trojan.PayloadForce
+	default:
+		fatal(fmt.Errorf("unknown payload %q (flip, leak, force)", *payload))
+	}
+	res, err := cghti.Generate(base, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *check {
+		if err := res.Verify(); err != nil {
+			fatal(fmt.Errorf("activation-cube verification failed: %w", err))
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d rare nodes, %d graph vertices, %d cliques mined\n",
+		base.Name, res.RareSet.Len(), res.Graph.NumVertices(), len(res.Cliques))
+	for _, b := range res.Benchmarks {
+		if *timebomb > 0 {
+			tb, err := trojan.InsertTimeBomb(b.Netlist, b.Instance, trojan.TimeBombSpec{CounterBits: *timebomb})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  time bomb: %d-bit counter, armed net %s\n", tb.CounterBits, tb.Armed)
+		}
+		out := b.Netlist
+		if *dedup {
+			blended, dres, err := opt.Dedup(out)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  dedup: %s\n", dres)
+			out = blended
+		}
+		path := filepath.Join(*outDir, out.Name+".bench")
+		if err := cghti.WriteBenchFile(path, out); err != nil {
+			fatal(err)
+		}
+		if *verilog {
+			if err := cghti.WriteVerilogFile(filepath.Join(*outDir, out.Name+".v"), out); err != nil {
+				fatal(err)
+			}
+		}
+		if err := writeTriggerReport(*outDir, res, b); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  %s: q=%d, trigger=%s, victim=%s, payload=%s, est. activation prob %.3g\n",
+			path, len(b.Clique.Vertices), b.Instance.TriggerOut,
+			b.Instance.Victim, b.Instance.Payload, b.Instance.Trigger.ActivationProb)
+	}
+	min, max := res.TriggerRange()
+	overhead, err := res.AreaOverhead()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trigger nodes %d-%d, worst-case area overhead %.2f%%, total time %v\n",
+		min, max, overhead, res.Times.Total)
+}
+
+func loadInput(benchPath, circuit string) (*cghti.Netlist, error) {
+	switch {
+	case strings.HasSuffix(benchPath, ".v"):
+		return vparse.ParseFile(benchPath)
+	case benchPath != "":
+		return cghti.ParseBenchFile(benchPath)
+	case circuit != "":
+		return cghti.Circuit(circuit)
+	}
+	return nil, fmt.Errorf("one of -bench or -circuit is required (try -list)")
+}
+
+func writeTriggerReport(dir string, res *cghti.Result, b cghti.Benchmark) error {
+	f, err := os.Create(filepath.Join(dir, b.Netlist.Name+".trigger"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# trojan instance %d of %s\n", b.Instance.Index, res.Base.Name)
+	fmt.Fprintf(f, "trigger_out %s\n", b.Instance.TriggerOut)
+	fmt.Fprintf(f, "payload %s %s\n", b.Instance.Payload, b.Instance.PayloadGate)
+	fmt.Fprintf(f, "victim %s\n", b.Instance.Victim)
+	fmt.Fprintf(f, "activation_cube %s\n", b.Clique.Cube)
+	for _, node := range b.Clique.Nodes(res.Graph) {
+		fmt.Fprintf(f, "trigger_node %s rare_value %d prob %.5f\n",
+			res.Base.Gates[node.ID].Name, node.RareValue, node.Prob)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "htgen:", err)
+	os.Exit(1)
+}

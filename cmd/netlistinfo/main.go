@@ -1,0 +1,125 @@
+// Command netlistinfo inspects gate-level netlists: statistics, logic
+// levels, rare-node summaries, SCOAP ranges and format conversion.
+//
+// Usage:
+//
+//	netlistinfo -circuit c2670
+//	netlistinfo -bench design.bench -rare -scoap
+//	netlistinfo -circuit c17 -to-verilog c17.v -to-bench c17.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cghti"
+	"cghti/internal/features"
+	"cghti/internal/rare"
+	"cghti/internal/scoap"
+	"cghti/internal/vparse"
+)
+
+func main() {
+	var (
+		circuit   = flag.String("circuit", "", "built-in benchmark circuit name")
+		benchIn   = flag.String("bench", "", "path to a .bench netlist (overrides -circuit)")
+		showRare  = flag.Bool("rare", false, "extract and summarize rare nodes")
+		showScoap = flag.Bool("scoap", false, "compute SCOAP testability ranges")
+		theta     = flag.Float64("theta", 0.20, "rareness threshold")
+		vectors   = flag.Int("vectors", 10000, "rare-node extraction vectors")
+		seed      = flag.Int64("seed", 1, "random seed")
+		toBench   = flag.String("to-bench", "", "write the netlist to this .bench file")
+		toVerilog = flag.String("to-verilog", "", "write the netlist to this Verilog file")
+		featCSV   = flag.String("features", "", "write per-net ML features (MIMIC-style) to this CSV file")
+	)
+	flag.Parse()
+
+	var (
+		n   *cghti.Netlist
+		err error
+	)
+	switch {
+	case strings.HasSuffix(*benchIn, ".v"):
+		n, err = vparse.ParseFile(*benchIn)
+	case *benchIn != "":
+		n, err = cghti.ParseBenchFile(*benchIn)
+	case *circuit != "":
+		n, err = cghti.Circuit(*circuit)
+	default:
+		err = fmt.Errorf("one of -bench (.bench or .v) or -circuit is required")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Println(n.ComputeStats())
+
+	if *showRare {
+		rs, err := rare.Extract(n, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rare nodes at θ=%.0f%% over %d vectors: %d of %d (%.1f%%), RN1=%d RN0=%d\n",
+			*theta*100, *vectors, rs.Len(), rs.TotalNodes,
+			100*float64(rs.Len())/float64(rs.TotalNodes), len(rs.RN1), len(rs.RN0))
+		show := rs.All()
+		if len(show) > 10 {
+			show = show[:10]
+		}
+		for _, node := range show {
+			fmt.Printf("  %-20s rare value %d, p=%.4f\n",
+				n.Gates[node.ID].Name, node.RareValue, node.Prob)
+		}
+	}
+
+	if *showScoap {
+		m, err := scoap.Compute(n)
+		if err != nil {
+			fatal(err)
+		}
+		var maxCC, maxCO int64
+		for i := range n.Gates {
+			for _, v := range []int64{m.CC0[i], m.CC1[i]} {
+				if v > maxCC && v < scoap.Inf {
+					maxCC = v
+				}
+			}
+			if m.CO[i] > maxCO && m.CO[i] < scoap.Inf {
+				maxCO = m.CO[i]
+			}
+		}
+		fmt.Printf("SCOAP: max finite controllability %d, max finite observability %d\n", maxCC, maxCO)
+	}
+
+	if *toBench != "" {
+		if err := cghti.WriteBenchFile(*toBench, n); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *toBench)
+	}
+	if *toVerilog != "" {
+		if err := cghti.WriteVerilogFile(*toVerilog, n); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *toVerilog)
+	}
+	if *featCSV != "" {
+		vecs, err := features.Extract(n, features.Config{Vectors: *vectors, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		if err := features.WriteCSVFile(*featCSV, vecs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d nets x 12 features)\n", *featCSV, len(vecs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netlistinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,288 @@
+package cghti
+
+import (
+	"fmt"
+	"time"
+
+	"cghti/internal/area"
+	"cghti/internal/atpg"
+	"cghti/internal/compat"
+	"cghti/internal/detect"
+	"cghti/internal/equiv"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+	"cghti/internal/sim"
+	"cghti/internal/trojan"
+)
+
+// Config holds the user-defined properties of the paper's framework: the
+// rare-node hyperparameters (θ_RN, |V|), the trigger-node count q, the
+// instance count N, and the trojan shape.
+type Config struct {
+	// RareVectors is |V|, the random simulation budget of Algorithm 1
+	// (default 10,000, the paper's Figure 3 choice).
+	RareVectors int
+	// RareThreshold is θ_RN as a fraction (default 0.20, the paper's
+	// Figure 2 choice).
+	RareThreshold float64
+	// MinTriggerNodes is q: every instance's clique has at least this
+	// many rare nodes (default 2).
+	MinTriggerNodes int
+	// Instances is N, the number of HT-infected netlists to emit
+	// (default 1).
+	Instances int
+	// FaninK bounds trigger-tree gate arity (default 4).
+	FaninK int
+	// ActiveLow builds triggers that fire at 0 instead of 1.
+	ActiveLow bool
+	// Payload selects the trojan effect (default: flip a victim net).
+	Payload trojan.PayloadKind
+	// MaxBacktracks is the PODEM budget per rare node (default 4000).
+	MaxBacktracks int
+	// MaxRareNodes caps how many rare nodes get PODEM cubes (rarest
+	// first; 0 = all). Bounds ATPG time on very large circuits.
+	MaxRareNodes int
+	// CliqueAttempts bounds the greedy clique-mining restarts (0 =
+	// 40 × Instances).
+	CliqueAttempts int
+	// Seed makes the whole pipeline deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RareVectors <= 0 {
+		c.RareVectors = rare.DefaultVectors
+	}
+	if c.RareThreshold <= 0 {
+		c.RareThreshold = rare.DefaultThreshold
+	}
+	if c.MinTriggerNodes <= 0 {
+		c.MinTriggerNodes = 2
+	}
+	if c.Instances <= 0 {
+		c.Instances = 1
+	}
+	return c
+}
+
+// StageTimes breaks the insertion pipeline down by stage — the
+// time-complexity decomposition of the paper's Section IV-C.
+type StageTimes struct {
+	Levelize    time.Duration // netlist levelization
+	RareExtract time.Duration // Algorithm 1
+	CubeGen     time.Duration // PODEM cube per rare node
+	GraphEdges  time.Duration // pairwise compatibility
+	CliqueMine  time.Duration // complete-subgraph mining
+	Insert      time.Duration // trigger generation + splicing, all instances
+	Total       time.Duration
+}
+
+// Benchmark is one emitted HT-infected netlist.
+type Benchmark struct {
+	// Netlist is the infected circuit (name: <base>_ht<i>).
+	Netlist *Netlist
+	// Instance records the trojan's structure.
+	Instance *trojan.Instance
+	// Clique is the trigger-node set the instance was built on.
+	Clique compat.Clique
+}
+
+// ProveDormant formally verifies the stealth property of this instance:
+// with the trigger net constrained to its idle value, the infected
+// netlist is proven equivalent to the golden one by the miter-based
+// equivalence checker (not sampled — a theorem). It returns an error if
+// the proof fails or exceeds its search budget.
+func (b *Benchmark) ProveDormant(golden *Netlist) error {
+	idle := b.Instance.Trigger.Spec.ActivationValue() ^ 1
+	res, err := equiv.Check(golden, b.Netlist, equiv.Options{
+		Constraints: map[string]uint8{b.Instance.TriggerOut: idle},
+	})
+	if err != nil {
+		return err
+	}
+	switch res.Verdict {
+	case equiv.Equivalent:
+		return nil
+	case equiv.Different:
+		return fmt.Errorf("cghti: instance %d NOT dormant-equivalent: output %s differs",
+			b.Instance.Index, res.DiffOutput)
+	default:
+		return fmt.Errorf("cghti: instance %d dormant proof aborted", b.Instance.Index)
+	}
+}
+
+// Target converts the benchmark into a detection-evaluation target
+// against its golden netlist.
+func (b *Benchmark) Target(golden *Netlist) detect.Target {
+	return detect.Target{
+		Golden:     golden,
+		Infected:   b.Netlist,
+		TriggerOut: b.Netlist.MustLookup(b.Instance.TriggerOut),
+		Activation: b.Instance.Trigger.Spec.ActivationValue(),
+	}
+}
+
+// Result is the output of Generate.
+type Result struct {
+	// Base is the (levelized) input netlist.
+	Base *Netlist
+	// RareSet is the Algorithm 1 output.
+	RareSet *rare.Set
+	// Graph is the compatibility graph.
+	Graph *compat.Graph
+	// Cliques are the mined complete subgraphs (may exceed Instances;
+	// instances use the first Instances of them).
+	Cliques []compat.Clique
+	// Benchmarks are the HT-infected netlists.
+	Benchmarks []Benchmark
+	// Times is the per-stage timing breakdown.
+	Times StageTimes
+}
+
+// Generate runs the full insertion pipeline on n.
+func Generate(n *Netlist, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{Base: n}
+	t0 := time.Now()
+
+	tl := time.Now()
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	res.Times.Levelize = time.Since(tl)
+
+	tr := time.Now()
+	rs, err := rare.Extract(n, rare.Config{
+		Vectors:   cfg.RareVectors,
+		Threshold: cfg.RareThreshold,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Times.RareExtract = time.Since(tr)
+	res.RareSet = rs
+	if rs.Len() == 0 {
+		return nil, fmt.Errorf("cghti: no rare nodes at θ=%v over %d vectors",
+			cfg.RareThreshold, cfg.RareVectors)
+	}
+
+	g, err := compat.Build(n, rs, compat.BuildConfig{
+		MaxBacktracks: cfg.MaxBacktracks,
+		MaxNodes:      cfg.MaxRareNodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Graph = g
+	res.Times.CubeGen = g.CubeTime
+	res.Times.GraphEdges = g.EdgeTime
+
+	tc := time.Now()
+	// Mine a pool larger than needed, then keep the stealthiest cliques
+	// (lowest estimated activation probability, largest first on ties).
+	cliques := g.FindCliques(compat.MineConfig{
+		MinSize:    cfg.MinTriggerNodes,
+		MaxCliques: 4 * cfg.Instances,
+		Attempts:   cfg.CliqueAttempts,
+		Seed:       cfg.Seed,
+	})
+	g.SortByStealth(cliques)
+	res.Times.CliqueMine = time.Since(tc)
+	res.Cliques = cliques
+	if len(cliques) == 0 {
+		return nil, fmt.Errorf("cghti: no clique with >= %d compatible rare nodes (graph: %d vertices, %d edges)",
+			cfg.MinTriggerNodes, g.NumVertices(), g.NumEdges())
+	}
+
+	ti := time.Now()
+	for i := 0; i < cfg.Instances && i < len(cliques); i++ {
+		c := cliques[i]
+		infected, inst, err := trojan.InsertInstance(n, c.Nodes(g), c.Cube, i, trojan.InsertSpec{
+			Trigger: trojan.TriggerSpec{ActiveLow: cfg.ActiveLow, FaninK: cfg.FaninK},
+			Payload: cfg.Payload,
+			Seed:    cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cghti: instance %d: %w", i, err)
+		}
+		res.Benchmarks = append(res.Benchmarks, Benchmark{
+			Netlist:  infected,
+			Instance: inst,
+			Clique:   c,
+		})
+	}
+	res.Times.Insert = time.Since(ti)
+	res.Times.Total = time.Since(t0)
+	return res, nil
+}
+
+// TriggerRange reports the smallest and largest trigger-node counts over
+// the emitted instances — the "trigger nodes" column of the paper's
+// Table III.
+func (r *Result) TriggerRange() (min, max int) {
+	for i, b := range r.Benchmarks {
+		q := len(b.Clique.Vertices)
+		if i == 0 || q < min {
+			min = q
+		}
+		if q > max {
+			max = q
+		}
+	}
+	return min, max
+}
+
+// AreaOverhead computes the worst-case trojan area overhead percentage
+// across the emitted instances under the NanGate-45-like cell model
+// (Table V).
+func (r *Result) AreaOverhead() (float64, error) {
+	lib := area.NanGate45()
+	worst := 0.0
+	for _, b := range r.Benchmarks {
+		o, err := lib.Overhead(r.Base, b.Netlist)
+		if err != nil {
+			return 0, err
+		}
+		if o > worst {
+			worst = o
+		}
+	}
+	return worst, nil
+}
+
+// Verify re-proves every emitted instance with three-valued simulation:
+// the merged cube must drive each trigger node to its rare value. This
+// is the validation the compatibility graph makes unnecessary — exposed
+// so users (and tests) can confirm the guarantee.
+func (r *Result) Verify() error {
+	for _, b := range r.Benchmarks {
+		if err := verifyBenchmark(r.Base, r.Graph, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyBenchmark(base *Netlist, g *compat.Graph, b Benchmark) error {
+	in := make(map[netlist.GateID]sim.V3, len(g.InputIDs))
+	for pos, id := range g.InputIDs {
+		if v := b.Clique.Cube.Get(pos); v != sim.V3X {
+			in[id] = v
+		}
+	}
+	vals, err := sim.Eval3(base, in)
+	if err != nil {
+		return err
+	}
+	for _, node := range b.Clique.Nodes(g) {
+		if vals[node.ID] != sim.V3(node.RareValue) {
+			return fmt.Errorf("cghti: instance %d: cube does not prove %s=%d",
+				b.Instance.Index, base.Gates[node.ID].Name, node.RareValue)
+		}
+	}
+	return nil
+}
+
+// Cube is a partial input assignment (re-exported from internal/atpg).
+type Cube = atpg.Cube

@@ -1,0 +1,3 @@
+module cghti
+
+go 1.22

@@ -1,0 +1,111 @@
+// Package area estimates cell area and trojan area overhead (Table V).
+//
+// The paper synthesizes with Cadence GENUS against the NanGate 45 nm
+// Open Cell Library and reports (trojan area)/(original area). That
+// metric needs no placement or timing — only per-cell areas — so this
+// package carries a cell-area table modeled on the NanGate 45 nm library
+// (X1 drive strengths; square microns) and rolls netlists up against it.
+package area
+
+import (
+	"fmt"
+
+	"cghti/internal/netlist"
+)
+
+// Library maps gate type and fanin count to cell area in µm².
+type Library struct {
+	// Name identifies the library in reports.
+	Name string
+	// cellAreas[type][fanin] — missing fanins are composed from smaller
+	// cells (a k-input gate decomposes into 2-input trees).
+	cellAreas map[netlist.GateType]map[int]float64
+}
+
+// NanGate45 returns the area model of the NanGate 45 nm Open Cell
+// Library (typical X1 cells; µm²).
+func NanGate45() *Library {
+	const site = 0.266 // one placement-site column of the 1.4 µm row
+	return &Library{
+		Name: "NanGate45-like",
+		cellAreas: map[netlist.GateType]map[int]float64{
+			netlist.Buf:  {1: 2 * site * 1.4},                                       // BUF_X1
+			netlist.Not:  {1: 1 * site * 1.4},                                       // INV_X1
+			netlist.Nand: {2: 2 * site * 1.4, 3: 3 * site * 1.4, 4: 4 * site * 1.4}, // NAND*_X1
+			netlist.Nor:  {2: 2 * site * 1.4, 3: 3 * site * 1.4, 4: 4 * site * 1.4}, // NOR*_X1
+			netlist.And:  {2: 3 * site * 1.4, 3: 4 * site * 1.4, 4: 5 * site * 1.4}, // AND*_X1
+			netlist.Or:   {2: 3 * site * 1.4, 3: 4 * site * 1.4, 4: 5 * site * 1.4}, // OR*_X1
+			netlist.Xor:  {2: 5 * site * 1.4},                                       // XOR2_X1
+			netlist.Xnor: {2: 5 * site * 1.4},                                       // XNOR2_X1
+			netlist.DFF:  {1: 17 * site * 1.4},                                      // DFF_X1
+		},
+	}
+}
+
+// CellArea returns the area of one gate. Wide gates without a direct
+// cell decompose into a tree of the widest available cell plus 2-input
+// combiners, which is how a technology mapper would cover them.
+func (l *Library) CellArea(t netlist.GateType, fanin int) (float64, error) {
+	switch t {
+	case netlist.Input, netlist.Const0, netlist.Const1:
+		return 0, nil
+	}
+	byFanin, ok := l.cellAreas[t]
+	if !ok {
+		return 0, fmt.Errorf("area: no cell for %v", t)
+	}
+	if a, ok := byFanin[fanin]; ok {
+		return a, nil
+	}
+	if fanin == 1 {
+		// Single-input AND/OR/etc. degenerates to a buffer.
+		return l.cellAreas[netlist.Buf][1], nil
+	}
+	// Decompose: widest direct cell + recursive remainder through a
+	// 2-input combiner of the same family.
+	widest := 0
+	for k := range byFanin {
+		if k > widest && k <= fanin {
+			widest = k
+		}
+	}
+	if widest == 0 {
+		return 0, fmt.Errorf("area: no cell for %v/%d", t, fanin)
+	}
+	rest, err := l.CellArea(t, fanin-widest+1)
+	if err != nil {
+		return 0, err
+	}
+	return byFanin[widest] + rest, nil
+}
+
+// NetlistArea sums the cell areas of every gate.
+func (l *Library) NetlistArea(n *netlist.Netlist) (float64, error) {
+	total := 0.0
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		a, err := l.CellArea(g.Type, len(g.Fanin))
+		if err != nil {
+			return 0, fmt.Errorf("area: gate %q: %w", g.Name, err)
+		}
+		total += a
+	}
+	return total, nil
+}
+
+// Overhead reports the trojan area overhead percentage:
+// 100 · (infected − original) / original.
+func (l *Library) Overhead(original, infected *netlist.Netlist) (float64, error) {
+	ao, err := l.NetlistArea(original)
+	if err != nil {
+		return 0, err
+	}
+	ai, err := l.NetlistArea(infected)
+	if err != nil {
+		return 0, err
+	}
+	if ao == 0 {
+		return 0, fmt.Errorf("area: original netlist has zero area")
+	}
+	return 100 * (ai - ao) / ao, nil
+}

@@ -1,0 +1,176 @@
+package area
+
+import (
+	"testing"
+
+	"cghti/internal/bench"
+	"cghti/internal/gen"
+	"cghti/internal/netlist"
+)
+
+func TestCellAreasMonotone(t *testing.T) {
+	l := NanGate45()
+	inv, _ := l.CellArea(netlist.Not, 1)
+	nand2, _ := l.CellArea(netlist.Nand, 2)
+	nand4, _ := l.CellArea(netlist.Nand, 4)
+	dff, _ := l.CellArea(netlist.DFF, 1)
+	if inv <= 0 || nand2 <= inv || nand4 <= nand2 || dff <= nand4 {
+		t.Fatalf("areas not monotone: inv=%v nand2=%v nand4=%v dff=%v", inv, nand2, nand4, dff)
+	}
+}
+
+func TestSourcesAreFree(t *testing.T) {
+	l := NanGate45()
+	for _, tt := range []netlist.GateType{netlist.Input, netlist.Const0, netlist.Const1} {
+		a, err := l.CellArea(tt, 0)
+		if err != nil || a != 0 {
+			t.Fatalf("CellArea(%v) = %v, %v; want 0, nil", tt, a, err)
+		}
+	}
+}
+
+func TestWideGateDecomposes(t *testing.T) {
+	l := NanGate45()
+	n4, err := l.CellArea(netlist.Nand, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n7, err := l.CellArea(netlist.Nand, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n7 <= n4 {
+		t.Fatalf("7-input NAND area %v not larger than 4-input %v", n7, n4)
+	}
+	// XOR has only a 2-input cell: a 4-input XOR = 3 cells.
+	x2, _ := l.CellArea(netlist.Xor, 2)
+	x4, err := l.CellArea(netlist.Xor, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x4 != 3*x2 {
+		t.Fatalf("XOR4 = %v, want %v", x4, 3*x2)
+	}
+}
+
+func TestSingleInputDegeneratesToBuffer(t *testing.T) {
+	l := NanGate45()
+	b, _ := l.CellArea(netlist.Buf, 1)
+	a, err := l.CellArea(netlist.And, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("AND1 = %v, want buffer area %v", a, b)
+	}
+}
+
+func TestNetlistAreaC17(t *testing.T) {
+	l := NanGate45()
+	n := gen.C17()
+	a, err := l.NetlistArea(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nand2, _ := l.CellArea(netlist.Nand, 2)
+	if want := 6 * nand2; a != want {
+		t.Fatalf("c17 area = %v, want %v", a, want)
+	}
+}
+
+func TestOverheadGrowsWithTrojanSize(t *testing.T) {
+	l := NanGate45()
+	base, err := bench.ParseString(`
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = OR(c, d)
+y = XOR(g1, g2)
+`, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := base.Clone()
+	id := small.MustAddGate("t1", netlist.And)
+	small.Connect(small.MustLookup("a"), id)
+	small.Connect(small.MustLookup("b"), id)
+	small.MarkPO(id)
+
+	big := small.Clone()
+	id2 := big.MustAddGate("t2", netlist.Xor)
+	big.Connect(big.MustLookup("g1"), id2)
+	big.Connect(big.MustLookup("t1"), id2)
+	big.MarkPO(id2)
+
+	oSmall, err := l.Overhead(base, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oBig, err := l.Overhead(base, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oSmall <= 0 || oBig <= oSmall {
+		t.Fatalf("overheads %v, %v not increasing", oSmall, oBig)
+	}
+	zero, err := l.Overhead(base, base)
+	if err != nil || zero != 0 {
+		t.Fatalf("self overhead = %v, %v", zero, err)
+	}
+}
+
+func TestOverheadShrinksWithCircuitSize(t *testing.T) {
+	// The same trojan on a bigger base circuit → smaller percentage —
+	// the Table V trend.
+	l := NanGate45()
+	small := gen.MustBenchmark("c432")
+	big := gen.MustBenchmark("c5315")
+
+	addTrojan := func(n *netlist.Netlist) *netlist.Netlist {
+		c := n.Clone()
+		prev := c.PIs[0]
+		for i := 0; i < 30; i++ {
+			g := c.MustAddGate("tg"+itoa(i), netlist.And)
+			c.Connect(prev, g)
+			c.Connect(c.PIs[(i+1)%len(c.PIs)], g)
+			prev = g
+		}
+		c.MarkPO(prev)
+		return c
+	}
+	oSmall, err := l.Overhead(small, addTrojan(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oBig, err := l.Overhead(big, addTrojan(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oBig >= oSmall {
+		t.Fatalf("overhead did not shrink with circuit size: %v vs %v", oSmall, oBig)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestUnknownGateTypeError(t *testing.T) {
+	l := &Library{Name: "empty", cellAreas: map[netlist.GateType]map[int]float64{}}
+	if _, err := l.CellArea(netlist.And, 2); err == nil {
+		t.Fatal("empty library returned an area")
+	}
+}

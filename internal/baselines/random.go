@@ -1,0 +1,121 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// RandomConfig parameterizes the Random HT insertion baseline.
+type RandomConfig struct {
+	// Q is the number of trigger nodes per trojan (the paper's random
+	// baseline used 10–20).
+	Q int
+	// ValidationVectors is the per-subset random-simulation budget spent
+	// searching for a co-activating vector.
+	ValidationVectors int
+	// MaxSubsets bounds how many random subsets are tried before giving
+	// up.
+	MaxSubsets int
+	// Seed drives subset sampling and validation vectors.
+	Seed int64
+}
+
+func (c RandomConfig) withDefaults() RandomConfig {
+	if c.Q <= 0 {
+		c.Q = 10
+	}
+	if c.ValidationVectors <= 0 {
+		c.ValidationVectors = 100000
+	}
+	if c.MaxSubsets <= 0 {
+		c.MaxSubsets = 50
+	}
+	return c
+}
+
+// RandomInsert performs one random HT insertion: sample a random
+// q-subset of rare nodes, validate it by random simulation, repeat until
+// a triggerable subset is found, then splice the trojan. The validation
+// loop is exactly the cost the paper's Table III charges this baseline
+// for: most random subsets are either mutually incompatible or need
+// astronomically many vectors to co-activate.
+func RandomInsert(n *netlist.Netlist, rs *rare.Set, cfg RandomConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	nodes := rs.All()
+	if len(nodes) < cfg.Q {
+		return nil, fmt.Errorf("baselines: only %d rare nodes, need q=%d", len(nodes), cfg.Q)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	var stats Stats
+	for s := 0; s < cfg.MaxSubsets; s++ {
+		subset := sampleSubset(nodes, cfg.Q, rng)
+		stats.SubsetsTried++
+		vec, simulated, ok := validateSubset(n, subset, cfg.ValidationVectors, rng)
+		stats.VectorsSimulated += simulated
+		if !ok {
+			continue
+		}
+		infected, trig, victim, err := insertComparator(n, subset, fmt.Sprintf("rnd%d", s), rng)
+		if err != nil {
+			return nil, err
+		}
+		stats.Elapsed = time.Since(start)
+		return &Result{
+			Infected:      infected,
+			TriggerNodes:  subset,
+			TriggerOut:    trig,
+			Victim:        victim,
+			TriggerVector: vec,
+			Stats:         stats,
+		}, nil
+	}
+	stats.Elapsed = time.Since(start)
+	return nil, &ValidationError{Stats: stats, Q: cfg.Q}
+}
+
+// RandomInsertNoValidation inserts a comparator trojan over a uniformly
+// random q-subset of rare nodes without searching for an activating
+// vector. This is how bulk random benchmark suites are produced when
+// per-instance validation is unaffordable — and why their trojans often
+// cannot be triggered at all (the low TC of the paper's Table II random
+// rows).
+func RandomInsertNoValidation(n *netlist.Netlist, rs *rare.Set, cfg RandomConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	nodes := rs.All()
+	if len(nodes) < cfg.Q {
+		return nil, fmt.Errorf("baselines: only %d rare nodes, need q=%d", len(nodes), cfg.Q)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	subset := sampleSubset(nodes, cfg.Q, rng)
+	infected, trig, victim, err := insertComparator(n, subset, "rndnv", rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Infected:     infected,
+		TriggerNodes: subset,
+		TriggerOut:   trig,
+		Victim:       victim,
+		Stats:        Stats{SubsetsTried: 1, Elapsed: time.Since(start)},
+	}, nil
+}
+
+// ValidationError reports a failed random insertion (no subset could be
+// validated within budget) along with the work spent — the common case
+// for large q, and the reason the random baseline's insertion times
+// explode.
+type ValidationError struct {
+	Stats Stats
+	Q     int
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("baselines: no co-activating vector found for any q=%d subset (%d subsets, %d vectors simulated)",
+		e.Q, e.Stats.SubsetsTried, e.Stats.VectorsSimulated)
+}

@@ -1,0 +1,99 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// TrustHubConfig parameterizes the Trust-Hub-style generator: small
+// comparator triggers over moderately rare signals, the shape of the
+// manually inserted gate-level Trust-Hub benchmarks.
+type TrustHubConfig struct {
+	// Q is the trigger-node count (Trust-Hub gate-level trojans use
+	// 2–8; default 4).
+	Q int
+	// MinProb/MaxProb bound the signal probability of selected trigger
+	// nodes (defaults 0.03–0.3: rare enough to be stealthy-looking,
+	// common enough that manual validation was feasible).
+	MinProb, MaxProb float64
+	// ValidationVectors bounds the per-subset validation search.
+	ValidationVectors int
+	// MaxSubsets bounds resampling.
+	MaxSubsets int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+func (c TrustHubConfig) withDefaults() TrustHubConfig {
+	if c.Q <= 0 {
+		c.Q = 4
+	}
+	if c.MaxProb <= 0 {
+		c.MaxProb = 0.3
+	}
+	if c.MinProb <= 0 {
+		c.MinProb = 0.03
+	}
+	if c.ValidationVectors <= 0 {
+		c.ValidationVectors = 50000
+	}
+	if c.MaxSubsets <= 0 {
+		c.MaxSubsets = 200
+	}
+	return c
+}
+
+// TrustHubLike inserts one Trust-Hub-style trojan: q moderately rare
+// nodes, comparator trigger, XOR payload. Because q is small and the
+// nodes are only moderately rare, validation almost always succeeds
+// quickly — and the same property makes these trojans partially
+// detectable by logic testing, reproducing the Trust-Hub rows of
+// Table II.
+func TrustHubLike(n *netlist.Netlist, rs *rare.Set, cfg TrustHubConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	var pool []rare.Node
+	for _, node := range rs.All() {
+		if node.Prob >= cfg.MinProb && node.Prob <= cfg.MaxProb {
+			pool = append(pool, node)
+		}
+	}
+	if len(pool) < cfg.Q {
+		// Fall back to the whole rare set rather than failing: small
+		// circuits may not have enough mid-probability nodes.
+		pool = rs.All()
+	}
+	if len(pool) < cfg.Q {
+		return nil, fmt.Errorf("baselines: only %d candidate nodes, need q=%d", len(pool), cfg.Q)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	var stats Stats
+	for s := 0; s < cfg.MaxSubsets; s++ {
+		subset := sampleSubset(pool, cfg.Q, rng)
+		stats.SubsetsTried++
+		vec, simulated, ok := validateSubset(n, subset, cfg.ValidationVectors, rng)
+		stats.VectorsSimulated += simulated
+		if !ok {
+			continue
+		}
+		infected, trig, victim, err := insertComparator(n, subset, fmt.Sprintf("th%d", s), rng)
+		if err != nil {
+			return nil, err
+		}
+		stats.Elapsed = time.Since(start)
+		return &Result{
+			Infected:      infected,
+			TriggerNodes:  subset,
+			TriggerOut:    trig,
+			Victim:        victim,
+			TriggerVector: vec,
+			Stats:         stats,
+		}, nil
+	}
+	stats.Elapsed = time.Since(start)
+	return nil, &ValidationError{Stats: stats, Q: cfg.Q}
+}

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cghti/internal/netlist"
+)
+
+const c17 = `
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func TestParseC17(t *testing.T) {
+	n, err := ParseString(c17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.PIs) != 5 || len(n.POs) != 2 {
+		t.Fatalf("got %d PIs / %d POs, want 5/2", len(n.PIs), len(n.POs))
+	}
+	if n.NumCells() != 6 {
+		t.Fatalf("got %d cells, want 6", n.NumCells())
+	}
+	g22 := n.Gates[n.MustLookup("22")]
+	if g22.Type != netlist.Nand || len(g22.Fanin) != 2 {
+		t.Fatalf("gate 22 = %v with %d fanins", g22.Type, len(g22.Fanin))
+	}
+}
+
+func TestParseSequential(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(a, q)
+`
+	n, err := ParseString(src, "toggle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.DFFs) != 1 {
+		t.Fatalf("got %d DFFs, want 1", len(n.DFFs))
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+y = NOT(z)
+z = BUFF(a)
+`
+	n, err := ParseString(src, "fwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseConst(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(y)
+one = CONST1()
+y = AND(a, one)
+`
+	n, err := ParseString(src, "const")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Gates[n.MustLookup("one")].Type != netlist.Const1 {
+		t.Fatal("CONST1 not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"garbage", "INPUT(a)\nwhat is this", "expected"},
+		{"unknownGate", "INPUT(a)\ny = FROB(a)\nOUTPUT(y)", "unknown gate type"},
+		{"undefinedNet", "INPUT(a)\ny = AND(a, ghost)\nOUTPUT(y)", "undefined net"},
+		{"undefinedOutput", "INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)", "undefined"},
+		{"duplicate", "INPUT(a)\na = NOT(a)\nOUTPUT(a)", "already defined"},
+		{"badArityNot", "INPUT(a)\nINPUT(b)\ny = NOT(a, b)\nOUTPUT(y)", "exactly 1"},
+		{"emptyArg", "INPUT(a)\ny = AND(a, )\nOUTPUT(y)", "empty argument"},
+		{"malformedInput", "INPUT a\n", "malformed"},
+		{"inputRHS", "INPUT(a)\ny = INPUT(a)\nOUTPUT(y)", "INPUT cannot"},
+		{"cycle", "INPUT(a)\nx = AND(a, y)\ny = BUFF(x)\nOUTPUT(y)", "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.src, tc.name)
+			if err == nil {
+				t.Fatalf("parse accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorLineNumber(t *testing.T) {
+	_, err := ParseString("INPUT(a)\n\ny = FROB(a)\n", "x")
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func asParseError(err error, out **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*out = pe
+	}
+	return ok
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := ParseString(c17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := String(orig)
+	back, err := ParseString(text, "c17")
+	if err != nil {
+		t.Fatalf("reparse of written netlist failed: %v\n%s", err, text)
+	}
+	if back.NumGates() != orig.NumGates() ||
+		len(back.PIs) != len(orig.PIs) ||
+		len(back.POs) != len(orig.POs) {
+		t.Fatalf("round trip changed shape: %v vs %v",
+			back.ComputeStats(), orig.ComputeStats())
+	}
+	for i := range orig.Gates {
+		og := &orig.Gates[i]
+		bid, ok := back.Lookup(og.Name)
+		if !ok {
+			t.Fatalf("round trip lost gate %q", og.Name)
+		}
+		bg := back.Gate(bid)
+		if bg.Type != og.Type || len(bg.Fanin) != len(og.Fanin) {
+			t.Fatalf("gate %q changed: %v/%d vs %v/%d",
+				og.Name, bg.Type, len(bg.Fanin), og.Type, len(og.Fanin))
+		}
+		for j, f := range og.Fanin {
+			if back.Gate(bg.Fanin[j]).Name != orig.Gates[f].Name {
+				t.Fatalf("gate %q fanin %d changed", og.Name, j)
+			}
+		}
+	}
+}
+
+func TestRoundTripSequential(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(a, q)
+`
+	orig, err := ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(String(orig), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.DFFs) != 1 {
+		t.Fatal("round trip lost the DFF")
+	}
+}
+
+func TestWriteVerilog(t *testing.T) {
+	n, err := ParseString(c17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{"module c17", "nand", "endmodule", "output po_n22"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestWriteVerilogSequentialHasDFFModule(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(a, q)\n"
+	n, err := ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "module dff") {
+		t.Error("sequential verilog missing dff module")
+	}
+	if !strings.Contains(sb.String(), "input clk") {
+		t.Error("sequential verilog missing clk port")
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"22", "n22"},
+		{"a.b[3]", "a_b_3_"},
+		{"", "_"},
+		{"ok_name", "ok_name"},
+	} {
+		if got := sanitizeID(tc.in); got != tc.want {
+			t.Errorf("sanitizeID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

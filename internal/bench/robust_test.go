@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: arbitrary byte soup must produce an error or a
+// valid netlist, never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		n, err := ParseString(string(data), "fuzz")
+		if err == nil {
+			if verr := n.Validate(); verr != nil {
+				t.Logf("parser accepted an invalid netlist: %v", verr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanicsStructured: byte soup assembled from plausible
+// .bench fragments (more likely to reach deep parser paths than raw
+// random bytes).
+func TestParseNeverPanicsStructured(t *testing.T) {
+	fragments := []string{
+		"INPUT(", "OUTPUT(", ")", "(", "=", ",", "\n", " ", "#c",
+		"AND", "NAND", "DFF", "XOR", "BUFF", "CONST1", "FROB",
+		"a", "b", "n1", "g2", "22",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		var sb strings.Builder
+		for i := 0; i < 3+rng.Intn(40); i++ {
+			sb.WriteString(fragments[rng.Intn(len(fragments))])
+		}
+		src := sb.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			n, err := ParseString(src, "fuzz")
+			if err == nil {
+				if verr := n.Validate(); verr != nil {
+					t.Fatalf("parser accepted invalid netlist from %q: %v", src, verr)
+				}
+			}
+		}()
+	}
+}
+
+// TestWriteDeterministic: writing the same netlist twice yields
+// byte-identical output (required for reproducible benchmark suites).
+func TestWriteDeterministic(t *testing.T) {
+	n, err := ParseString(c17, "c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if String(n) != String(n) {
+		t.Fatal("Write is not deterministic")
+	}
+}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cghti/internal/netlist"
+)
+
+// WriteVerilog emits the netlist as structural Verilog using generic
+// primitive instantiations (and/or/nand/nor/xor/xnor/not/buf and a DFF
+// module). This is the hand-off format for the synthesis/area flow the
+// paper runs through Cadence GENUS; here it feeds internal/area and lets
+// users push generated benchmarks into real tools.
+func WriteVerilog(w io.Writer, n *netlist.Netlist) error {
+	bw := bufio.NewWriter(w)
+	name := sanitizeID(n.Name)
+	fmt.Fprintf(bw, "// generated from %s\n", n.Name)
+	fmt.Fprintf(bw, "module %s (", name)
+
+	ports := make([]string, 0, len(n.PIs)+len(n.POs)+2)
+	if len(n.DFFs) > 0 {
+		ports = append(ports, "clk")
+	}
+	for _, id := range n.PIs {
+		ports = append(ports, sanitizeID(n.Gates[id].Name))
+	}
+	for _, id := range n.POs {
+		ports = append(ports, "po_"+sanitizeID(n.Gates[id].Name))
+	}
+	fmt.Fprintf(bw, "%s);\n", strings.Join(ports, ", "))
+
+	if len(n.DFFs) > 0 {
+		fmt.Fprintln(bw, "  input clk;")
+	}
+	for _, id := range n.PIs {
+		fmt.Fprintf(bw, "  input %s;\n", sanitizeID(n.Gates[id].Name))
+	}
+	for _, id := range n.POs {
+		fmt.Fprintf(bw, "  output po_%s;\n", sanitizeID(n.Gates[id].Name))
+	}
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Type == netlist.Input {
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", sanitizeID(g.Name))
+	}
+
+	fmt.Fprintln(bw)
+	inst := 0
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		out := sanitizeID(g.Name)
+		ins := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			ins[j] = sanitizeID(n.Gates[f].Name)
+		}
+		switch g.Type {
+		case netlist.Input:
+			continue
+		case netlist.Const0:
+			fmt.Fprintf(bw, "  assign %s = 1'b0;\n", out)
+		case netlist.Const1:
+			fmt.Fprintf(bw, "  assign %s = 1'b1;\n", out)
+		case netlist.Buf:
+			fmt.Fprintf(bw, "  buf g%d (%s, %s);\n", inst, out, ins[0])
+		case netlist.Not:
+			fmt.Fprintf(bw, "  not g%d (%s, %s);\n", inst, out, ins[0])
+		case netlist.DFF:
+			fmt.Fprintf(bw, "  dff g%d (.q(%s), .d(%s), .clk(clk));\n", inst, out, ins[0])
+		default:
+			prim := strings.ToLower(g.Type.String())
+			fmt.Fprintf(bw, "  %s g%d (%s, %s);\n", prim, inst, out, strings.Join(ins, ", "))
+		}
+		inst++
+	}
+	for _, id := range n.POs {
+		o := sanitizeID(n.Gates[id].Name)
+		fmt.Fprintf(bw, "  assign po_%s = %s;\n", o, o)
+	}
+	fmt.Fprintln(bw, "endmodule")
+
+	if len(n.DFFs) > 0 {
+		fmt.Fprintln(bw, `
+module dff (q, d, clk);
+  output reg q;
+  input d, clk;
+  always @(posedge clk) q <= d;
+endmodule`)
+	}
+	return bw.Flush()
+}
+
+// WriteVerilogFile writes the netlist as structural Verilog to path.
+func WriteVerilogFile(path string, n *netlist.Netlist) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteVerilog(f, n); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanitizeID maps a net name to a legal Verilog identifier.
+func sanitizeID(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		ok := c == '_' || ('0' <= c && c <= '9') || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	if c := b[0]; '0' <= c && c <= '9' {
+		return "n" + string(b)
+	}
+	return string(b)
+}

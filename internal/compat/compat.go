@@ -1,0 +1,442 @@
+// Package compat implements the paper's central contribution
+// (Algorithm 2, Gen_compatibility): one PODEM excitation cube per rare
+// node, a pairwise care-bit compatibility test between cubes, the
+// resulting compatibility graph, and the mining of complete subgraphs
+// (cliques) whose members can all be driven to their rare values by one
+// merged test vector — making trigger-set validation unnecessary.
+package compat
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"cghti/internal/atpg"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// BuildConfig parameterizes graph construction.
+type BuildConfig struct {
+	// MaxBacktracks is the per-node PODEM budget
+	// (atpg.DefaultMaxBacktracks if 0).
+	MaxBacktracks int
+	// MaxNodes caps how many rare nodes (rarest first) get cubes; 0
+	// means all. Large sequential circuits can have thousands of rare
+	// nodes; the cap bounds ATPG time without changing the algorithm.
+	MaxNodes int
+	// Workers sets the PODEM worker-goroutine count (1 = serial, 0 =
+	// GOMAXPROCS). The result is identical for any worker count: each
+	// rare node's cube is computed independently and results keep
+	// rarity order.
+	Workers int
+}
+
+// Graph is the compatibility graph: vertex i is rare node Nodes[i] with
+// excitation cube Cubes[i]; an edge joins vertices whose cubes have no
+// care-bit conflict.
+type Graph struct {
+	// Nodes holds the rare nodes that received a PODEM cube.
+	Nodes []rare.Node
+	// Cubes[i] is the justification cube exciting Nodes[i] to its rare
+	// value.
+	Cubes []atpg.Cube
+	// InputIDs is the cube coordinate system (CombInputs order).
+	InputIDs []netlist.GateID
+	// Dropped counts rare nodes skipped because PODEM aborted or proved
+	// them unexcitable.
+	Dropped int
+	// CubeTime and EdgeTime break down construction time.
+	CubeTime, EdgeTime time.Duration
+
+	adj   [][]uint64 // bitset adjacency rows
+	words int
+}
+
+// Build runs PODEM for every rare node and assembles the graph.
+func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
+	eng, err := atpg.NewEngine(n)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxBacktracks > 0 {
+		eng.MaxBacktracks = cfg.MaxBacktracks
+	}
+	candidates := rs.All()
+	// Rarest first so a MaxNodes cap keeps the best trigger material.
+	// MaxNodes bounds the number of *vertices* (successful cubes), not
+	// candidates: nodes PODEM proves unexcitable or aborts on are
+	// skipped and the walk continues down the rarity order.
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a].Prob < candidates[b].Prob })
+
+	g := &Graph{InputIDs: eng.InputIDs()}
+	t0 := time.Now()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		for _, node := range candidates {
+			if cfg.MaxNodes > 0 && len(g.Nodes) >= cfg.MaxNodes {
+				break
+			}
+			cube, res := eng.Justify(node.ID, node.RareValue)
+			if res != atpg.Success {
+				g.Dropped++
+				continue
+			}
+			g.Nodes = append(g.Nodes, node)
+			g.Cubes = append(g.Cubes, cube)
+		}
+	} else if err := g.buildCubesParallel(n, candidates, cfg, workers); err != nil {
+		return nil, err
+	}
+	g.CubeTime = time.Since(t0)
+
+	t1 := time.Now()
+	v := len(g.Nodes)
+	g.words = (v + 63) / 64
+	g.adj = make([][]uint64, v)
+	for i := range g.adj {
+		g.adj[i] = make([]uint64, g.words)
+	}
+	for i := 0; i < v; i++ {
+		for j := i + 1; j < v; j++ {
+			if !g.Cubes[i].Conflicts(g.Cubes[j]) {
+				g.setEdge(i, j)
+			}
+		}
+	}
+	g.EdgeTime = time.Since(t1)
+	return g, nil
+}
+
+func (g *Graph) setEdge(i, j int) {
+	g.adj[i][j/64] |= 1 << uint(j%64)
+	g.adj[j][i/64] |= 1 << uint(i%64)
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Nodes) }
+
+// Compatible reports whether vertices i and j are adjacent.
+func (g *Graph) Compatible(i, j int) bool {
+	return g.adj[i][j/64]&(1<<uint(j%64)) != 0
+}
+
+// Degree returns the number of neighbours of vertex i.
+func (g *Graph) Degree(i int) int {
+	d := 0
+	for _, w := range g.adj[i] {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for i := range g.adj {
+		total += g.Degree(i)
+	}
+	return total / 2
+}
+
+// Clique is one complete subgraph plus its merged activation cube — the
+// single test vector (cube) that triggers every member to its rare value.
+type Clique struct {
+	// Vertices indexes into Graph.Nodes, sorted ascending.
+	Vertices []int
+	// Cube is the conflict-free union of the members' cubes.
+	Cube atpg.Cube
+}
+
+// Nodes resolves the clique's vertices to rare nodes.
+func (c Clique) Nodes(g *Graph) []rare.Node {
+	out := make([]rare.Node, len(c.Vertices))
+	for i, v := range c.Vertices {
+		out[i] = g.Nodes[v]
+	}
+	return out
+}
+
+// MergedCube unions the members' cubes (they cannot conflict by
+// construction — pairwise compatibility of a clique implies a consistent
+// union).
+func (g *Graph) MergedCube(vertices []int) atpg.Cube {
+	cube := atpg.NewCube(len(g.InputIDs))
+	for _, v := range vertices {
+		cube.Merge(g.Cubes[v])
+	}
+	return cube
+}
+
+// MineConfig parameterizes clique mining.
+type MineConfig struct {
+	// MinSize is q: only cliques with at least this many vertices are
+	// reported.
+	MinSize int
+	// MaxCliques is N: stop after this many distinct cliques (0 = 1000).
+	MaxCliques int
+	// Attempts bounds greedy restarts (0 = 40 × MaxCliques).
+	Attempts int
+	// Seed drives the randomized expansion order.
+	Seed int64
+}
+
+// FindCliques mines up to cfg.MaxCliques distinct maximal cliques of
+// size >= cfg.MinSize using greedy randomized expansion over the bitset
+// adjacency: start from a random vertex, repeatedly add a random
+// candidate and intersect the candidate set with its neighbourhood.
+// Every reported clique is maximal (no vertex can extend it), matching
+// the paper's goal of trigger sets with as many rare nodes as possible.
+func (g *Graph) FindCliques(cfg MineConfig) []Clique {
+	if cfg.MinSize <= 0 {
+		cfg.MinSize = 2
+	}
+	if cfg.MaxCliques <= 0 {
+		cfg.MaxCliques = 1000
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 40 * cfg.MaxCliques
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := g.NumVertices()
+	if v == 0 {
+		return nil
+	}
+
+	var out []Clique
+	seen := make(map[string]bool)
+	cand := make([]uint64, g.words)
+
+	for attempt := 0; attempt < cfg.Attempts && len(out) < cfg.MaxCliques; attempt++ {
+		start := rng.Intn(v)
+		clique := []int{start}
+		copy(cand, g.adj[start])
+		for {
+			pick, ok := randomSetBit(cand, rng)
+			if !ok {
+				break
+			}
+			clique = append(clique, pick)
+			andInto(cand, g.adj[pick])
+		}
+		if len(clique) < cfg.MinSize {
+			continue
+		}
+		sort.Ints(clique)
+		key := cliqueKey(clique)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Clique{Vertices: clique, Cube: g.MergedCube(clique)})
+	}
+	return out
+}
+
+// EnumerateExact runs Bron–Kerbosch with pivoting and reports every
+// maximal clique of size >= minSize, up to max results (0 = unlimited).
+// Exponential in the worst case — use on small graphs and in tests that
+// cross-check the greedy miner.
+func (g *Graph) EnumerateExact(minSize, max int) []Clique {
+	var out []Clique
+	v := g.NumVertices()
+	if v == 0 {
+		return nil
+	}
+	r := make([]uint64, g.words)
+	p := make([]uint64, g.words)
+	x := make([]uint64, g.words)
+	for i := 0; i < v; i++ {
+		p[i/64] |= 1 << uint(i%64)
+	}
+	var rec func(r, p, x []uint64) bool
+	rec = func(r, p, x []uint64) bool {
+		if isEmpty(p) && isEmpty(x) {
+			clique := setBits(r)
+			if len(clique) >= minSize {
+				out = append(out, Clique{Vertices: clique, Cube: g.MergedCube(clique)})
+				if max > 0 && len(out) >= max {
+					return true
+				}
+			}
+			return false
+		}
+		// Pivot: vertex in P∪X with most neighbours in P.
+		pivot, best := -1, -1
+		forEachSetBit(p, func(u int) {
+			if d := countAnd(p, g.adj[u]); d > best {
+				best, pivot = d, u
+			}
+		})
+		forEachSetBit(x, func(u int) {
+			if d := countAnd(p, g.adj[u]); d > best {
+				best, pivot = d, u
+			}
+		})
+		ext := make([]uint64, g.words)
+		copy(ext, p)
+		if pivot >= 0 {
+			for i := range ext {
+				ext[i] &^= g.adj[pivot][i]
+			}
+		}
+		stop := false
+		forEachSetBit(ext, func(u int) {
+			if stop {
+				return
+			}
+			r2 := cloneBits(r)
+			r2[u/64] |= 1 << uint(u%64)
+			p2 := andBits(p, g.adj[u])
+			x2 := andBits(x, g.adj[u])
+			if rec(r2, p2, x2) {
+				stop = true
+				return
+			}
+			p[u/64] &^= 1 << uint(u%64)
+			x[u/64] |= 1 << uint(u%64)
+		})
+		return stop
+	}
+	rec(r, p, x)
+	return out
+}
+
+// --- bitset helpers ---
+
+func andInto(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+func andBits(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		out[i] = a[i] & b[i]
+	}
+	return out
+}
+
+func cloneBits(a []uint64) []uint64 { return append([]uint64(nil), a...) }
+
+func isEmpty(a []uint64) bool {
+	for _, w := range a {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func countAnd(a, b []uint64) int {
+	c := 0
+	for i := range a {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
+func setBits(a []uint64) []int {
+	var out []int
+	forEachSetBit(a, func(i int) { out = append(out, i) })
+	return out
+}
+
+func forEachSetBit(a []uint64, f func(int)) {
+	for w, word := range a {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			f(w*64 + b)
+			word &= word - 1
+		}
+	}
+}
+
+// randomSetBit picks a uniformly random set bit.
+func randomSetBit(a []uint64, rng *rand.Rand) (int, bool) {
+	total := 0
+	for _, w := range a {
+		total += bits.OnesCount64(w)
+	}
+	if total == 0 {
+		return 0, false
+	}
+	k := rng.Intn(total)
+	for w, word := range a {
+		c := bits.OnesCount64(word)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; ; k-- {
+			b := bits.TrailingZeros64(word)
+			if k == 0 {
+				return w*64 + b, true
+			}
+			word &= word - 1
+		}
+	}
+	return 0, false
+}
+
+func cliqueKey(c []int) string {
+	b := make([]byte, 0, len(c)*3)
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(b)
+}
+
+// SortByStealth orders cliques stealthiest-first. The primary key is
+// the merged cube's care-bit count (descending): a trigger whose
+// activation condition pins many independent inputs is exponentially
+// harder to hit, whereas a low naive probability product can hide a
+// single correlated cone that rare-node-aware test generation (MERO)
+// co-fires immediately. Ties break toward larger cliques, then toward
+// lower probability product.
+func (g *Graph) SortByStealth(cliques []Clique) {
+	logProb := func(c Clique) float64 {
+		sum := 0.0
+		for _, v := range c.Vertices {
+			p := g.Nodes[v].Prob
+			if p <= 0 {
+				p = 0.5 / float64(g.NumVertices()+1) // unseen in simulation: very rare
+			}
+			sum += math.Log(p)
+		}
+		return sum
+	}
+	sort.SliceStable(cliques, func(a, b int) bool {
+		ca, cb := cliques[a].Cube.CareCount(), cliques[b].Cube.CareCount()
+		if ca != cb {
+			return ca > cb
+		}
+		if la, lb := len(cliques[a].Vertices), len(cliques[b].Vertices); la != lb {
+			return la > lb
+		}
+		return logProb(cliques[a]) < logProb(cliques[b])
+	})
+}
+
+// Validate cross-checks a clique: every vertex pair must be adjacent and
+// the merged cube must be conflict-free. Used by tests and the htgen
+// -check flag.
+func (g *Graph) Validate(c Clique) error {
+	for i := 0; i < len(c.Vertices); i++ {
+		for j := i + 1; j < len(c.Vertices); j++ {
+			if !g.Compatible(c.Vertices[i], c.Vertices[j]) {
+				return fmt.Errorf("compat: vertices %d and %d not adjacent",
+					c.Vertices[i], c.Vertices[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package compat
+
+import (
+	"runtime"
+	"sync"
+
+	"cghti/internal/atpg"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// buildCubesParallel runs PODEM justification for the candidates over a
+// worker pool. Results are identical to the serial path for any worker
+// count: cubes are collected in candidate (rarity) order, and the
+// MaxNodes cutoff is the index of the MaxNodes-th success in that order,
+// exactly as the serial loop would have stopped.
+func (g *Graph) buildCubesParallel(n *netlist.Netlist, candidates []rare.Node, cfg BuildConfig, workers int) error {
+	type outcome struct {
+		cube atpg.Cube
+		ok   bool
+	}
+	results := make([]outcome, len(candidates))
+
+	// Process in batches so a MaxNodes cutoff does not pay for the whole
+	// candidate list.
+	batch := workers * 32
+	if cfg.MaxNodes <= 0 {
+		batch = len(candidates)
+	}
+	if batch == 0 {
+		return nil
+	}
+
+	var initErr error
+	var initOnce sync.Once
+	processed := 0
+	for processed < len(candidates) {
+		hi := processed + batch
+		if hi > len(candidates) {
+			hi = len(candidates)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int, hi-processed)
+		for i := processed; i < hi; i++ {
+			next <- i
+		}
+		close(next)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eng, err := atpg.NewEngine(n)
+				if err != nil {
+					initOnce.Do(func() { initErr = err })
+					return
+				}
+				if cfg.MaxBacktracks > 0 {
+					eng.MaxBacktracks = cfg.MaxBacktracks
+				}
+				for i := range next {
+					node := candidates[i]
+					cube, res := eng.Justify(node.ID, node.RareValue)
+					results[i] = outcome{cube: cube, ok: res == atpg.Success}
+				}
+			}()
+		}
+		wg.Wait()
+		if initErr != nil {
+			return initErr
+		}
+		processed = hi
+		if cfg.MaxNodes > 0 {
+			successes := 0
+			for i := 0; i < processed; i++ {
+				if results[i].ok {
+					successes++
+				}
+			}
+			if successes >= cfg.MaxNodes {
+				break
+			}
+		}
+	}
+
+	// Collect in candidate order up to the cutoff the serial loop would
+	// have used.
+	for i := 0; i < processed; i++ {
+		if cfg.MaxNodes > 0 && len(g.Nodes) >= cfg.MaxNodes {
+			break
+		}
+		if !results[i].ok {
+			g.Dropped++
+			continue
+		}
+		g.Nodes = append(g.Nodes, candidates[i])
+		g.Cubes = append(g.Cubes, results[i].cube)
+	}
+	return nil
+}
+
+// DefaultWorkers reports the worker count used when BuildConfig.Workers
+// is zero.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,93 @@
+package detect
+
+import (
+	"testing"
+
+	"cghti/internal/compat"
+	"cghti/internal/gen"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+	"cghti/internal/trojan"
+)
+
+func TestCOTDCleanCircuitUnflagged(t *testing.T) {
+	for _, name := range []string{"c432", "c880", "s344"} {
+		n := gen.MustBenchmark(name)
+		rep, err := COTD(n, COTDConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Flagged {
+			t.Errorf("%s: clean circuit flagged (%d suspicious nets, threshold %.0f)",
+				name, len(rep.Suspicious), rep.Threshold)
+		}
+	}
+}
+
+func TestCOTDFlagsLargeTrigger(t *testing.T) {
+	// Build a CG trojan with a large clique; its trigger tree sums
+	// dozens of already-extreme controllabilities and must stand out.
+	n := gen.MustBenchmark("c880")
+	rs, err := rare.Extract(n, rare.Config{Vectors: 3000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := compat.Build(n, rs, compat.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliques := g.FindCliques(compat.MineConfig{MinSize: 10, MaxCliques: 20, Seed: 4})
+	if len(cliques) == 0 {
+		t.Skip("no big clique on this seed")
+	}
+	g.SortByStealth(cliques)
+	infected, inst, err := trojan.InsertInstance(n, cliques[0].Nodes(g), cliques[0].Cube, 0, trojan.InsertSpec{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := COTD(infected, COTDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Flagged {
+		t.Fatalf("COTD missed a q=%d trigger tree (threshold %.0f)",
+			len(cliques[0].Vertices), rep.Threshold)
+	}
+	// The top suspicious net should be part of the trojan.
+	added := map[string]bool{}
+	for _, name := range inst.AddedGates {
+		added[name] = true
+	}
+	hit := false
+	for _, id := range rep.Suspicious {
+		if added[infected.Gates[id].Name] {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		t.Error("no trojan gate among the suspicious nets")
+	}
+}
+
+func TestCOTDEmptyishCircuit(t *testing.T) {
+	n := netlist.New("tiny")
+	a := n.MustAddGate("a", netlist.Input)
+	y := n.MustAddGate("y", netlist.Buf)
+	n.Connect(a, y)
+	n.MarkPO(y)
+	rep, err := COTD(n, COTDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Flagged {
+		t.Fatal("buffer flagged")
+	}
+}
+
+func TestCOTDDefaults(t *testing.T) {
+	c := COTDConfig{}.withDefaults()
+	if c.PercentileRef != 99 || c.Mult != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

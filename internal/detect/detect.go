@@ -1,0 +1,186 @@
+// Package detect implements the three logic-testing HT detection schemes
+// the paper evaluates against (Section IV-B) — random patterns, MERO
+// (Chakraborty et al., CHES 2009) and ND-ATPG (Jayasena & Mishra, IEEE
+// TCAD 2023) — plus the Trigger Coverage / Detection Coverage evaluator
+// that produces Table II.
+package detect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cghti/internal/netlist"
+	"cghti/internal/sim"
+)
+
+// TestSet is an ordered list of fully specified test vectors over a
+// circuit's combinational inputs (CombInputs order).
+type TestSet struct {
+	// Inputs is the coordinate system (golden netlist CombInputs).
+	Inputs []netlist.GateID
+	// Vectors holds one bool per input per vector.
+	Vectors [][]bool
+}
+
+// Len returns the number of vectors.
+func (ts *TestSet) Len() int { return len(ts.Vectors) }
+
+// Add appends a vector (copied).
+func (ts *TestSet) Add(v []bool) {
+	ts.Vectors = append(ts.Vectors, append([]bool(nil), v...))
+}
+
+// RandomTestSet draws count uniform vectors — the paper's "Random"
+// detection scheme.
+func RandomTestSet(n *netlist.Netlist, count int, seed int64) *TestSet {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := n.CombInputs()
+	ts := &TestSet{Inputs: inputs}
+	for i := 0; i < count; i++ {
+		v := make([]bool, len(inputs))
+		for j := range v {
+			v[j] = rng.Intn(2) == 1
+		}
+		ts.Vectors = append(ts.Vectors, v)
+	}
+	return ts
+}
+
+// Target couples a golden netlist with one HT-infected netlist for
+// evaluation. TriggerOut/Activation identify the trigger condition so
+// Trigger Coverage can be measured exactly.
+type Target struct {
+	Golden   *netlist.Netlist
+	Infected *netlist.Netlist
+	// TriggerOut is the trigger net in Infected.
+	TriggerOut netlist.GateID
+	// Activation is the TriggerOut value that fires the payload.
+	Activation uint8
+}
+
+// Outcome reports one target against one test set.
+type Outcome struct {
+	// Triggered: some vector drove TriggerOut to Activation (the paper's
+	// TC event).
+	Triggered bool
+	// Detected: some vector produced an output difference between golden
+	// and infected (the paper's DC event). Detected implies the payload
+	// fired and propagated.
+	Detected bool
+	// FirstTrigger / FirstDetect are vector indices (-1 if never).
+	FirstTrigger, FirstDetect int
+}
+
+// Evaluate simulates the test set on both circuits (64-wide
+// bit-parallel) and reports trigger/detection coverage. Outputs are
+// compared positionally over the golden circuit's combinational outputs
+// (primary outputs plus scan captures), which is how logic-testing
+// detection compares a suspect chip against its golden model.
+func Evaluate(tgt Target, ts *TestSet) (Outcome, error) {
+	out := Outcome{FirstTrigger: -1, FirstDetect: -1}
+	if len(ts.Vectors) == 0 {
+		return out, nil
+	}
+	const words = 8 // 512 vectors per batch
+	gp, err := sim.NewPacked(tgt.Golden, words)
+	if err != nil {
+		return out, err
+	}
+	ip, err := sim.NewPacked(tgt.Infected, words)
+	if err != nil {
+		return out, err
+	}
+	goldenOuts := tgt.Golden.CombOutputs()
+	infectedOuts := tgt.Infected.CombOutputs()
+	nOuts := len(goldenOuts)
+	if len(infectedOuts) < nOuts {
+		return out, fmt.Errorf("detect: infected netlist has fewer outputs than golden")
+	}
+
+	batch := gp.Patterns()
+	for base := 0; base < len(ts.Vectors); base += batch {
+		count := len(ts.Vectors) - base
+		if count > batch {
+			count = batch
+		}
+		for j, id := range ts.Inputs {
+			for p := 0; p < count; p++ {
+				v := ts.Vectors[base+p][j]
+				gp.SetBit(id, p, v)
+				// Infected shares IDs with golden for all original gates.
+				ip.SetBit(id, p, v)
+			}
+		}
+		gp.Run()
+		ip.Run()
+
+		if !out.Triggered {
+			for p := 0; p < count; p++ {
+				bit := ip.Bit(tgt.TriggerOut, p)
+				if (bit && tgt.Activation == 1) || (!bit && tgt.Activation == 0) {
+					out.Triggered = true
+					out.FirstTrigger = base + p
+					break
+				}
+			}
+		}
+		if !out.Detected {
+		scan:
+			for k := 0; k < nOuts; k++ {
+				g, i := goldenOuts[k], infectedOuts[k]
+				for w := 0; w < words; w++ {
+					diff := gp.Word(g, w) ^ ip.Word(i, w)
+					if diff == 0 {
+						continue
+					}
+					for p := w * 64; p < count; p++ {
+						if gp.Bit(g, p) != ip.Bit(i, p) {
+							out.Detected = true
+							out.FirstDetect = base + p
+							break scan
+						}
+					}
+				}
+			}
+		}
+		if out.Triggered && out.Detected {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Coverage aggregates outcomes over a set of infected netlists, as a
+// percentage of netlists (the unit Table II reports).
+type Coverage struct {
+	Netlists  int
+	Triggered int
+	Detected  int
+}
+
+// Accumulate folds one outcome in.
+func (c *Coverage) Accumulate(o Outcome) {
+	c.Netlists++
+	if o.Triggered {
+		c.Triggered++
+	}
+	if o.Detected {
+		c.Detected++
+	}
+}
+
+// TCPercent returns trigger coverage as a percentage.
+func (c Coverage) TCPercent() float64 {
+	if c.Netlists == 0 {
+		return 0
+	}
+	return 100 * float64(c.Triggered) / float64(c.Netlists)
+}
+
+// DCPercent returns detection coverage as a percentage.
+func (c Coverage) DCPercent() float64 {
+	if c.Netlists == 0 {
+		return 0
+	}
+	return 100 * float64(c.Detected) / float64(c.Netlists)
+}

@@ -1,0 +1,183 @@
+package detect
+
+import (
+	"math/rand"
+	"sort"
+
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+	"cghti/internal/sim"
+)
+
+// MEROConfig parameterizes the MERO test generation algorithm
+// (Chakraborty, Wolff, Paul, Papachristou, Bhunia — CHES 2009).
+type MEROConfig struct {
+	// N is the target number of times each rare node must be driven to
+	// its rare value (the paper's N-detect parameter; MERO used 1000).
+	N int
+	// RandomVectors is the size of the initial random vector pool
+	// (MERO's paper used 100k; scale down for small circuits).
+	RandomVectors int
+	// Seed drives vector generation.
+	Seed int64
+}
+
+func (c MEROConfig) withDefaults() MEROConfig {
+	if c.N <= 0 {
+		c.N = 1000
+	}
+	if c.RandomVectors <= 0 {
+		c.RandomVectors = 100000
+	}
+	return c
+}
+
+// MERO implements the CHES'09 algorithm:
+//
+//  1. draw a pool of random vectors and sort it by how many rare nodes
+//     each vector drives to its rare value (descending);
+//  2. for each vector, flip one input bit at a time, keeping a flip only
+//     if it increases the number of rare nodes at their rare values
+//     (event-driven simulation makes each flip cheap);
+//  3. keep the mutated vector in the compact set if it improves the
+//     cumulative N-times excitation profile; stop once every rare node
+//     has been excited N times.
+//
+// The returned set is the compact MERO test set.
+func MERO(n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inputs := n.CombInputs()
+	nodes := rs.All()
+	ts := &TestSet{Inputs: inputs}
+	if len(nodes) == 0 {
+		return ts, nil
+	}
+
+	ev, err := sim.NewEvent(n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rare-hit bookkeeping is incremental: after each Propagate only the
+	// changed gates are re-examined, which turns the per-bit-flip cost
+	// from O(#rare nodes) into O(#changed gates). The full rescan is
+	// only needed when a whole new vector is applied.
+	rareVal := make(map[netlist.GateID]uint8, len(nodes))
+	for _, node := range nodes {
+		rareVal[node.ID] = node.RareValue
+	}
+	atRare := make(map[netlist.GateID]bool, len(nodes))
+	hits := 0
+	rescanHits := func() {
+		hits = 0
+		for _, node := range nodes {
+			at := ev.Val(node.ID) == node.RareValue
+			atRare[node.ID] = at
+			if at {
+				hits++
+			}
+		}
+	}
+	updateHits := func() {
+		for _, id := range ev.Changed() {
+			rv, ok := rareVal[id]
+			if !ok {
+				continue
+			}
+			now := ev.Val(id) == rv
+			if now != atRare[id] {
+				atRare[id] = now
+				if now {
+					hits++
+				} else {
+					hits--
+				}
+			}
+		}
+	}
+	apply := func(v []bool) {
+		for i, id := range inputs {
+			var b uint8
+			if v[i] {
+				b = 1
+			}
+			ev.SetInput(id, b)
+		}
+		ev.Propagate()
+		updateHits()
+	}
+
+	// Phase 1: random pool, scored.
+	type scored struct {
+		v    []bool
+		hits int
+	}
+	pool := make([]scored, cfg.RandomVectors)
+	for i := range pool {
+		v := make([]bool, len(inputs))
+		for j := range v {
+			v[j] = rng.Intn(2) == 1
+		}
+		apply(v)
+		rescanHits()
+		pool[i] = scored{v: v, hits: hits}
+	}
+	sort.SliceStable(pool, func(a, b int) bool { return pool[a].hits > pool[b].hits })
+
+	// Phase 2+3: mutate and accumulate.
+	counts := make(map[netlist.GateID]int, len(nodes))
+	satisfied := 0
+	need := len(nodes)
+	done := func() bool { return satisfied >= need }
+
+	for _, cand := range pool {
+		if done() {
+			break
+		}
+		v := cand.v
+		apply(v)
+		rescanHits()
+		best := hits
+		// Per-bit greedy mutation (incremental hit updates per flip).
+		for j, id := range inputs {
+			var b uint8
+			if !v[j] {
+				b = 1
+			}
+			ev.SetInput(id, b)
+			ev.Propagate()
+			updateHits()
+			if hits > best {
+				best = hits
+				v[j] = !v[j]
+			} else {
+				ev.SetInput(id, b^1)
+				ev.Propagate()
+				updateHits()
+			}
+		}
+		// Does the mutated vector improve the cumulative profile?
+		apply(v)
+		improves := false
+		for _, node := range nodes {
+			if ev.Val(node.ID) == node.RareValue && counts[node.ID] < cfg.N {
+				improves = true
+				break
+			}
+		}
+		if !improves {
+			continue
+		}
+		for _, node := range nodes {
+			if ev.Val(node.ID) == node.RareValue {
+				counts[node.ID]++
+				if counts[node.ID] == cfg.N {
+					satisfied++
+				}
+			}
+		}
+		ts.Add(v)
+	}
+	return ts, nil
+}

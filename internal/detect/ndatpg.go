@@ -1,0 +1,90 @@
+package detect
+
+import (
+	"math/rand"
+
+	"cghti/internal/atpg"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// NDATPGConfig parameterizes the ND-ATPG scheme (Jayasena & Mishra,
+// "Scalable Detection of Hardware Trojans Using ATPG-Based Activation of
+// Rare Events", IEEE TCAD 2023).
+type NDATPGConfig struct {
+	// N is the number of test vectors generated per rare event (the
+	// N-detect principle; the scheme's quality/time knob).
+	N int
+	// MaxBacktracks bounds each PODEM run.
+	MaxBacktracks int
+	// Seed drives the random completion of don't-care bits.
+	Seed int64
+}
+
+func (c NDATPGConfig) withDefaults() NDATPGConfig {
+	if c.N <= 0 {
+		c.N = 5
+	}
+	return c
+}
+
+// NDATPG converts every rare event (rare node n at rare value r) into
+// the stuck-at-¬r fault at n, runs ATPG to obtain a detecting cube, and
+// emits N distinct vectors per event by re-filling the cube's don't-care
+// bits. Events whose fault is redundant fall back to pure excitation
+// (justification); unexcitable events are skipped.
+func NDATPG(n *netlist.Netlist, rs *rare.Set, cfg NDATPGConfig) (*TestSet, error) {
+	cfg = cfg.withDefaults()
+	eng, err := atpg.NewEngine(n)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxBacktracks > 0 {
+		eng.MaxBacktracks = cfg.MaxBacktracks
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ts := &TestSet{Inputs: eng.InputIDs()}
+	seen := make(map[string]bool)
+
+	for _, node := range rs.All() {
+		cube, res := eng.Detect(node.ID, node.RareValue^1)
+		if res != atpg.Success {
+			// Redundant or aborted propagation: excitation alone still
+			// drives the rare event, which is what trojan triggering
+			// needs.
+			cube, res = eng.Justify(node.ID, node.RareValue)
+			if res != atpg.Success {
+				continue
+			}
+		}
+		// Emit N distinct completions of the cube. A completion already
+		// in the set (shared with another rare event) still counts
+		// toward this event's N — the vector excites it either way.
+		// Narrow cubes may have fewer than N completions; emit what
+		// exists.
+		eventSeen := make(map[string]bool, cfg.N)
+		for attempt := 0; attempt < 8*cfg.N && len(eventSeen) < cfg.N; attempt++ {
+			v := cube.Fill(rng)
+			key := vecKey(v)
+			if eventSeen[key] {
+				continue
+			}
+			eventSeen[key] = true
+			if !seen[key] {
+				seen[key] = true
+				ts.Add(v)
+			}
+		}
+	}
+	return ts, nil
+}
+
+func vecKey(v []bool) string {
+	b := make([]byte, (len(v)+7)/8)
+	for i, bit := range v {
+		if bit {
+			b[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,301 @@
+// Package equiv is a combinational equivalence checker built on the
+// repository's own ATPG engine: it constructs a miter (XOR of matched
+// outputs, OR-reduced to a single net) over two netlists and asks PODEM
+// to justify miter=1. A Success cube is a counterexample; Untestable is
+// a proof of equivalence — exact, not sampled.
+//
+// Uses in this repository:
+//
+//   - proving that the optimization passes in internal/opt preserve
+//     functionality (exact, complements their randomized tests);
+//   - proving the trojan stealth property formally: an HT-infected
+//     netlist with the trigger forced idle is equivalent to its golden
+//     netlist (Check with a constraint on the trigger net);
+//   - disproving equivalence of the armed circuit (the returned
+//     counterexample is an activating vector).
+package equiv
+
+import (
+	"fmt"
+
+	"cghti/internal/atpg"
+	"cghti/internal/netlist"
+	"cghti/internal/opt"
+	"cghti/internal/sim"
+)
+
+// Verdict is the outcome of an equivalence check.
+type Verdict int
+
+const (
+	// Equivalent: proven equal on all inputs (subject to constraints).
+	Equivalent Verdict = iota
+	// Different: a counterexample vector was found.
+	Different
+	// Unknown: the ATPG search aborted within its backtrack budget.
+	Unknown
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Equivalent:
+		return "equivalent"
+	case Different:
+		return "different"
+	case Unknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// Result carries the verdict and, for Different, a counterexample over
+// the shared combinational inputs (golden CombInputs order).
+type Result struct {
+	Verdict Verdict
+	// Counterexample is a full input vector on which some matched
+	// output differs (nil unless Different).
+	Counterexample []bool
+	// DiffOutput names the first differing output (empty unless
+	// Different).
+	DiffOutput string
+}
+
+// Options configures the check.
+type Options struct {
+	// MaxBacktracks bounds the PODEM proof (default 200,000 — an
+	// equivalence proof is a single hard query, so the budget is much
+	// larger than per-rare-node justification).
+	MaxBacktracks int
+	// Constraints force named nets of netlist B to fixed values during
+	// the check — e.g. {"ht0_trig4": 0} proves dormant equivalence of an
+	// infected netlist. Nets are constrained by value injection in the
+	// miter construction (the net's fanouts see the constant).
+	Constraints map[string]uint8
+	// MatchInputsByPosition pairs the two circuits' combinational inputs
+	// by position instead of by name — for netlists whose tools renamed
+	// nets (e.g. a Verilog round trip). Input counts must then match.
+	MatchInputsByPosition bool
+}
+
+// Check proves or refutes equivalence of a and b. The two netlists must
+// have identical primary-input name sets and identical PO counts
+// (matched positionally, as Clone-derived netlists are) — DFFs are
+// treated as free pseudo-inputs and must match by name too.
+func Check(a, b *netlist.Netlist, opts Options) (Result, error) {
+	miter, inputs, err := buildMiter(a, b, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	// Structural reduction first (the front end of every real CEC
+	// engine): shared logic between the two sides dedups away, per-PO
+	// XOR(x, x) comparisons cancel to constants, and what remains is
+	// only the real functional difference for PODEM to decide.
+	miter, _, err = opt.Simplify(miter)
+	if err != nil {
+		return Result{}, err
+	}
+	out, ok := miter.Lookup(miterOutName)
+	if !ok {
+		return Result{}, fmt.Errorf("equiv: miter output lost in reduction")
+	}
+	switch miter.Gates[out].Type {
+	case netlist.Const0:
+		return Result{Verdict: Equivalent}, nil
+	case netlist.Const1:
+		// Constantly different; any vector is a counterexample. Fall
+		// through to the simulation below with an empty cube.
+	}
+	eng, err := atpg.NewEngine(miter)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.MaxBacktracks > 0 {
+		eng.MaxBacktracks = opts.MaxBacktracks
+	} else {
+		eng.MaxBacktracks = 200000
+	}
+	cube, res := eng.Justify(out, 1)
+	switch res {
+	case atpg.Untestable:
+		return Result{Verdict: Equivalent}, nil
+	case atpg.Abort:
+		return Result{Verdict: Unknown}, nil
+	}
+	// Counterexample: fill the cube deterministically (X bits -> 0) and
+	// identify the differing output by simulation.
+	vec := make([]bool, len(inputs))
+	in := map[netlist.GateID]uint8{}
+	for i, id := range eng.InputIDs() {
+		v := cube.Get(i)
+		bit := v == sim.V3One
+		in[id] = 0
+		if bit {
+			in[id] = 1
+		}
+		_ = id
+		vec[i] = bit
+	}
+	vals, err := sim.Eval(miter, in)
+	if err != nil {
+		return Result{}, err
+	}
+	diff := ""
+	for i := range a.POs {
+		x, ok := miter.Lookup(fmt.Sprintf("xor_po_%d", i))
+		if !ok {
+			continue // comparison reduced away (that PO pair is equal)
+		}
+		if vals[x] == 1 {
+			diff = a.Gates[a.POs[i]].Name
+			break
+		}
+	}
+	return Result{Verdict: Different, Counterexample: vec, DiffOutput: diff}, nil
+}
+
+const miterOutName = "miter_out"
+
+// buildMiter constructs a single netlist containing both circuits
+// (gates prefixed A_/B_), shared primary inputs, per-PO XORs and an OR
+// reduction. DFFs are lifted to ordinary shared inputs (full-scan
+// equivalence). Constrained nets of B are replaced by constants.
+func buildMiter(a, b *netlist.Netlist, opts Options) (*netlist.Netlist, []string, error) {
+	constraints := opts.Constraints
+	if len(a.POs) != len(b.POs) {
+		return nil, nil, fmt.Errorf("equiv: PO counts differ (%d vs %d)", len(a.POs), len(b.POs))
+	}
+	m := netlist.New("miter_" + a.Name)
+
+	// Shared inputs. By name (default): union of both circuits'
+	// combinational inputs, so one-sided extra state (e.g. a time-bomb
+	// counter) becomes a free input. By position: pairwise zip, for
+	// tool-renamed netlists.
+	var inputNames []string
+	inputKey := func(src *netlist.Netlist, pos int, name string) string {
+		if opts.MatchInputsByPosition {
+			return fmt.Sprintf("pos%d", pos)
+		}
+		return name
+	}
+	if opts.MatchInputsByPosition && len(a.CombInputs()) != len(b.CombInputs()) {
+		return nil, nil, fmt.Errorf("equiv: input counts differ (%d vs %d) under positional matching",
+			len(a.CombInputs()), len(b.CombInputs()))
+	}
+	seen := map[string]bool{}
+	for _, src := range []*netlist.Netlist{a, b} {
+		for pos, id := range src.CombInputs() {
+			key := inputKey(src, pos, src.Gates[id].Name)
+			if !seen[key] {
+				seen[key] = true
+				inputNames = append(inputNames, key)
+			}
+		}
+	}
+	for _, name := range inputNames {
+		if _, err := m.AddGate("in_"+name, netlist.Input); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// inputPosOf maps a gate ID to its CombInputs position per side.
+	posOf := map[*netlist.Netlist]map[netlist.GateID]int{}
+	for _, src := range []*netlist.Netlist{a, b} {
+		mp := map[netlist.GateID]int{}
+		for pos, id := range src.CombInputs() {
+			mp[id] = pos
+		}
+		posOf[src] = mp
+	}
+
+	copyCircuit := func(src *netlist.Netlist, prefix string, constrained map[string]uint8) error {
+		topo, err := src.TopoOrder()
+		if err != nil {
+			return err
+		}
+		// Declare gates.
+		for _, id := range topo {
+			g := &src.Gates[id]
+			switch g.Type {
+			case netlist.Input, netlist.DFF:
+				continue // mapped to shared inputs
+			}
+			if v, ok := constrained[g.Name]; ok {
+				t := netlist.Const0
+				if v == 1 {
+					t = netlist.Const1
+				}
+				if _, err := m.AddGate(prefix+g.Name, t); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := m.AddGate(prefix+g.Name, g.Type); err != nil {
+				return err
+			}
+		}
+		// Connect.
+		resolve := func(id netlist.GateID) netlist.GateID {
+			g := &src.Gates[id]
+			if g.Type == netlist.Input || g.Type == netlist.DFF {
+				return m.MustLookup("in_" + inputKey(src, posOf[src][id], g.Name))
+			}
+			return m.MustLookup(prefix + g.Name)
+		}
+		for _, id := range topo {
+			g := &src.Gates[id]
+			switch g.Type {
+			case netlist.Input, netlist.DFF:
+				continue
+			}
+			if _, ok := constrained[g.Name]; ok {
+				continue // constants take no fanin
+			}
+			dst := m.MustLookup(prefix + g.Name)
+			for _, f := range g.Fanin {
+				m.Connect(resolve(f), dst)
+			}
+		}
+		return nil
+	}
+	if err := copyCircuit(a, "A_", nil); err != nil {
+		return nil, nil, err
+	}
+	if err := copyCircuit(b, "B_", constraints); err != nil {
+		return nil, nil, err
+	}
+
+	// Per-PO XORs and the OR reduction.
+	resolvePO := func(src *netlist.Netlist, prefix string, id netlist.GateID) netlist.GateID {
+		g := &src.Gates[id]
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			return m.MustLookup("in_" + inputKey(src, posOf[src][id], g.Name))
+		}
+		return m.MustLookup(prefix + g.Name)
+	}
+	var xors []netlist.GateID
+	for i := range a.POs {
+		x, err := m.AddGate(fmt.Sprintf("xor_po_%d", i), netlist.Xor)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Connect(resolvePO(a, "A_", a.POs[i]), x)
+		m.Connect(resolvePO(b, "B_", b.POs[i]), x)
+		xors = append(xors, x)
+	}
+	out, err := m.AddGate(miterOutName, netlist.Or)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(xors) == 0 {
+		return nil, nil, fmt.Errorf("equiv: no outputs to compare")
+	}
+	for _, x := range xors {
+		m.Connect(x, out)
+	}
+	m.MarkPO(out)
+	if err := m.Levelize(); err != nil {
+		return nil, nil, err
+	}
+	return m, inputNames, nil
+}

@@ -1,0 +1,223 @@
+package equiv
+
+import (
+	"testing"
+
+	"cghti/internal/bench"
+	"cghti/internal/compat"
+	"cghti/internal/gen"
+	"cghti/internal/netlist"
+	"cghti/internal/opt"
+	"cghti/internal/rare"
+	"cghti/internal/sim"
+	"cghti/internal/trojan"
+)
+
+func TestIdenticalCircuitsEquivalent(t *testing.T) {
+	a := gen.C17()
+	b := a.Clone()
+	res, err := Check(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("verdict = %v, want equivalent", res.Verdict)
+	}
+}
+
+func TestFunctionallyEquivalentDifferentStructure(t *testing.T) {
+	// De Morgan: NAND(a,b) == OR(NOT a, NOT b).
+	a, err := bench.ParseString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+`, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.ParseString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+na = NOT(a)
+nb = NOT(b)
+y = OR(na, nb)
+`, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("De Morgan pair judged %v", res.Verdict)
+	}
+}
+
+func TestDifferentCircuitsCounterexample(t *testing.T) {
+	a, _ := bench.ParseString("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "a")
+	b, _ := bench.ParseString("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", "b")
+	res, err := Check(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Different {
+		t.Fatalf("verdict = %v, want different", res.Verdict)
+	}
+	if res.DiffOutput != "y" {
+		t.Fatalf("diff output = %q, want y", res.DiffOutput)
+	}
+	// Verify the counterexample by direct simulation.
+	in := map[netlist.GateID]uint8{}
+	for i, id := range a.CombInputs() {
+		if res.Counterexample[i] {
+			in[id] = 1
+		} else {
+			in[id] = 0
+		}
+	}
+	va, _ := sim.Eval(a, in)
+	vb, _ := sim.Eval(b, in)
+	if va[a.POs[0]] == vb[b.POs[0]] {
+		t.Fatal("counterexample does not distinguish the circuits")
+	}
+}
+
+// TestOptPassesProvedEquivalent upgrades the opt package's sampled
+// equivalence tests to proofs.
+func TestOptPassesProvedEquivalent(t *testing.T) {
+	orig := gen.MustBenchmark("c432")
+	for _, pass := range []struct {
+		name string
+		run  func(*netlist.Netlist) (*netlist.Netlist, opt.Result, error)
+	}{
+		{"sweep", func(n *netlist.Netlist) (*netlist.Netlist, opt.Result, error) { return opt.Sweep(n.Clone()) }},
+		{"constprop", opt.ConstProp},
+		{"dedup", opt.Dedup},
+	} {
+		out, _, err := pass.run(orig)
+		if err != nil {
+			t.Fatalf("%s: %v", pass.name, err)
+		}
+		res, err := Check(orig, out, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", pass.name, err)
+		}
+		if res.Verdict != Equivalent {
+			t.Fatalf("%s: verdict %v (counterexample %v at %s)",
+				pass.name, res.Verdict, res.Counterexample, res.DiffOutput)
+		}
+	}
+}
+
+// trojanFixture builds golden + infected circuits.
+func trojanFixture(t *testing.T) (*netlist.Netlist, *netlist.Netlist, *trojan.Instance) {
+	t.Helper()
+	n := gen.MustBenchmark("c432")
+	rs, err := rare.Extract(n, rare.Config{Vectors: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := compat.Build(n, rs, compat.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliques := g.FindCliques(compat.MineConfig{MinSize: 6, MaxCliques: 5, Seed: 2})
+	if len(cliques) == 0 {
+		t.Skip("no clique")
+	}
+	infected, inst, err := trojan.InsertInstance(n, cliques[0].Nodes(g), cliques[0].Cube, 0, trojan.InsertSpec{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, infected, inst
+}
+
+// TestTrojanCounterexampleIsActivation: the equivalence checker used as
+// a trojan detector — the counterexample it returns is an activating
+// vector for the trigger.
+func TestTrojanCounterexampleIsActivation(t *testing.T) {
+	golden, infected, inst := trojanFixture(t)
+	res, err := Check(golden, infected, Options{MaxBacktracks: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch res.Verdict {
+	case Different:
+		in := map[netlist.GateID]uint8{}
+		for i, id := range golden.CombInputs() {
+			if res.Counterexample[i] {
+				in[id] = 1
+			} else {
+				in[id] = 0
+			}
+		}
+		iv, err := sim.Eval(infected, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv[infected.MustLookup(inst.TriggerOut)] != 1 {
+			t.Fatal("counterexample does not fire the trigger")
+		}
+	case Unknown:
+		t.Skip("proof aborted within budget — acceptable for a deep trigger")
+	default:
+		t.Fatalf("infected judged %v", res.Verdict)
+	}
+}
+
+// TestDormantEquivalenceProof: with the trigger net constrained to 0,
+// the infected netlist is PROVEN equivalent to the golden one — the
+// stealth property as a theorem instead of a sampling argument.
+func TestDormantEquivalenceProof(t *testing.T) {
+	golden, infected, inst := trojanFixture(t)
+	res, err := Check(golden, infected, Options{
+		Constraints: map[string]uint8{inst.TriggerOut: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("dormant trojan judged %v (diff at %s)", res.Verdict, res.DiffOutput)
+	}
+}
+
+func TestPOCountMismatch(t *testing.T) {
+	a, _ := bench.ParseString("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "a")
+	b, _ := bench.ParseString("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\ny = NOT(a)\nz = BUFF(a)\n", "b")
+	if _, err := Check(a, b, Options{}); err == nil {
+		t.Fatal("PO mismatch accepted")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Equivalent.String() != "equivalent" || Different.String() != "different" || Unknown.String() != "unknown" {
+		t.Fatal("Verdict.String broken")
+	}
+}
+
+func TestSequentialFullScanEquivalence(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = XOR(a, q)
+`
+	a, err := bench.ParseString(src, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.ParseString(src, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Equivalent {
+		t.Fatalf("identical sequential circuits judged %v", res.Verdict)
+	}
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation section (Section IV). Each experiment has a generator that
+// returns structured data (consumed by the root benchmark suite and by
+// tests) and a printer that renders the same rows/series the paper
+// reports (consumed by cmd/htbench).
+//
+// Two scales are supported: the default "quick" scale finishes in
+// minutes on a laptop; Options.Full switches to the paper's parameters
+// (10,000 rare-node vectors, 100 instances per circuit, MERO N=1000,
+// 100k random detection patterns).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"cghti/internal/gen"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// Options selects experiment scale and scope.
+type Options struct {
+	// Circuits to run on; nil = the paper's eight.
+	Circuits []string
+	// Full switches to paper-scale parameters.
+	Full bool
+	// Seed drives every random choice.
+	Seed int64
+	// Out receives the printed table (nil = suppress printing).
+	Out io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Circuits) == 0 {
+		o.Circuits = gen.PaperCircuits()
+	}
+	return o
+}
+
+// scale returns quick when !Full, else full.
+func (o Options) scale(quick, full int) int {
+	if o.Full {
+		return full
+	}
+	return quick
+}
+
+// loadCircuit resolves a circuit name through the generator catalog.
+func loadCircuit(name string) (*netlist.Netlist, error) {
+	return gen.Benchmark(name)
+}
+
+// capRareSet keeps only the rarest max nodes (preserving the RN1/RN0
+// split). Detection schemes and cube generation on the biggest
+// sequential circuits are capped this way at quick scale; the paper's
+// own tooling applies the same kind of cap through its rareness
+// threshold.
+func capRareSet(rs *rare.Set, max int) *rare.Set {
+	if max <= 0 || rs.Len() <= max {
+		return rs
+	}
+	all := rs.All()
+	sort.Slice(all, func(a, b int) bool { return all[a].Prob < all[b].Prob })
+	all = all[:max]
+	capped := &rare.Set{
+		Vectors:    rs.Vectors,
+		Threshold:  rs.Threshold,
+		TotalNodes: rs.TotalNodes,
+		Ones:       rs.Ones,
+	}
+	for _, n := range all {
+		if n.RareValue == 1 {
+			capped.RN1 = append(capped.RN1, n)
+		} else {
+			capped.RN0 = append(capped.RN0, n)
+		}
+	}
+	return capped
+}
+
+// tabw builds a tabwriter over the options' output (or a discard writer).
+func tabw(o Options) (*tabwriter.Writer, bool) {
+	if o.Out == nil {
+		return nil, false
+	}
+	return tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0), true
+}
+
+func header(o Options, format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// quick limits experiments tests to two small circuits.
+func quick(seed int64) Options {
+	return Options{Circuits: []string{"c432", "s298"}, Seed: seed}
+}
+
+func TestFig2(t *testing.T) {
+	res, err := Fig2(quick(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Thresholds) != 5 {
+		t.Fatalf("shape: %d rows, %d thresholds", len(res.Rows), len(res.Thresholds))
+	}
+	for _, row := range res.Rows {
+		if len(row.Counts) != 5 {
+			t.Fatalf("%s has %d counts", row.Circuit, len(row.Counts))
+		}
+		// Monotone non-decreasing with threshold (Figure 2's trend).
+		for i := 1; i < len(row.Counts); i++ {
+			if row.Counts[i] < row.Counts[i-1] {
+				t.Fatalf("%s: counts not monotone: %v", row.Circuit, row.Counts)
+			}
+		}
+		if row.TotalNodes <= 0 {
+			t.Fatalf("%s: no nodes", row.Circuit)
+		}
+	}
+	// Average rare share grows with threshold.
+	for i := 1; i < len(res.AvgPercent); i++ {
+		if res.AvgPercent[i] < res.AvgPercent[i-1] {
+			t.Fatalf("avg%% not monotone: %v", res.AvgPercent)
+		}
+	}
+}
+
+func TestFig2Print(t *testing.T) {
+	var sb strings.Builder
+	o := quick(1)
+	o.Out = &sb
+	if _, err := Fig2(o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 2", "c432", "θ=20%", "avg % rare"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	res, err := Fig3(quick(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Counts) != len(res.VectorCounts) {
+			t.Fatalf("%s: %d counts for %d budgets", row.Circuit, len(row.Counts), len(res.VectorCounts))
+		}
+		// The paper's convergence claim: the curve is flat at the tail.
+		if !row.Converged(0.10) {
+			t.Errorf("%s: not converged: %v", row.Circuit, row.Counts)
+		}
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table2 in -short mode")
+	}
+	var sb strings.Builder
+	// Use circuits with enough combinational inputs that stealth is
+	// physically possible (s298's 17 inputs make every trigger condition
+	// enumerable by 5000 random vectors).
+	o := Options{Circuits: []string{"c432", "c880"}, Seed: 3, Out: &sb}
+	res, err := Table2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proposed netlists exist for every circuit.
+	for _, c := range res.Circuits {
+		if res.Generated[FamilyProposed][c] == 0 {
+			t.Errorf("no proposed instances for %s", c)
+		}
+		if res.Generated[FamilyRandom][c] == 0 {
+			t.Errorf("no random instances for %s", c)
+		}
+	}
+	// The headline shape: the proposed family evades random-pattern
+	// testing at least as well as the easily-triggered Trust-Hub family.
+	propTC := res.CoveragePercent(FamilyProposed, SchemeRandom, false)
+	thTC := res.CoveragePercent(FamilyTrustHub, SchemeRandom, false)
+	if res.CoveragePercent(FamilyTrustHub, SchemeRandom, false) > 0 && propTC > thTC {
+		t.Errorf("proposed TC %.1f%% not below Trust-Hub TC %.1f%%", propTC, thTC)
+	}
+	// DC never exceeds TC in any cell.
+	for _, f := range res.Families {
+		for _, s := range res.Schemes {
+			for _, c := range res.Circuits {
+				cov := res.Cov[f][s][c]
+				if cov.Detected > cov.Triggered {
+					t.Errorf("%s/%s/%s: DC %d > TC %d", f, s, c, cov.Detected, cov.Triggered)
+				}
+			}
+		}
+	}
+	if !strings.Contains(sb.String(), "Table II") {
+		t.Error("printout missing header")
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table3 in -short mode")
+	}
+	o := quick(4)
+	res, err := Table3(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Instances == 0 {
+			t.Errorf("%s: proposed framework emitted no instances", row.Circuit)
+		}
+		if row.ProposedTime <= 0 || row.RandomTime <= 0 {
+			t.Errorf("%s: missing timings: %+v", row.Circuit, row)
+		}
+		// The paper's core claim — proposed is much faster per instance
+		// than the random baseline (which mostly burns its validation
+		// budget).
+		if s := row.SpeedupVsRandom(); s < 1 {
+			t.Errorf("%s: proposed not faster than random baseline (%.2fx)", row.Circuit, s)
+		}
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table4 in -short mode")
+	}
+	res, err := Table4(quick(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Subgraphs == 0 {
+			t.Errorf("%s: no complete subgraphs", row.Circuit)
+		}
+		if row.Vertices == 0 || row.RareNodes < row.Vertices {
+			t.Errorf("%s: vertex bookkeeping off: %+v", row.Circuit, row)
+		}
+		if row.GenerateTime <= 0 {
+			t.Errorf("%s: no generation time", row.Circuit)
+		}
+		if row.MaxSize < row.MinSize {
+			t.Errorf("%s: size range inverted", row.Circuit)
+		}
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table5 in -short mode")
+	}
+	res, err := Table5(quick(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.OverheadPct <= 0 || row.OverheadPct > 60 {
+			t.Errorf("%s: overhead %.2f%% implausible", row.Circuit, row.OverheadPct)
+		}
+		if row.TriggerNodes < 2 {
+			t.Errorf("%s: trigger nodes = %d", row.Circuit, row.TriggerNodes)
+		}
+	}
+	// Table V trend: the bigger circuit has the smaller relative
+	// overhead when trigger sizes are comparable. Only assert when the
+	// trigger is not dramatically larger on the bigger circuit.
+	small, big := res.Rows[0], res.Rows[1]
+	if small.Circuit != "c432" {
+		small, big = big, small
+	}
+	if big.TriggerNodes <= 2*small.TriggerNodes && big.OverheadPct > 2*small.OverheadPct {
+		t.Errorf("overhead did not shrink with circuit size: %+v vs %+v", small, big)
+	}
+}
+
+func TestCapRareSet(t *testing.T) {
+	rs := &rare.Set{}
+	for i := 0; i < 10; i++ {
+		node := rare.Node{ID: netlist.GateID(i), RareValue: uint8(i % 2), Prob: float64(i) / 100}
+		if node.RareValue == 1 {
+			rs.RN1 = append(rs.RN1, node)
+		} else {
+			rs.RN0 = append(rs.RN0, node)
+		}
+	}
+	capped := capRareSet(rs, 4)
+	if capped.Len() != 4 {
+		t.Fatalf("capped to %d, want 4", capped.Len())
+	}
+	// Keeps the rarest (lowest prob) nodes.
+	for _, n := range capped.All() {
+		if n.Prob > 0.03 {
+			t.Fatalf("kept node with prob %v", n.Prob)
+		}
+	}
+	// No-op cases.
+	if got := capRareSet(rs, 0); got != rs {
+		t.Fatal("cap 0 should be a no-op")
+	}
+	if got := capRareSet(rs, 100); got != rs {
+		t.Fatal("cap above size should be a no-op")
+	}
+}

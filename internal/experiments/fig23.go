@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cghti/internal/rare"
+)
+
+// Fig2Row is one circuit's series in Figure 2 (#rare nodes vs θ_RN).
+type Fig2Row struct {
+	Circuit    string
+	TotalNodes int
+	// Counts[i] is the rare-node count at Thresholds[i].
+	Counts []int
+}
+
+// Fig2Result is the Figure 2 dataset.
+type Fig2Result struct {
+	Thresholds []float64
+	Rows       []Fig2Row
+	// AvgPercent[i] is the average share of nodes marked rare at
+	// Thresholds[i] (the paper quotes 6.35/11.63/16.88/24.19/38.12%).
+	AvgPercent []float64
+	Elapsed    time.Duration
+}
+
+// Fig2 sweeps the rareness threshold θ_RN ∈ {5,10,15,20,30}% and counts
+// rare nodes per circuit. One simulation per circuit is shared across
+// thresholds (only the cutoff changes), exactly as the figure's data
+// demands.
+func Fig2(o Options) (*Fig2Result, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	res := &Fig2Result{Thresholds: []float64{0.05, 0.10, 0.15, 0.20, 0.30}}
+	vectors := o.scale(2000, rare.DefaultVectors)
+
+	for _, name := range o.Circuits {
+		n, err := loadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		// Extract once at the largest threshold; re-threshold downward.
+		base, err := rare.Extract(n, rare.Config{Vectors: vectors, Threshold: 0.30, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig2Row{Circuit: name, TotalNodes: base.TotalNodes}
+		for _, th := range res.Thresholds {
+			s := rare.Rethreshold(n, base, th)
+			row.Counts = append(row.Counts, s.Len())
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgPercent = make([]float64, len(res.Thresholds))
+	for i := range res.Thresholds {
+		sum := 0.0
+		for _, row := range res.Rows {
+			sum += 100 * float64(row.Counts[i]) / float64(row.TotalNodes)
+		}
+		res.AvgPercent[i] = sum / float64(len(res.Rows))
+	}
+	res.Elapsed = time.Since(start)
+
+	if w, ok := tabw(o); ok {
+		header(o, "Figure 2: number of rare nodes vs rareness threshold (|V|=%d)\n", vectors)
+		fmt.Fprint(w, "circuit\tnodes")
+		for _, th := range res.Thresholds {
+			fmt.Fprintf(w, "\tθ=%.0f%%", th*100)
+		}
+		fmt.Fprintln(w)
+		for _, row := range res.Rows {
+			fmt.Fprintf(w, "%s\t%d", row.Circuit, row.TotalNodes)
+			for _, c := range row.Counts {
+				fmt.Fprintf(w, "\t%d", c)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprint(w, "avg % rare\t")
+		for _, p := range res.AvgPercent {
+			fmt.Fprintf(w, "\t%.2f%%", p)
+		}
+		fmt.Fprintln(w)
+		w.Flush()
+	}
+	return res, nil
+}
+
+// Fig3Row is one circuit's series in Figure 3 (#rare nodes vs |V|).
+type Fig3Row struct {
+	Circuit string
+	Counts  []int
+}
+
+// Fig3Result is the Figure 3 dataset.
+type Fig3Result struct {
+	VectorCounts []int
+	Rows         []Fig3Row
+	Elapsed      time.Duration
+}
+
+// Fig3 sweeps the random vector budget at θ_RN = 20% and shows the
+// rare-node count stabilizing (the paper picks |V| = 10,000 because the
+// curve is flat from there on).
+func Fig3(o Options) (*Fig3Result, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	res := &Fig3Result{}
+	if o.Full {
+		res.VectorCounts = []int{1000, 2000, 5000, 10000, 15000, 20000}
+	} else {
+		res.VectorCounts = []int{250, 500, 1000, 2000, 4000, 8000}
+	}
+	for _, name := range o.Circuits {
+		n, err := loadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig3Row{Circuit: name}
+		for _, v := range res.VectorCounts {
+			s, err := rare.Extract(n, rare.Config{Vectors: v, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+			if err != nil {
+				return nil, err
+			}
+			row.Counts = append(row.Counts, s.Len())
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Elapsed = time.Since(start)
+
+	if w, ok := tabw(o); ok {
+		header(o, "Figure 3: number of rare nodes vs |V| (θ_RN=20%%)\n")
+		fmt.Fprint(w, "circuit")
+		for _, v := range res.VectorCounts {
+			fmt.Fprintf(w, "\t|V|=%d", v)
+		}
+		fmt.Fprintln(w)
+		for _, row := range res.Rows {
+			fmt.Fprint(w, row.Circuit)
+			for _, c := range row.Counts {
+				fmt.Fprintf(w, "\t%d", c)
+			}
+			fmt.Fprintln(w)
+		}
+		w.Flush()
+	}
+	return res, nil
+}
+
+// Converged reports whether a Figure 3 row's final two samples agree
+// within tol (fraction); used by tests to assert the paper's
+// "stable from 10k vectors" observation.
+func (r Fig3Row) Converged(tol float64) bool {
+	k := len(r.Counts)
+	if k < 2 {
+		return false
+	}
+	a, b := float64(r.Counts[k-2]), float64(r.Counts[k-1])
+	if a == 0 && b == 0 {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	max := a
+	if b > max {
+		max = b
+	}
+	return diff/max <= tol
+}

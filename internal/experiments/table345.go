@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cghti"
+	"cghti/internal/area"
+	"cghti/internal/baselines"
+	"cghti/internal/compat"
+	"cghti/internal/rare"
+	"cghti/internal/trojan"
+)
+
+// Table3Row is one circuit's insertion-time comparison.
+type Table3Row struct {
+	Circuit string
+
+	// Random baseline: measured time and success count for the attempted
+	// insertions (q ∈ [10,20], simulation-validated).
+	RandomTime      time.Duration
+	RandomAttempted int
+	RandomSucceeded int
+
+	// RL baseline: measured time and success count.
+	RLTime      time.Duration
+	RLAttempted int
+	RLSucceeded int
+
+	// Proposed framework: time to generate Instances trojans and the
+	// trigger-node range of the emitted instances.
+	ProposedTime time.Duration
+	ProposedQMin int
+	ProposedQMax int
+	Instances    int
+}
+
+// Table3Result is the insertion-time dataset.
+type Table3Result struct {
+	Rows    []Table3Row
+	Elapsed time.Duration
+}
+
+// SpeedupVsRandom returns the per-instance speedup of the proposed
+// framework over the random baseline on this row (0 when either side has
+// no data). Failed baseline attempts still count as spent time —
+// exactly the cost the paper's Table III charges.
+func (r Table3Row) SpeedupVsRandom() float64 {
+	if r.ProposedTime <= 0 || r.Instances == 0 || r.RandomAttempted == 0 {
+		return 0
+	}
+	perProposed := float64(r.ProposedTime) / float64(r.Instances)
+	perRandom := float64(r.RandomTime) / float64(max(r.RandomSucceeded, 1))
+	return perRandom / perProposed
+}
+
+// SpeedupVsRL is the analogous RL comparison.
+func (r Table3Row) SpeedupVsRL() float64 {
+	if r.ProposedTime <= 0 || r.Instances == 0 || r.RLAttempted == 0 {
+		return 0
+	}
+	perProposed := float64(r.ProposedTime) / float64(r.Instances)
+	perRL := float64(r.RLTime) / float64(max(r.RLSucceeded, 1))
+	return perRL / perProposed
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table3 measures trojan insertion time for the Random, RL and proposed
+// frameworks on each circuit.
+func Table3(o Options) (*Table3Result, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	res := &Table3Result{}
+
+	instances := o.scale(10, 100)
+	rareVectors := o.scale(2000, rare.DefaultVectors)
+	rareCap := o.scale(500, 1500)
+	randomAttempts := o.scale(2, 10)
+	randomBudget := o.scale(40000, 400000)
+	rlAttempts := o.scale(1, 5)
+	proposedQ := o.scale(8, 25)
+	maxBT := o.scale(600, 4000)
+
+	for _, name := range o.Circuits {
+		n, err := loadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Circuit: name}
+
+		// Random baseline: each attempt draws subsets of q ∈ [10,20] and
+		// pays for validation whether or not it succeeds.
+		t0 := time.Now()
+		for i := 0; i < randomAttempts; i++ {
+			q := 10 + int(o.Seed+int64(i))%11
+			if q > rs.Len() {
+				q = rs.Len()
+			}
+			row.RandomAttempted++
+			_, err := baselines.RandomInsert(n, rs, baselines.RandomConfig{
+				Q: q, ValidationVectors: randomBudget, MaxSubsets: 4, Seed: o.Seed + int64(i),
+			})
+			if err == nil {
+				row.RandomSucceeded++
+			} else if !isValidation(err) {
+				return nil, err
+			}
+		}
+		row.RandomTime = time.Since(t0)
+
+		// RL baseline.
+		t1 := time.Now()
+		for i := 0; i < rlAttempts; i++ {
+			row.RLAttempted++
+			_, err := baselines.RLInsert(n, rs, baselines.RLConfig{
+				Q: 5, Episodes: o.scale(50, 400), RewardVectors: 2048,
+				Candidates: 48, Seed: o.Seed + 50 + int64(i),
+			})
+			if err == nil {
+				row.RLSucceeded++
+			} else if !isValidation(err) {
+				return nil, err
+			}
+		}
+		row.RLTime = time.Since(t1)
+
+		// Proposed framework.
+		t2 := time.Now()
+		gen, err := cghti.Generate(n, cghti.Config{
+			RareVectors:     rareVectors,
+			MinTriggerNodes: proposedQ,
+			Instances:       instances,
+			MaxBacktracks:   maxBT,
+			MaxRareNodes:    rareCap,
+			Seed:            o.Seed,
+		})
+		if err != nil {
+			// Retry with the largest cliques available.
+			gen, err = cghti.Generate(n, cghti.Config{
+				RareVectors:   rareVectors,
+				Instances:     instances,
+				MaxBacktracks: maxBT,
+				MaxRareNodes:  rareCap,
+				Seed:          o.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s: %w", name, err)
+			}
+		}
+		row.ProposedTime = time.Since(t2)
+		row.Instances = len(gen.Benchmarks)
+		row.ProposedQMin, row.ProposedQMax = gen.TriggerRange()
+		res.Rows = append(res.Rows, row)
+	}
+	res.Elapsed = time.Since(start)
+	printTable3(o, res)
+	return res, nil
+}
+
+func printTable3(o Options, res *Table3Result) {
+	w, ok := tabw(o)
+	if !ok {
+		return
+	}
+	header(o, "Table III: trojan insertion time comparison\n")
+	fmt.Fprintln(w, "circuit\trandom time\t(ok/try)\tRL time\t(ok/try)\tproposed time\tq range\tinstances\tspeedup vs random\tspeedup vs RL")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%v\t%d/%d\t%v\t%d/%d\t%v\t%d-%d\t%d\t%.1fx\t%.1fx\n",
+			r.Circuit,
+			r.RandomTime.Round(time.Millisecond), r.RandomSucceeded, r.RandomAttempted,
+			r.RLTime.Round(time.Millisecond), r.RLSucceeded, r.RLAttempted,
+			r.ProposedTime.Round(time.Millisecond), r.ProposedQMin, r.ProposedQMax,
+			r.Instances, r.SpeedupVsRandom(), r.SpeedupVsRL())
+	}
+	w.Flush()
+}
+
+// Table4Row is one circuit's complete-subgraph statistics.
+type Table4Row struct {
+	Circuit      string
+	RareNodes    int
+	Vertices     int // rare nodes that received a PODEM cube
+	Edges        int
+	Subgraphs    int
+	MinSize      int
+	MaxSize      int
+	GenerateTime time.Duration // cube + edge + mining time
+}
+
+// Table4Result is the scalability dataset.
+type Table4Result struct {
+	Rows    []Table4Row
+	Elapsed time.Duration
+}
+
+// Table4 builds the compatibility graph per circuit and mines as many
+// complete subgraphs as the scale allows, reporting counts and
+// generation time.
+func Table4(o Options) (*Table4Result, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	res := &Table4Result{}
+	rareVectors := o.scale(2000, rare.DefaultVectors)
+	rareCap := o.scale(500, 1500)
+	maxCliques := o.scale(500, 20000)
+	minSize := o.scale(4, 10)
+	maxBT := o.scale(600, 4000)
+
+	for _, name := range o.Circuits {
+		n, err := loadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		capped := capRareSet(rs, rareCap)
+		t0 := time.Now()
+		g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT})
+		if err != nil {
+			return nil, err
+		}
+		cliques := g.FindCliques(compat.MineConfig{MinSize: minSize, MaxCliques: maxCliques, Seed: o.Seed})
+		if len(cliques) == 0 {
+			cliques = g.FindCliques(compat.MineConfig{MinSize: 2, MaxCliques: maxCliques, Seed: o.Seed + 1})
+		}
+		elapsed := time.Since(t0)
+		row := Table4Row{
+			Circuit:      name,
+			RareNodes:    rs.Len(),
+			Vertices:     g.NumVertices(),
+			Edges:        g.NumEdges(),
+			Subgraphs:    len(cliques),
+			GenerateTime: elapsed,
+		}
+		for i, c := range cliques {
+			sz := len(c.Vertices)
+			if i == 0 || sz < row.MinSize {
+				row.MinSize = sz
+			}
+			if sz > row.MaxSize {
+				row.MaxSize = sz
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Elapsed = time.Since(start)
+
+	if w, ok := tabw(o); ok {
+		header(o, "Table IV: number of complete subgraphs and generation time\n")
+		fmt.Fprintln(w, "circuit\trare nodes\tvertices\tedges\tsubgraphs\tsize range\tgeneration time")
+		for _, r := range res.Rows {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d-%d\t%v\n",
+				r.Circuit, r.RareNodes, r.Vertices, r.Edges, r.Subgraphs,
+				r.MinSize, r.MaxSize, r.GenerateTime.Round(time.Millisecond))
+		}
+		w.Flush()
+	}
+	return res, nil
+}
+
+// Table5Row is one circuit's worst-case area overhead.
+type Table5Row struct {
+	Circuit      string
+	TriggerNodes int
+	OverheadPct  float64
+}
+
+// Table5Result is the area-overhead dataset.
+type Table5Result struct {
+	Rows    []Table5Row
+	Elapsed time.Duration
+}
+
+// Table5 inserts the largest-clique trojan per circuit (worst case, as
+// the paper does) and reports the NanGate-45-like area overhead.
+func Table5(o Options) (*Table5Result, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	res := &Table5Result{}
+	lib := area.NanGate45()
+	rareVectors := o.scale(2000, rare.DefaultVectors)
+	rareCap := o.scale(500, 1500)
+	maxBT := o.scale(600, 4000)
+
+	for _, name := range o.Circuits {
+		n, err := loadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		capped := capRareSet(rs, rareCap)
+		g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT})
+		if err != nil {
+			return nil, err
+		}
+		cliques := g.FindCliques(compat.MineConfig{MinSize: 2, MaxCliques: o.scale(100, 1000), Seed: o.Seed})
+		if len(cliques) == 0 {
+			return nil, fmt.Errorf("table5 %s: no cliques", name)
+		}
+		best := cliques[0]
+		for _, c := range cliques[1:] {
+			if len(c.Vertices) > len(best.Vertices) {
+				best = c
+			}
+		}
+		infected, _, err := trojan.InsertInstance(n, best.Nodes(g), best.Cube, 0, trojan.InsertSpec{Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		pct, err := lib.Overhead(n, infected)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table5Row{
+			Circuit:      name,
+			TriggerNodes: len(best.Vertices),
+			OverheadPct:  pct,
+		})
+	}
+	res.Elapsed = time.Since(start)
+
+	if w, ok := tabw(o); ok {
+		header(o, "Table V: worst-case area overhead of generated trojans\n")
+		fmt.Fprintln(w, "circuit\ttrigger nodes\tarea overhead %")
+		for _, r := range res.Rows {
+			fmt.Fprintf(w, "%s\t%d\t%.2f\n", r.Circuit, r.TriggerNodes, r.OverheadPct)
+		}
+		w.Flush()
+	}
+	return res, nil
+}

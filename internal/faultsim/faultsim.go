@@ -1,0 +1,304 @@
+// Package faultsim provides stuck-at fault simulation: fault-list
+// construction, parallel-pattern single-fault simulation, and fault
+// coverage of a test set.
+//
+// It rounds out the ATPG substrate the paper's tooling sits on: MERO's
+// original formulation and the ND-ATPG scheme both reason in terms of
+// stuck-at fault detection, and fault coverage is the standard metric
+// for judging the quality of the test sets the detection schemes emit.
+// cmd/htdetect exposes it through -faultcov.
+package faultsim
+
+import (
+	"fmt"
+
+	"cghti/internal/netlist"
+)
+
+// Fault is a single stuck-at fault on a gate output net.
+type Fault struct {
+	// Site is the gate whose output net is faulty.
+	Site netlist.GateID
+	// StuckAt is the faulty value (0 or 1).
+	StuckAt uint8
+}
+
+// String renders "net s-a-v".
+func (f Fault) String() string { return fmt.Sprintf("gate %d s-a-%d", f.Site, f.StuckAt) }
+
+// FullFaultList returns both stuck-at faults for every net that can
+// carry one (all gates except constants; PIs and DFF outputs included —
+// their nets are observable circuit nodes).
+func FullFaultList(n *netlist.Netlist) []Fault {
+	out := make([]Fault, 0, 2*len(n.Gates))
+	for i := range n.Gates {
+		switch n.Gates[i].Type {
+		case netlist.Const0, netlist.Const1:
+			continue
+		}
+		out = append(out, Fault{Site: netlist.GateID(i), StuckAt: 0})
+		out = append(out, Fault{Site: netlist.GateID(i), StuckAt: 1})
+	}
+	return out
+}
+
+// Simulator runs parallel-pattern single-fault propagation: for each
+// fault, the good value image is reused and only the fault's downstream
+// cone is re-evaluated with the fault injected, 64 patterns at a time.
+type Simulator struct {
+	n     *netlist.Netlist
+	topo  []netlist.GateID
+	outs  []netlist.GateID
+	words int
+
+	good  []uint64 // good-circuit image
+	bad   []uint64 // per-fault scratch image
+	inTFO []bool   // scratch: fault's transitive fanout
+}
+
+// NewSimulator builds a fault simulator with the given pattern-word
+// count (64 patterns per word).
+func NewSimulator(n *netlist.Netlist, words int) (*Simulator, error) {
+	if words < 1 {
+		return nil, fmt.Errorf("faultsim: words must be >= 1")
+	}
+	topo, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		n:     n,
+		topo:  topo,
+		outs:  n.CombOutputs(),
+		words: words,
+		good:  make([]uint64, len(n.Gates)*words),
+		bad:   make([]uint64, len(n.Gates)*words),
+		inTFO: make([]bool, len(n.Gates)),
+	}, nil
+}
+
+// Patterns returns the number of patterns per batch.
+func (s *Simulator) Patterns() int { return 64 * s.words }
+
+// SetInputs loads up to Patterns() vectors (each one bool per
+// combinational input, CombInputs order) and simulates the good
+// circuit. It returns the number of patterns loaded.
+func (s *Simulator) SetInputs(vectors [][]bool) int {
+	inputs := s.n.CombInputs()
+	count := len(vectors)
+	if count > s.Patterns() {
+		count = s.Patterns()
+	}
+	for j, id := range inputs {
+		base := int(id) * s.words
+		for w := 0; w < s.words; w++ {
+			s.good[base+w] = 0
+		}
+		for p := 0; p < count; p++ {
+			if vectors[p][j] {
+				s.good[base+p/64] |= 1 << uint(p%64)
+			}
+		}
+	}
+	s.evalGood()
+	return count
+}
+
+func (s *Simulator) evalGood() {
+	evalImage(s.n, s.topo, s.words, s.good, nil)
+}
+
+// DetectMask simulates one fault against the currently loaded patterns
+// and returns a bitmask word list: bit p set means pattern p detects the
+// fault (some combinational output differs from the good circuit).
+func (s *Simulator) DetectMask(f Fault) []uint64 {
+	n := s.n
+	W := s.words
+
+	// Mark the fault's transitive fanout; only those gates need
+	// re-evaluation, everything else keeps its good value.
+	for i := range s.inTFO {
+		s.inTFO[i] = false
+	}
+	stack := []netlist.GateID{f.Site}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.inTFO[id] {
+			continue
+		}
+		s.inTFO[id] = true
+		for _, o := range n.Gates[id].Fanout {
+			if n.Gates[o].Type == netlist.DFF {
+				continue
+			}
+			stack = append(stack, o)
+		}
+	}
+
+	// Faulty image: copy good values for fanin reads; re-evaluate the
+	// cone with the fault forced.
+	copy(s.bad, s.good)
+	var fill uint64
+	if f.StuckAt == 1 {
+		fill = ^uint64(0)
+	}
+	base := int(f.Site) * W
+	for w := 0; w < W; w++ {
+		s.bad[base+w] = fill
+	}
+	evalImage(n, s.topo, W, s.bad, func(id netlist.GateID) bool {
+		return s.inTFO[id] && id != f.Site
+	})
+
+	mask := make([]uint64, W)
+	for _, out := range s.outs {
+		ob := int(out) * W
+		for w := 0; w < W; w++ {
+			mask[w] |= s.good[ob+w] ^ s.bad[ob+w]
+		}
+	}
+	return mask
+}
+
+// evalImage evaluates gates in topological order into vals. If filter is
+// non-nil, only gates for which it returns true are re-evaluated (their
+// fanins read whatever vals already holds).
+func evalImage(n *netlist.Netlist, topo []netlist.GateID, W int, vals []uint64, filter func(netlist.GateID) bool) {
+	for _, id := range topo {
+		if filter != nil && !filter(id) {
+			continue
+		}
+		g := &n.Gates[id]
+		base := int(id) * W
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			// state, already loaded
+		case netlist.Const0:
+			for w := 0; w < W; w++ {
+				vals[base+w] = 0
+			}
+		case netlist.Const1:
+			for w := 0; w < W; w++ {
+				vals[base+w] = ^uint64(0)
+			}
+		case netlist.Buf:
+			src := int(g.Fanin[0]) * W
+			copy(vals[base:base+W], vals[src:src+W])
+		case netlist.Not:
+			src := int(g.Fanin[0]) * W
+			for w := 0; w < W; w++ {
+				vals[base+w] = ^vals[src+w]
+			}
+		case netlist.And, netlist.Nand:
+			for w := 0; w < W; w++ {
+				acc := ^uint64(0)
+				for _, f := range g.Fanin {
+					acc &= vals[int(f)*W+w]
+				}
+				if g.Type == netlist.Nand {
+					acc = ^acc
+				}
+				vals[base+w] = acc
+			}
+		case netlist.Or, netlist.Nor:
+			for w := 0; w < W; w++ {
+				var acc uint64
+				for _, f := range g.Fanin {
+					acc |= vals[int(f)*W+w]
+				}
+				if g.Type == netlist.Nor {
+					acc = ^acc
+				}
+				vals[base+w] = acc
+			}
+		case netlist.Xor, netlist.Xnor:
+			for w := 0; w < W; w++ {
+				var acc uint64
+				for _, f := range g.Fanin {
+					acc ^= vals[int(f)*W+w]
+				}
+				if g.Type == netlist.Xnor {
+					acc = ^acc
+				}
+				vals[base+w] = acc
+			}
+		}
+	}
+}
+
+// Coverage is the result of a fault-coverage run.
+type Coverage struct {
+	// Total is the fault-list size.
+	Total int
+	// Detected counts faults some vector detected.
+	Detected int
+	// PerFault maps each detected fault to the index of the first
+	// detecting vector.
+	PerFault map[Fault]int
+}
+
+// Percent returns detected/total as a percentage.
+func (c Coverage) Percent() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Detected) / float64(c.Total)
+}
+
+// Run measures stuck-at fault coverage of the vectors over the fault
+// list (FullFaultList if faults is nil). Detected faults are dropped
+// from later batches (fault dropping), the standard speedup.
+func Run(n *netlist.Netlist, vectors [][]bool, faults []Fault) (Coverage, error) {
+	if faults == nil {
+		faults = FullFaultList(n)
+	}
+	cov := Coverage{Total: len(faults), PerFault: make(map[Fault]int)}
+	if len(vectors) == 0 || len(faults) == 0 {
+		return cov, nil
+	}
+	const words = 8
+	s, err := NewSimulator(n, words)
+	if err != nil {
+		return cov, err
+	}
+	remaining := append([]Fault(nil), faults...)
+	for base := 0; base < len(vectors) && len(remaining) > 0; base += s.Patterns() {
+		hi := base + s.Patterns()
+		if hi > len(vectors) {
+			hi = len(vectors)
+		}
+		count := s.SetInputs(vectors[base:hi])
+		alive := remaining[:0]
+		for _, f := range remaining {
+			mask := s.DetectMask(f)
+			first := firstSetBit(mask, count)
+			if first < 0 {
+				alive = append(alive, f)
+				continue
+			}
+			cov.Detected++
+			cov.PerFault[f] = base + first
+		}
+		remaining = alive
+	}
+	return cov, nil
+}
+
+func firstSetBit(mask []uint64, limit int) int {
+	for w, word := range mask {
+		if word == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			p := w*64 + b
+			if p >= limit {
+				return -1
+			}
+			if word&(1<<uint(b)) != 0 {
+				return p
+			}
+		}
+	}
+	return -1
+}

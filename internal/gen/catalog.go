@@ -1,0 +1,178 @@
+// Package gen produces the benchmark circuits the experiments run on.
+//
+// The paper evaluates on ISCAS85/ISCAS89 netlists. Those files are not
+// redistributable inside this offline workspace, so gen provides
+// structurally faithful stand-ins (see DESIGN.md, "Substitutions"):
+//
+//   - C17 and S27 are the exact published circuits (they are tiny and
+//     fully reproduced from their textbook descriptions);
+//   - c6288-class circuits are real n×n array multipliers (c6288 *is* a
+//     16×16 multiplier), built gate-for-gate in multiplier.go;
+//   - every other ISCAS name maps to a seeded pseudo-random
+//     cone-structured circuit matched to the published PI/PO/DFF/gate
+//     counts (random.go).
+//
+// All generators are deterministic: the same name always yields the same
+// circuit, so experiment tables are reproducible run to run.
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"cghti/internal/bench"
+	"cghti/internal/netlist"
+)
+
+// c17Bench is the exact ISCAS85 c17 netlist (6 NAND gates).
+const c17Bench = `
+# c17 (exact ISCAS85 circuit)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// s27Bench is the exact ISCAS89 s27 netlist (10 gates, 3 DFFs).
+const s27Bench = `
+# s27 (exact ISCAS89 circuit)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+`
+
+// C17 returns the exact ISCAS85 c17 circuit.
+func C17() *netlist.Netlist {
+	n, err := bench.ParseString(c17Bench, "c17")
+	if err != nil {
+		panic(err) // embedded text; cannot fail
+	}
+	return n
+}
+
+// S27 returns the exact ISCAS89 s27 circuit.
+func S27() *netlist.Netlist {
+	n, err := bench.ParseString(s27Bench, "s27")
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// profile describes the published shape of an ISCAS circuit.
+type profile struct {
+	pis, pos, dffs, gates int
+	mult                  int // if > 0, build a real mult×mult array multiplier instead
+}
+
+// catalog holds the published PI/PO/DFF/gate counts of the ISCAS
+// circuits the paper uses (plus a few smaller ones for tests/examples).
+var catalog = map[string]profile{
+	"c432":   {pis: 36, pos: 7, gates: 160},
+	"c880":   {pis: 60, pos: 26, gates: 383},
+	"c1355":  {pis: 41, pos: 32, gates: 546},
+	"c1908":  {pis: 33, pos: 25, gates: 880},
+	"c2670":  {pis: 233, pos: 140, gates: 1193},
+	"c3540":  {pis: 50, pos: 22, gates: 1669},
+	"c5315":  {pis: 178, pos: 123, gates: 2307},
+	"c6288":  {pis: 32, pos: 32, gates: 2416, mult: 16},
+	"c7552":  {pis: 207, pos: 108, gates: 3512},
+	"s298":   {pis: 3, pos: 6, dffs: 14, gates: 119},
+	"s344":   {pis: 9, pos: 11, dffs: 15, gates: 160},
+	"s1423":  {pis: 17, pos: 5, dffs: 74, gates: 657},
+	"s5378":  {pis: 35, pos: 49, dffs: 179, gates: 2779},
+	"s9234":  {pis: 36, pos: 39, dffs: 211, gates: 5597},
+	"s13207": {pis: 62, pos: 152, dffs: 638, gates: 7951},
+	"s15850": {pis: 77, pos: 150, dffs: 534, gates: 9772},
+	"s35932": {pis: 35, pos: 320, dffs: 1728, gates: 16065},
+}
+
+// Names returns every circuit name Benchmark accepts, sorted.
+func Names() []string {
+	names := []string{"c17", "s27"}
+	for k := range catalog {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaperCircuits returns the eight circuit names used in the paper's
+// evaluation (Tables II–V), in the paper's column order.
+func PaperCircuits() []string {
+	return []string{"c2670", "c3540", "c5315", "c6288", "s1423", "s13207", "s15850", "s35932"}
+}
+
+// Benchmark returns the circuit with the given ISCAS name. c17 and s27
+// are exact; c6288 is a real 16×16 array multiplier; all other names are
+// deterministic seeded stand-ins matched to the published shape.
+func Benchmark(name string) (*netlist.Netlist, error) {
+	switch name {
+	case "c17":
+		return C17(), nil
+	case "s27":
+		return S27(), nil
+	}
+	p, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown benchmark %q (have %v)", name, Names())
+	}
+	if p.mult > 0 {
+		m := Multiplier(p.mult)
+		m.Name = name
+		return m, nil
+	}
+	return Random(Spec{
+		Name:     name,
+		PIs:      p.pis,
+		POs:      p.pos,
+		DFFs:     p.dffs,
+		Gates:    p.gates,
+		MaxFanin: 4,
+		Seed:     seedFor(name),
+	})
+}
+
+// MustBenchmark is Benchmark that panics on error; for tests and benches
+// where the name is a compile-time constant.
+func MustBenchmark(name string) *netlist.Netlist {
+	n, err := Benchmark(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// seedFor derives a stable per-name seed (FNV-1a).
+func seedFor(name string) int64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}

@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"fmt"
+
+	"cghti/internal/netlist"
+)
+
+// Multiplier builds an n×n unsigned array multiplier (the c6288 circuit
+// class — c6288 is the ISCAS85 16×16 array multiplier). Partial products
+// are AND gates, reduced by a carry-save array of half and full adders
+// built from XOR/AND/OR primitives. The result has 2n primary inputs
+// (a0..a(n-1), b0..b(n-1)) and 2n primary outputs (p0..p(2n-1)).
+func Multiplier(n int) *netlist.Netlist {
+	if n < 2 {
+		panic("gen: Multiplier needs n >= 2")
+	}
+	nl := netlist.New(fmt.Sprintf("mult%dx%d", n, n))
+
+	a := make([]netlist.GateID, n)
+	b := make([]netlist.GateID, n)
+	for i := 0; i < n; i++ {
+		a[i] = nl.MustAddGate(fmt.Sprintf("a%d", i), netlist.Input)
+	}
+	for i := 0; i < n; i++ {
+		b[i] = nl.MustAddGate(fmt.Sprintf("b%d", i), netlist.Input)
+	}
+
+	gateN := 0
+	newGate := func(t netlist.GateType, fanin ...netlist.GateID) netlist.GateID {
+		id := nl.MustAddGate(fmt.Sprintf("m%d", gateN), t)
+		gateN++
+		for _, f := range fanin {
+			nl.Connect(f, id)
+		}
+		return id
+	}
+
+	// The real c6288 is built from NOR gates plus the AND partial-product
+	// plane, so the adder cells here use the classic NOR-only forms: the
+	// 4-NOR XNOR block, a 6-gate half adder and a 9-gate full adder.
+	// This lands the 16×16 instance within ~1.5% of c6288's published
+	// 2416-gate size and gives it the same NOR-dominant gate mix.
+	xnorNOR := func(x, y netlist.GateID) (xnor, norXY netlist.GateID) {
+		g1 := newGate(netlist.Nor, x, y)
+		g2 := newGate(netlist.Nor, x, g1)
+		g3 := newGate(netlist.Nor, y, g1)
+		return newGate(netlist.Nor, g2, g3), g1
+	}
+	// Half adder: sum = x^y = NOT(xnor), carry = x&y = NOR(nor(x,y), sum).
+	halfAdd := func(x, y netlist.GateID) (sum, carry netlist.GateID) {
+		xnor, g1 := xnorNOR(x, y)
+		sum = newGate(netlist.Not, xnor)
+		carry = newGate(netlist.Nor, g1, sum)
+		return sum, carry
+	}
+	// Full adder: sum = x^y^z via two chained XNOR blocks; carry =
+	// NOR(nor(x,y), (x^y)&~z) = (x|y)&((x==y)|z), the majority function.
+	fullAdd := func(x, y, z netlist.GateID) (sum, carry netlist.GateID) {
+		g4, g1 := xnorNOR(x, y) // g4 = x XNOR y
+		g5 := newGate(netlist.Nor, g4, z)
+		g6 := newGate(netlist.Nor, g4, g5)
+		g7 := newGate(netlist.Nor, z, g5)
+		sum = newGate(netlist.Nor, g6, g7) // XNOR(g4, z) = x^y^z
+		carry = newGate(netlist.Nor, g1, g5)
+		return sum, carry
+	}
+
+	// cols[k] holds the bits of weight 2^k awaiting reduction.
+	cols := make([][]netlist.GateID, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pp := newGate(netlist.And, a[i], b[j])
+			cols[i+j] = append(cols[i+j], pp)
+		}
+	}
+
+	// Ripple-style column reduction (classic array-multiplier shape).
+	product := make([]netlist.GateID, 2*n)
+	for k := 0; k < 2*n; k++ {
+		bits := cols[k]
+		for len(bits) > 1 {
+			if len(bits) == 2 {
+				s, c := halfAdd(bits[0], bits[1])
+				bits = []netlist.GateID{s}
+				if k+1 < 2*n {
+					cols[k+1] = append(cols[k+1], c)
+				}
+			} else {
+				s, c := fullAdd(bits[0], bits[1], bits[2])
+				bits = append([]netlist.GateID{s}, bits[3:]...)
+				if k+1 < 2*n {
+					cols[k+1] = append(cols[k+1], c)
+				}
+			}
+		}
+		var out netlist.GateID
+		if len(bits) == 1 {
+			out = bits[0]
+		} else {
+			out = nl.MustAddGate(fmt.Sprintf("zero%d", k), netlist.Const0)
+		}
+		// Buffer each product bit so the PO has a stable dedicated name.
+		po := nl.MustAddGate(fmt.Sprintf("p%d", k), netlist.Buf)
+		nl.Connect(out, po)
+		nl.MarkPO(po)
+		product[k] = po
+	}
+
+	if err := nl.Levelize(); err != nil {
+		panic(err) // construction is acyclic by design
+	}
+	return nl
+}

@@ -1,0 +1,176 @@
+package prob
+
+import (
+	"math"
+	"testing"
+
+	"cghti/internal/bench"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+func parse(t *testing.T, src string) *netlist.Netlist {
+	t.Helper()
+	n, err := bench.ParseString(src, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestTreeExact(t *testing.T) {
+	// A fanout-free tree: the independence assumption is exact.
+	n := parse(t, `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = OR(c, d)
+y = XOR(g1, g2)
+`)
+	p, err := Compute(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, want float64) {
+		t.Helper()
+		got := p[n.MustLookup(name)]
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(%s=1) = %v, want %v", name, got, want)
+		}
+	}
+	check("g1", 0.25)
+	check("g2", 0.75)
+	// XOR: 0.25·0.25 + 0.75·0.75 = 0.625 for p⊕q with p=.25,q=.75:
+	// p(1-q)+q(1-p) = .25*.25 + .75*.75 = 0.625.
+	check("y", 0.625)
+}
+
+func TestGateFormulas(t *testing.T) {
+	n := parse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(o1)
+OUTPUT(o2)
+OUTPUT(o3)
+OUTPUT(o4)
+OUTPUT(o5)
+OUTPUT(o6)
+o1 = NAND(a, b)
+o2 = NOR(a, b)
+o3 = XNOR(a, b)
+o4 = NOT(a)
+o5 = BUFF(a)
+one = CONST1()
+o6 = AND(a, one)
+`)
+	p, err := Compute(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"o1": 0.75, "o2": 0.25, "o3": 0.5, "o4": 0.5, "o5": 0.5, "o6": 0.5, "one": 1,
+	} {
+		if got := p[n.MustLookup(name)]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCustomInputProb(t *testing.T) {
+	n := parse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	p, err := Compute(n, Config{InputProb: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p[n.MustLookup("y")]; math.Abs(got-0.81) > 1e-12 {
+		t.Errorf("P(y) = %v, want 0.81", got)
+	}
+}
+
+func TestScreenRare(t *testing.T) {
+	n := parse(t, `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+OUTPUT(z)
+y = AND(a, b, c, d)
+z = NAND(a, b, c, d)
+`)
+	cands, err := ScreenRare(n, 0.1, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]uint8{}
+	for _, c := range cands {
+		found[n.Gates[c.ID].Name] = c.RareValue
+		if c.Prob > 0.1 {
+			t.Errorf("candidate %s with prob %v above threshold", n.Gates[c.ID].Name, c.Prob)
+		}
+	}
+	if v, ok := found["y"]; !ok || v != 1 {
+		t.Error("AND4 not screened rare-1")
+	}
+	if v, ok := found["z"]; !ok || v != 0 {
+		t.Error("NAND4 not screened rare-0")
+	}
+}
+
+// TestAgreesWithSimulationOnTrees: on fanout-free logic, the analytic
+// estimate matches simulation-based extraction within sampling noise.
+func TestAgreesWithSimulationOnTrees(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+INPUT(f)
+OUTPUT(y)
+g1 = AND(a, b, c)
+g2 = NOR(d, e)
+g3 = OR(g1, g2)
+y = AND(g3, f)
+`
+	n := parse(t, src)
+	p, err := Compute(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rare.Extract(n, rare.Config{Vectors: 20000, Threshold: 0.45, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range n.Gates {
+		if n.Gates[g].Type == netlist.Input {
+			continue
+		}
+		sim1 := float64(rs.Ones[g]) / 20000
+		if math.Abs(sim1-p[g]) > 0.02 {
+			t.Errorf("%s: analytic %v vs simulated %v", n.Gates[g].Name, p[g], sim1)
+		}
+	}
+}
+
+// TestReconvergenceBias documents the known limitation: reconvergent
+// fanout breaks the independence assumption. y = AND(a, NOT(a)) is
+// constantly 0 but the analytic estimate says 0.25.
+func TestReconvergenceBias(t *testing.T) {
+	n := parse(t, `
+INPUT(a)
+OUTPUT(y)
+na = NOT(a)
+y = AND(a, na)
+`)
+	p, err := Compute(n, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p[n.MustLookup("y")]; math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("analytic estimate changed: %v (document the new behaviour)", got)
+	}
+}

@@ -1,0 +1,206 @@
+// Package scoap computes SCOAP (Sandia Controllability/Observability
+// Analysis Program, Goldstein & Thigpen 1980) testability measures:
+// CC0/CC1 — the effort to set a net to 0/1 — and CO — the effort to
+// observe it at an output.
+//
+// Two consumers in this repository: PODEM's backtrace heuristic (pick
+// easy-to-control paths for objectives, hard-to-control inputs when every
+// input must be justified) and the RL insertion baseline, whose feature
+// vector mirrors Sarihi et al.'s SCOAP-augmented state.
+//
+// Sequential circuits use full-scan semantics: DFF outputs cost like
+// primary inputs (CC=1) and DFF data inputs observe like primary outputs
+// (CO=0).
+package scoap
+
+import (
+	"fmt"
+
+	"cghti/internal/netlist"
+)
+
+// Inf is the saturation value for uncontrollable/unobservable nets
+// (e.g. CC1 of a constant-0).
+const Inf = int64(1) << 40
+
+// Measures holds SCOAP values for every gate, indexed by GateID.
+type Measures struct {
+	CC0, CC1, CO []int64
+}
+
+// sat adds with saturation at Inf.
+func sat(a, b int64) int64 {
+	s := a + b
+	if s >= Inf || s < 0 {
+		return Inf
+	}
+	return s
+}
+
+// Compute calculates SCOAP measures for the combinational (full-scan)
+// view of n.
+func Compute(n *netlist.Netlist) (*Measures, error) {
+	topo, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	num := len(n.Gates)
+	m := &Measures{
+		CC0: make([]int64, num),
+		CC1: make([]int64, num),
+		CO:  make([]int64, num),
+	}
+
+	// Controllability: forward pass.
+	for _, id := range topo {
+		g := &n.Gates[id]
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			m.CC0[id], m.CC1[id] = 1, 1
+		case netlist.Const0:
+			m.CC0[id], m.CC1[id] = 0, Inf
+		case netlist.Const1:
+			m.CC0[id], m.CC1[id] = Inf, 0
+		case netlist.Buf:
+			f := g.Fanin[0]
+			m.CC0[id] = sat(m.CC0[f], 1)
+			m.CC1[id] = sat(m.CC1[f], 1)
+		case netlist.Not:
+			f := g.Fanin[0]
+			m.CC0[id] = sat(m.CC1[f], 1)
+			m.CC1[id] = sat(m.CC0[f], 1)
+		case netlist.And:
+			m.CC1[id] = sat(sumCC(m.CC1, g.Fanin), 1)
+			m.CC0[id] = sat(minCC(m.CC0, g.Fanin), 1)
+		case netlist.Nand:
+			m.CC0[id] = sat(sumCC(m.CC1, g.Fanin), 1)
+			m.CC1[id] = sat(minCC(m.CC0, g.Fanin), 1)
+		case netlist.Or:
+			m.CC0[id] = sat(sumCC(m.CC0, g.Fanin), 1)
+			m.CC1[id] = sat(minCC(m.CC1, g.Fanin), 1)
+		case netlist.Nor:
+			m.CC1[id] = sat(sumCC(m.CC0, g.Fanin), 1)
+			m.CC0[id] = sat(minCC(m.CC1, g.Fanin), 1)
+		case netlist.Xor, netlist.Xnor:
+			even, odd := parityCosts(m, g.Fanin)
+			if g.Type == netlist.Xor {
+				m.CC0[id] = sat(even, 1)
+				m.CC1[id] = sat(odd, 1)
+			} else {
+				m.CC0[id] = sat(odd, 1)
+				m.CC1[id] = sat(even, 1)
+			}
+		default:
+			return nil, fmt.Errorf("scoap: unsupported gate type %v", g.Type)
+		}
+	}
+
+	// Observability: reverse pass. A net's CO is the min over its
+	// fanout branches; POs and DFF data inputs observe for free.
+	for i := range m.CO {
+		m.CO[i] = Inf
+	}
+	for _, id := range n.POs {
+		m.CO[id] = 0
+	}
+	for _, d := range n.DFFs {
+		for _, f := range n.Gates[d].Fanin {
+			m.CO[f] = 0
+		}
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		g := &n.Gates[id]
+		co := m.CO[id]
+		if co == Inf {
+			continue
+		}
+		switch g.Type {
+		case netlist.Buf, netlist.Not:
+			relax(m, g.Fanin[0], sat(co, 1))
+		case netlist.And, netlist.Nand:
+			for j, f := range g.Fanin {
+				relax(m, f, sat(co, sat(sumExcept(m.CC1, g.Fanin, j), 1)))
+			}
+		case netlist.Or, netlist.Nor:
+			for j, f := range g.Fanin {
+				relax(m, f, sat(co, sat(sumExcept(m.CC0, g.Fanin, j), 1)))
+			}
+		case netlist.Xor, netlist.Xnor:
+			for j, f := range g.Fanin {
+				var others int64
+				for k, o := range g.Fanin {
+					if k != j {
+						others = sat(others, min64(m.CC0[o], m.CC1[o]))
+					}
+				}
+				relax(m, f, sat(co, sat(others, 1)))
+			}
+		}
+	}
+	return m, nil
+}
+
+// relax lowers CO[id] to v if smaller.
+func relax(m *Measures, id netlist.GateID, v int64) {
+	if v < m.CO[id] {
+		m.CO[id] = v
+	}
+}
+
+func sumCC(cc []int64, fanin []netlist.GateID) int64 {
+	var s int64
+	for _, f := range fanin {
+		s = sat(s, cc[f])
+	}
+	return s
+}
+
+func sumExcept(cc []int64, fanin []netlist.GateID, skip int) int64 {
+	var s int64
+	for j, f := range fanin {
+		if j != skip {
+			s = sat(s, cc[f])
+		}
+	}
+	return s
+}
+
+func minCC(cc []int64, fanin []netlist.GateID) int64 {
+	m := Inf
+	for _, f := range fanin {
+		if cc[f] < m {
+			m = cc[f]
+		}
+	}
+	return m
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// parityCosts computes, over the fanin set, the cheapest input
+// assignment cost yielding even and odd parity of ones (dynamic program
+// over the fanin list). This generalizes the textbook 2-input XOR SCOAP
+// rule to k inputs.
+func parityCosts(m *Measures, fanin []netlist.GateID) (even, odd int64) {
+	even, odd = 0, Inf
+	for _, f := range fanin {
+		e2 := min64(sat(even, m.CC0[f]), sat(odd, m.CC1[f]))
+		o2 := min64(sat(even, m.CC1[f]), sat(odd, m.CC0[f]))
+		even, odd = e2, o2
+	}
+	return even, odd
+}
+
+// CC returns the controllability of id to value v.
+func (m *Measures) CC(id netlist.GateID, v uint8) int64 {
+	if v == 0 {
+		return m.CC0[id]
+	}
+	return m.CC1[id]
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"cghti/internal/netlist"
+)
+
+// Event is an event-driven two-valued simulator. It keeps the full value
+// image of the circuit and re-evaluates only the cone affected by input
+// changes, which makes MERO's "flip one bit, observe rare-node counts"
+// inner loop cheap (cost proportional to the flipped input's cone, not
+// the circuit).
+type Event struct {
+	n     *netlist.Netlist
+	vals  []uint8
+	dirty []bool
+	// byLevel buckets pending gate IDs by logic level so evaluation is
+	// always in level order (each gate evaluated at most once per
+	// propagation wave).
+	byLevel  [][]netlist.GateID
+	maxLevel int32
+	// changed collects the IDs whose value changed during the last
+	// Propagate (inputs included). Consumers like MERO use it to update
+	// rare-hit counts incrementally instead of rescanning every node.
+	changed       []netlist.GateID
+	pendingInputs []netlist.GateID
+}
+
+// NewEvent builds an event-driven simulator; all values start at 0 and
+// consistent (a full propagation is performed).
+func NewEvent(n *netlist.Netlist) (*Event, error) {
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	e := &Event{
+		n:        n,
+		vals:     make([]uint8, len(n.Gates)),
+		dirty:    make([]bool, len(n.Gates)),
+		maxLevel: n.MaxLevel(),
+	}
+	e.byLevel = make([][]netlist.GateID, e.maxLevel+1)
+	e.FullEval()
+	return e, nil
+}
+
+// Val returns the current value of gate id.
+func (e *Event) Val(id netlist.GateID) uint8 { return e.vals[id] }
+
+// Values returns the live value image (do not modify).
+func (e *Event) Values() []uint8 { return e.vals }
+
+// SetInput sets a combinational input (PI or DFF state) and schedules its
+// fanout. Call Propagate to settle the circuit.
+func (e *Event) SetInput(id netlist.GateID, v uint8) {
+	v &= 1
+	if e.vals[id] == v {
+		return
+	}
+	e.vals[id] = v
+	e.pendingInputs = append(e.pendingInputs, id)
+	e.scheduleFanout(id)
+}
+
+func (e *Event) scheduleFanout(id netlist.GateID) {
+	for _, s := range e.n.Gates[id].Fanout {
+		sg := &e.n.Gates[s]
+		if sg.Type == netlist.DFF {
+			continue // sequential boundary
+		}
+		if !e.dirty[s] {
+			e.dirty[s] = true
+			e.byLevel[sg.Level] = append(e.byLevel[sg.Level], s)
+		}
+	}
+}
+
+// Propagate settles all scheduled events and returns the number of gates
+// whose value changed. Changed (inputs plus gates) lists them afterwards.
+func (e *Event) Propagate() int {
+	e.changed = append(e.changed[:0], e.pendingInputs...)
+	e.pendingInputs = e.pendingInputs[:0]
+	changed := 0
+	var in []uint8
+	for lvl := int32(1); lvl <= e.maxLevel; lvl++ {
+		bucket := e.byLevel[lvl]
+		if len(bucket) == 0 {
+			continue
+		}
+		e.byLevel[lvl] = bucket[:0]
+		for _, id := range bucket {
+			e.dirty[id] = false
+			g := &e.n.Gates[id]
+			if cap(in) < len(g.Fanin) {
+				in = make([]uint8, len(g.Fanin))
+			}
+			buf := in[:len(g.Fanin)]
+			for i, f := range g.Fanin {
+				buf[i] = e.vals[f]
+			}
+			nv := EvalGate(g.Type, buf)
+			if nv != e.vals[id] {
+				e.vals[id] = nv
+				changed++
+				e.changed = append(e.changed, id)
+				e.scheduleFanout(id)
+			}
+		}
+	}
+	return changed
+}
+
+// Changed returns the gates (inputs included) whose value changed during
+// the last Propagate. The slice is reused across calls; copy it to keep.
+func (e *Event) Changed() []netlist.GateID { return e.changed }
+
+// FullEval recomputes every gate from the current input values,
+// discarding pending events.
+func (e *Event) FullEval() {
+	for lvl := range e.byLevel {
+		e.byLevel[lvl] = e.byLevel[lvl][:0]
+	}
+	for i := range e.dirty {
+		e.dirty[i] = false
+	}
+	e.changed = e.changed[:0]
+	e.pendingInputs = e.pendingInputs[:0]
+	topo, _ := e.n.TopoOrder()
+	var in []uint8
+	for _, id := range topo {
+		g := &e.n.Gates[id]
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			// keep current state
+		case netlist.Const0:
+			e.vals[id] = 0
+		case netlist.Const1:
+			e.vals[id] = 1
+		default:
+			if cap(in) < len(g.Fanin) {
+				in = make([]uint8, len(g.Fanin))
+			}
+			buf := in[:len(g.Fanin)]
+			for i, f := range g.Fanin {
+				buf[i] = e.vals[f]
+			}
+			e.vals[id] = EvalGate(g.Type, buf)
+		}
+	}
+}

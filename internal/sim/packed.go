@@ -1,0 +1,203 @@
+// Package sim provides the logic simulators that back rare-node
+// extraction (Algorithm 1), trigger-cube proving, detection evaluation
+// and MERO:
+//
+//   - Packed: 64-way bit-parallel two-valued simulation (one pattern per
+//     bit of a machine word), the workhorse for the 10,000-vector
+//     functional simulation the paper uses to find rare nodes;
+//   - Eval: a scalar reference evaluator, used by tests to pin Packed;
+//   - three-valued (0/1/X) cube simulation in threeval.go, used to prove
+//     that a merged trigger cube excites every clique member;
+//   - an event-driven incremental simulator in event.go, used by MERO's
+//     bit-flip inner loop.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cghti/internal/netlist"
+)
+
+// Packed is a bit-parallel two-valued simulator. Each uint64 word carries
+// 64 independent patterns; a Packed with W words simulates 64*W patterns
+// per Run.
+//
+// DFF gates are combinational sources: their word values are state, set
+// either by SetWord/Randomize (full-scan view, the default for all
+// rare-node work) or latched from their data input by Step (sequential
+// view).
+type Packed struct {
+	n     *netlist.Netlist
+	topo  []netlist.GateID
+	words int
+	vals  []uint64 // gate g, word w -> vals[int(g)*words+w]
+}
+
+// NewPacked builds a simulator for n with the given number of 64-pattern
+// words (words >= 1).
+func NewPacked(n *netlist.Netlist, words int) (*Packed, error) {
+	if words < 1 {
+		return nil, fmt.Errorf("sim: words must be >= 1, got %d", words)
+	}
+	topo, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Packed{
+		n:     n,
+		topo:  topo,
+		words: words,
+		vals:  make([]uint64, len(n.Gates)*words),
+	}, nil
+}
+
+// Words returns the number of 64-pattern words per gate.
+func (p *Packed) Words() int { return p.words }
+
+// Patterns returns the number of patterns simulated per Run (64 * Words).
+func (p *Packed) Patterns() int { return 64 * p.words }
+
+// SetWord sets the pattern word w of gate id (a PI or DFF).
+func (p *Packed) SetWord(id netlist.GateID, w int, bits uint64) {
+	p.vals[int(id)*p.words+w] = bits
+}
+
+// Word returns pattern word w of gate id after Run.
+func (p *Packed) Word(id netlist.GateID, w int) uint64 {
+	return p.vals[int(id)*p.words+w]
+}
+
+// SetBit sets pattern pat (0 <= pat < Patterns) of gate id.
+func (p *Packed) SetBit(id netlist.GateID, pat int, v bool) {
+	idx := int(id)*p.words + pat/64
+	mask := uint64(1) << uint(pat%64)
+	if v {
+		p.vals[idx] |= mask
+	} else {
+		p.vals[idx] &^= mask
+	}
+}
+
+// Bit returns pattern pat of gate id.
+func (p *Packed) Bit(id netlist.GateID, pat int) bool {
+	return p.vals[int(id)*p.words+pat/64]&(1<<uint(pat%64)) != 0
+}
+
+// Randomize fills every combinational input (PIs and DFF state) with
+// uniform random patterns from rng.
+func (p *Packed) Randomize(rng *rand.Rand) {
+	for _, id := range p.n.CombInputs() {
+		base := int(id) * p.words
+		for w := 0; w < p.words; w++ {
+			p.vals[base+w] = rng.Uint64()
+		}
+	}
+}
+
+// Run propagates the current input/state words through the combinational
+// logic in topological order.
+func (p *Packed) Run() {
+	W := p.words
+	vals := p.vals
+	gates := p.n.Gates
+	for _, id := range p.topo {
+		g := &gates[id]
+		base := int(id) * W
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			// state; already set
+		case netlist.Const0:
+			for w := 0; w < W; w++ {
+				vals[base+w] = 0
+			}
+		case netlist.Const1:
+			for w := 0; w < W; w++ {
+				vals[base+w] = ^uint64(0)
+			}
+		case netlist.Buf:
+			src := int(g.Fanin[0]) * W
+			copy(vals[base:base+W], vals[src:src+W])
+		case netlist.Not:
+			src := int(g.Fanin[0]) * W
+			for w := 0; w < W; w++ {
+				vals[base+w] = ^vals[src+w]
+			}
+		case netlist.And, netlist.Nand:
+			src0 := int(g.Fanin[0]) * W
+			for w := 0; w < W; w++ {
+				acc := vals[src0+w]
+				for _, f := range g.Fanin[1:] {
+					acc &= vals[int(f)*W+w]
+				}
+				if g.Type == netlist.Nand {
+					acc = ^acc
+				}
+				vals[base+w] = acc
+			}
+		case netlist.Or, netlist.Nor:
+			src0 := int(g.Fanin[0]) * W
+			for w := 0; w < W; w++ {
+				acc := vals[src0+w]
+				for _, f := range g.Fanin[1:] {
+					acc |= vals[int(f)*W+w]
+				}
+				if g.Type == netlist.Nor {
+					acc = ^acc
+				}
+				vals[base+w] = acc
+			}
+		case netlist.Xor, netlist.Xnor:
+			src0 := int(g.Fanin[0]) * W
+			for w := 0; w < W; w++ {
+				acc := vals[src0+w]
+				for _, f := range g.Fanin[1:] {
+					acc ^= vals[int(f)*W+w]
+				}
+				if g.Type == netlist.Xnor {
+					acc = ^acc
+				}
+				vals[base+w] = acc
+			}
+		}
+	}
+}
+
+// Step advances the sequential view by one clock: Run, then latch each
+// DFF's data-input word into the DFF state for the next cycle.
+func (p *Packed) Step() {
+	p.Run()
+	W := p.words
+	for _, d := range p.n.DFFs {
+		src := int(p.n.Gates[d].Fanin[0]) * W
+		dst := int(d) * W
+		copy(p.vals[dst:dst+W], p.vals[src:src+W])
+	}
+}
+
+// CountOnes adds, for every gate, the number of patterns on which the
+// gate evaluated to 1 into counts (len == NumGates). Call after Run.
+// limit caps the number of patterns counted (use Patterns() for all).
+func (p *Packed) CountOnes(counts []int64, limit int) {
+	W := p.words
+	fullWords := limit / 64
+	remBits := limit % 64
+	for g := range p.n.Gates {
+		base := g * W
+		var c int
+		for w := 0; w < fullWords; w++ {
+			c += popcount(p.vals[base+w])
+		}
+		if remBits > 0 {
+			mask := (uint64(1) << uint(remBits)) - 1
+			c += popcount(p.vals[base+fullWords] & mask)
+		}
+		counts[g] += int64(c)
+	}
+}
+
+func popcount(x uint64) int {
+	// math/bits.OnesCount64 is inlined by the compiler; keep a local
+	// alias so this file reads without the import at every call site.
+	return onesCount64(x)
+}

@@ -1,0 +1,132 @@
+package trojan
+
+import (
+	"fmt"
+
+	"cghti/internal/netlist"
+)
+
+// InsertTimeBomb splices a sequential "time-bomb" payload behind an
+// already-generated trigger: a CounterBits-wide ripple counter that
+// increments on every clock cycle in which the trigger condition holds,
+// and fires the flip payload only when the counter saturates. This is
+// the classic sequential Trust-Hub trojan shape (e.g. s15850-T100
+// style): even an adversary who stumbles on the activation condition
+// must hold it for 2^CounterBits - 1 cycles before any effect is
+// observable, which defeats single-vector logic testing entirely.
+//
+// The counter state is ordinary DFFs, so the infected netlist remains a
+// valid sequential .bench circuit; in the full-scan view the counter
+// bits become pseudo-PIs, which models a scan-accessible design (the
+// hardest case for the attacker, the easiest for detection — the paper's
+// combinational analysis carries over unchanged).
+type TimeBombSpec struct {
+	// CounterBits is the counter width (default 4 → 15 armed cycles).
+	CounterBits int
+	// Prefix names the added gates (default "tb").
+	Prefix string
+}
+
+func (s TimeBombSpec) withDefaults() TimeBombSpec {
+	if s.CounterBits <= 0 {
+		s.CounterBits = 4
+	}
+	if s.CounterBits > 20 {
+		s.CounterBits = 20
+	}
+	if s.Prefix == "" {
+		s.Prefix = "tb"
+	}
+	return s
+}
+
+// TimeBomb describes the inserted sequential payload.
+type TimeBomb struct {
+	// CounterBits is the width used.
+	CounterBits int
+	// StateGates names the counter DFFs, LSB first.
+	StateGates []string
+	// Armed names the saturation-detect net (AND of all counter bits).
+	Armed string
+	// PayloadGate names the final XOR splice.
+	PayloadGate string
+	// Victim names the flipped net.
+	Victim string
+}
+
+// InsertTimeBomb rewires an instance produced with PayloadFlip into a
+// time-bomb: the instance's combinational payload XOR is re-driven by
+// the counter's saturation signal instead of the raw trigger. The
+// original trigger net becomes the counter's enable.
+func InsertTimeBomb(n *netlist.Netlist, inst *Instance, spec TimeBombSpec) (*TimeBomb, error) {
+	spec = spec.withDefaults()
+	if inst.Payload != PayloadFlip {
+		return nil, fmt.Errorf("trojan: time bomb needs a flip-payload instance, got %v", inst.Payload)
+	}
+	trig, ok := n.Lookup(inst.TriggerOut)
+	if !ok {
+		return nil, fmt.Errorf("trojan: trigger net %q not in netlist", inst.TriggerOut)
+	}
+	payload, ok := n.Lookup(inst.PayloadGate)
+	if !ok {
+		return nil, fmt.Errorf("trojan: payload net %q not in netlist", inst.PayloadGate)
+	}
+
+	tb := &TimeBomb{CounterBits: spec.CounterBits, Victim: inst.Victim, PayloadGate: inst.PayloadGate}
+	prefix := fmt.Sprintf("%s%d_", spec.Prefix, inst.Index)
+	newGate := func(name string, t netlist.GateType, fanin ...netlist.GateID) (netlist.GateID, error) {
+		id, err := n.AddGate(prefix+name, t)
+		if err != nil {
+			return netlist.InvalidGate, err
+		}
+		for _, f := range fanin {
+			n.Connect(f, id)
+		}
+		return id, nil
+	}
+
+	// Counter: bit i toggles when trigger & all lower bits are 1
+	// (synchronous increment gated by the trigger).
+	bits := make([]netlist.GateID, spec.CounterBits)
+	for i := range bits {
+		id, err := n.AddGate(fmt.Sprintf("%scnt%d", prefix, i), netlist.DFF)
+		if err != nil {
+			return nil, err
+		}
+		bits[i] = id
+		tb.StateGates = append(tb.StateGates, n.Gates[id].Name)
+	}
+	carry := trig // increment enable
+	for i, bit := range bits {
+		// next_bit = bit XOR carry_in; carry_out = bit AND carry_in.
+		next, err := newGate(fmt.Sprintf("nx%d", i), netlist.Xor, bit, carry)
+		if err != nil {
+			return nil, err
+		}
+		n.Connect(next, bit) // DFF data input
+		if i+1 < len(bits) {
+			c, err := newGate(fmt.Sprintf("cy%d", i), netlist.And, bit, carry)
+			if err != nil {
+				return nil, err
+			}
+			carry = c
+		}
+	}
+
+	// Armed = AND of all counter bits (saturation).
+	armed, err := newGate("armed", netlist.And, bits...)
+	if err != nil {
+		return nil, err
+	}
+	tb.Armed = n.Gates[armed].Name
+
+	// Re-drive the payload XOR from the armed signal instead of the raw
+	// trigger.
+	if err := n.ReplaceFanin(payload, trig, armed); err != nil {
+		return nil, err
+	}
+	if err := n.Levelize(); err != nil {
+		return nil, fmt.Errorf("trojan: time bomb created a cycle: %w", err)
+	}
+	return tb, nil
+}

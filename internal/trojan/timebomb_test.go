@@ -1,0 +1,157 @@
+package trojan
+
+import (
+	"testing"
+
+	"cghti/internal/netlist"
+	"cghti/internal/sim"
+)
+
+// timeBombFixture inserts a flip trojan then converts it to a time bomb.
+func timeBombFixture(t *testing.T, bitsN int) (*netlist.Netlist, *Instance, *TimeBomb, *netlist.Netlist) {
+	t.Helper()
+	base, g, clique := pipeline(t, 29)
+	infected, inst, err := InsertInstance(base, clique.Nodes(g), clique.Cube, 0, InsertSpec{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := InsertTimeBomb(infected, inst, TimeBombSpec{CounterBits: bitsN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := infected.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return infected, inst, tb, base
+}
+
+func TestTimeBombStructure(t *testing.T) {
+	infected, inst, tb, _ := timeBombFixture(t, 3)
+	if len(tb.StateGates) != 3 {
+		t.Fatalf("counter has %d bits, want 3", len(tb.StateGates))
+	}
+	// Payload must now be fed by the armed net, not the trigger.
+	payload := infected.MustLookup(inst.PayloadGate)
+	armed := infected.MustLookup(tb.Armed)
+	trig := infected.MustLookup(inst.TriggerOut)
+	hasArmed, hasTrig := false, false
+	for _, f := range infected.Gates[payload].Fanin {
+		if f == armed {
+			hasArmed = true
+		}
+		if f == trig {
+			hasTrig = true
+		}
+	}
+	if !hasArmed || hasTrig {
+		t.Fatal("payload not rewired from trigger to armed")
+	}
+}
+
+// TestTimeBombCountsAndFires runs the sequential simulation: hold the
+// trigger condition active and check that the payload fires only after
+// 2^bits - 1 cycles.
+func TestTimeBombCountsAndFires(t *testing.T) {
+	const bits = 3
+	infected, inst, tb, _ := timeBombFixture(t, bits)
+
+	p, err := sim.NewPacked(infected, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the activation cube's care bits on the primary inputs every
+	// cycle; counter DFFs start at 0.
+	cube := inst.Cube
+	for i, id := range infected.CombInputs() {
+		// Counter DFFs are appended after the original inputs; the cube
+		// is over the original input list only.
+		if i < cube.Len() {
+			switch cube.Get(i) {
+			case sim.V3One:
+				p.SetWord(id, 0, ^uint64(0))
+			default:
+				p.SetWord(id, 0, 0)
+			}
+		} else {
+			p.SetWord(id, 0, 0)
+		}
+	}
+	armed := infected.MustLookup(tb.Armed)
+	trig := infected.MustLookup(inst.TriggerOut)
+	firedAt := -1
+	for cycle := 0; cycle < 2<<bits; cycle++ {
+		p.Run()
+		if p.Word(trig, 0) == 0 {
+			t.Fatalf("cycle %d: trigger condition dropped", cycle)
+		}
+		if p.Word(armed, 0) != 0 && firedAt < 0 {
+			firedAt = cycle
+		}
+		p.Step()
+	}
+	want := (1 << bits) - 1 // counter reaches all-ones after 7 increments
+	if firedAt != want {
+		t.Fatalf("armed at cycle %d, want %d", firedAt, want)
+	}
+}
+
+// TestTimeBombSilentWithoutTrigger: with random non-activating inputs
+// the counter never saturates and outputs match the golden circuit.
+func TestTimeBombSilentWithoutTrigger(t *testing.T) {
+	infected, inst, tb, base := timeBombFixture(t, 4)
+	p, err := sim.NewPacked(infected, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := sim.NewPacked(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero inputs (extremely unlikely to fire a stealth trigger).
+	for _, id := range infected.CombInputs() {
+		p.SetWord(id, 0, 0)
+	}
+	for _, id := range base.CombInputs() {
+		pg.SetWord(id, 0, 0)
+	}
+	trig := infected.MustLookup(inst.TriggerOut)
+	armed := infected.MustLookup(tb.Armed)
+	for cycle := 0; cycle < 20; cycle++ {
+		p.Step()
+		pg.Step()
+		if p.Word(trig, 0) != 0 {
+			t.Skip("trigger fires on all-zero input on this seed")
+		}
+		if p.Word(armed, 0) != 0 {
+			t.Fatal("time bomb armed without trigger")
+		}
+		for i, po := range base.POs {
+			if pg.Word(po, 0) != p.Word(infected.POs[i], 0) {
+				t.Fatalf("cycle %d: dormant time bomb changed an output", cycle)
+			}
+		}
+	}
+}
+
+func TestTimeBombRequiresFlipPayload(t *testing.T) {
+	base, g, clique := pipeline(t, 30)
+	infected, inst, err := InsertInstance(base, clique.Nodes(g), clique.Cube, 0,
+		InsertSpec{Seed: 14, Payload: PayloadLeakToOutput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertTimeBomb(infected, inst, TimeBombSpec{}); err == nil {
+		t.Fatal("time bomb accepted a leak-payload instance")
+	}
+}
+
+func TestTimeBombSpecDefaults(t *testing.T) {
+	s := TimeBombSpec{}.withDefaults()
+	if s.CounterBits != 4 || s.Prefix != "tb" {
+		t.Fatalf("defaults = %+v", s)
+	}
+	big := TimeBombSpec{CounterBits: 99}.withDefaults()
+	if big.CounterBits != 20 {
+		t.Fatalf("cap = %d, want 20", big.CounterBits)
+	}
+}

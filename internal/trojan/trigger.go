@@ -1,0 +1,271 @@
+// Package trojan builds the stealthy trigger logic of Section III-D and
+// splices trojan instances into netlists (Algorithm 3).
+//
+// The trigger tree is grown backward from the activation output: a gate
+// that must output v only rarely is drawn from the two gate types whose
+// output bias works against v (AND/NOR for v=1, NAND/OR for v=0), and
+// its children inherit the required input value of that choice. Leaf
+// gates consume rare nodes aligned by rare value: AND/NAND leaves take
+// rare-1 nodes, OR/NOR leaves take rare-0 nodes.
+package trojan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// TriggerSpec parameterizes trigger-tree construction.
+type TriggerSpec struct {
+	// ActiveLow makes the trigger fire with output 0 instead of 1. The
+	// zero value (active-high) matches the paper's Figure 1 example.
+	ActiveLow bool
+	// FaninK bounds gate arity inside the trigger tree (default 4,
+	// minimum 2). The paper's trigger probability analysis assumes
+	// k-input gates throughout.
+	FaninK int
+	// Seed randomizes the (valid) gate-type choices so distinct
+	// instances over the same clique differ structurally.
+	Seed int64
+}
+
+// ActivationValue returns the trigger-output value that fires the
+// payload: 1 unless ActiveLow.
+func (s TriggerSpec) ActivationValue() uint8 {
+	if s.ActiveLow {
+		return 0
+	}
+	return 1
+}
+
+func (s TriggerSpec) withDefaults() TriggerSpec {
+	if s.FaninK < 2 {
+		s.FaninK = 4
+	}
+	return s
+}
+
+// TriggerGate is one gate of the generated trigger logic.
+type TriggerGate struct {
+	// Type is the gate's function (always one of AND/NAND/OR/NOR).
+	Type netlist.GateType
+	// Level is 1 for leaf gates (inputs are rare nodes), increasing
+	// toward the activation output.
+	Level int
+	// LeafInputs lists the rare nodes wired to this gate (level 1 only).
+	LeafInputs []rare.Node
+	// ChildGates indexes other TriggerGates feeding this one.
+	ChildGates []int
+	// Fires is the gate's output value when the trojan is triggered —
+	// by construction the value the gate type is biased against.
+	Fires uint8
+}
+
+// Trigger is the complete generated trigger logic.
+type Trigger struct {
+	// Gates in construction order; the last one drives the payload.
+	Gates []TriggerGate
+	// Root indexes the activation-output gate.
+	Root int
+	// Spec echoes the construction parameters.
+	Spec TriggerSpec
+	// TriggerNodes are the rare nodes consumed, in leaf order.
+	TriggerNodes []rare.Node
+	// ActivationProb is the product of the trigger nodes' rare-value
+	// probabilities — the independence estimate of the trigger firing
+	// under random patterns.
+	ActivationProb float64
+}
+
+// Depth returns the number of gate levels.
+func (t *Trigger) Depth() int {
+	d := 0
+	for i := range t.Gates {
+		if t.Gates[i].Level > d {
+			d = t.Gates[i].Level
+		}
+	}
+	return d
+}
+
+// NumGates returns the trigger gate count (payload excluded).
+func (t *Trigger) NumGates() int { return len(t.Gates) }
+
+// BuildTrigger generates bias-alternating trigger logic over the given
+// rare nodes (a clique's members). It fails if nodes is empty.
+func BuildTrigger(nodes []rare.Node, spec TriggerSpec) (*Trigger, error) {
+	spec = spec.withDefaults()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("trojan: no trigger nodes")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	var r0, r1 []rare.Node
+	for _, n := range nodes {
+		if n.RareValue == 0 {
+			r0 = append(r0, n)
+		} else {
+			r1 = append(r1, n)
+		}
+	}
+
+	t := &Trigger{Spec: spec, ActivationProb: 1}
+	for _, n := range nodes {
+		t.ActivationProb *= n.Prob
+	}
+
+	// Level 1: partition each pool into groups of <= FaninK. Each group
+	// becomes one leaf gate; its type (AND vs NAND / OR vs NOR) is fixed
+	// later when required output values propagate down.
+	type protoGate struct {
+		leaves []rare.Node // non-nil for level-1 gates
+		kids   []int
+		level  int
+	}
+	var protos []protoGate
+	addLeafGroups := func(pool []rare.Node) []int {
+		var idx []int
+		for len(pool) > 0 {
+			take := spec.FaninK
+			if take > len(pool) {
+				take = len(pool)
+			}
+			protos = append(protos, protoGate{leaves: pool[:take], level: 1})
+			idx = append(idx, len(protos)-1)
+			pool = pool[take:]
+		}
+		return idx
+	}
+	level := addLeafGroups(r1)
+	level = append(level, addLeafGroups(r0)...)
+
+	// Upper levels: k-ary reduction tree over gate outputs.
+	lvl := 1
+	for len(level) > 1 {
+		lvl++
+		var next []int
+		for len(level) > 0 {
+			take := spec.FaninK
+			if take > len(level) {
+				take = len(level)
+			}
+			protos = append(protos, protoGate{kids: append([]int(nil), level[:take]...), level: lvl})
+			next = append(next, len(protos)-1)
+			level = level[take:]
+		}
+		level = next
+	}
+	root := level[0]
+
+	// Assign gate types top-down from the required activation value.
+	t.Gates = make([]TriggerGate, len(protos))
+	required := make([]uint8, len(protos))
+	assigned := make([]bool, len(protos))
+	required[root] = spec.ActivationValue()
+	assigned[root] = true
+	// Process in reverse construction order: parents were appended after
+	// children, so a reverse scan sees every parent before its children.
+	for i := len(protos) - 1; i >= 0; i-- {
+		p := &protos[i]
+		if !assigned[i] {
+			// Unreachable by construction (every proto has a parent
+			// chain to root), but keep the invariant explicit.
+			panic("trojan: unassigned trigger gate")
+		}
+		v := required[i]
+		var gt netlist.GateType
+		switch {
+		case p.leaves != nil && p.leaves[0].RareValue == 1:
+			// Rare-1 leaves need an all-1-sensitive gate.
+			if v == 1 {
+				gt = netlist.And
+			} else {
+				gt = netlist.Nand
+			}
+		case p.leaves != nil:
+			// Rare-0 leaves need an all-0-sensitive gate.
+			if v == 1 {
+				gt = netlist.Nor
+			} else {
+				gt = netlist.Or
+			}
+		default:
+			// Internal gate: both biased options are valid; pick randomly
+			// (this is what makes instances over one clique structurally
+			// diverse).
+			if v == 1 {
+				gt = pick(rng, netlist.And, netlist.Nor)
+			} else {
+				gt = pick(rng, netlist.Nand, netlist.Or)
+			}
+		}
+		// Children must present the gate's all-inputs value: 1 for
+		// AND/NAND, 0 for OR/NOR.
+		childVal := uint8(0)
+		if gt == netlist.And || gt == netlist.Nand {
+			childVal = 1
+		}
+		for _, k := range p.kids {
+			required[k] = childVal
+			assigned[k] = true
+		}
+		t.Gates[i] = TriggerGate{
+			Type:       gt,
+			Level:      p.level,
+			LeafInputs: p.leaves,
+			ChildGates: p.kids,
+			Fires:      v,
+		}
+		if p.leaves != nil {
+			t.TriggerNodes = append(t.TriggerNodes, p.leaves...)
+		}
+	}
+	t.Root = root
+	return t, nil
+}
+
+func pick(rng *rand.Rand, a, b netlist.GateType) netlist.GateType {
+	if rng.Intn(2) == 0 {
+		return a
+	}
+	return b
+}
+
+// checkBias verifies the construction invariant: every gate fires with
+// the value its type is biased against (AND/NOR rarely output 1, NAND/OR
+// rarely output 0). Exported through tests via Verify.
+func (t *Trigger) checkBias() error {
+	for i := range t.Gates {
+		g := &t.Gates[i]
+		switch g.Type {
+		case netlist.And, netlist.Nor:
+			if g.Fires != 1 {
+				return fmt.Errorf("trojan: gate %d (%v) fires with 0, biased wrong", i, g.Type)
+			}
+		case netlist.Nand, netlist.Or:
+			if g.Fires != 0 {
+				return fmt.Errorf("trojan: gate %d (%v) fires with 1, biased wrong", i, g.Type)
+			}
+		default:
+			return fmt.Errorf("trojan: gate %d has non-trigger type %v", i, g.Type)
+		}
+		// Leaf alignment (Algorithm 3): AND/NAND ← rare-1, OR/NOR ← rare-0.
+		for _, leaf := range g.LeafInputs {
+			wantRare := uint8(0)
+			if g.Type == netlist.And || g.Type == netlist.Nand {
+				wantRare = 1
+			}
+			if leaf.RareValue != wantRare {
+				return fmt.Errorf("trojan: gate %d (%v) wired to rare-%d node",
+					i, g.Type, leaf.RareValue)
+			}
+		}
+	}
+	return nil
+}
+
+// Verify checks the structural invariants of the trigger (bias
+// alternation and rare-value alignment).
+func (t *Trigger) Verify() error { return t.checkBias() }

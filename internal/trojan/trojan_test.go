@@ -1,0 +1,379 @@
+package trojan
+
+import (
+	"math/rand"
+	"testing"
+
+	"cghti/internal/atpg"
+	"cghti/internal/bench"
+	"cghti/internal/compat"
+	"cghti/internal/gen"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+	"cghti/internal/sim"
+)
+
+// mkNodes fabricates rare nodes for trigger construction tests. IDs are
+// synthetic; only RareValue matters to BuildTrigger.
+func mkNodes(n1, n0 int) []rare.Node {
+	var out []rare.Node
+	for i := 0; i < n1; i++ {
+		out = append(out, rare.Node{ID: netlist.GateID(i), RareValue: 1, Prob: 0.1})
+	}
+	for i := 0; i < n0; i++ {
+		out = append(out, rare.Node{ID: netlist.GateID(1000 + i), RareValue: 0, Prob: 0.1})
+	}
+	return out
+}
+
+func TestBuildTriggerInvariants(t *testing.T) {
+	cases := []struct{ n1, n0 int }{
+		{1, 0}, {0, 1}, {4, 0}, {0, 4}, {3, 3}, {8, 5}, {25, 0}, {60, 65}, {100, 25},
+	}
+	for _, tc := range cases {
+		for _, lo := range []bool{false, true} {
+			act := uint8(1)
+			if lo {
+				act = 0
+			}
+			nodes := mkNodes(tc.n1, tc.n0)
+			trig, err := BuildTrigger(nodes, TriggerSpec{ActiveLow: lo, FaninK: 4, Seed: 9})
+			if err != nil {
+				t.Fatalf("n1=%d n0=%d act=%d: %v", tc.n1, tc.n0, act, err)
+			}
+			if err := trig.Verify(); err != nil {
+				t.Fatalf("n1=%d n0=%d act=%d: %v", tc.n1, tc.n0, act, err)
+			}
+			if len(trig.TriggerNodes) != tc.n1+tc.n0 {
+				t.Fatalf("trigger consumed %d nodes, want %d",
+					len(trig.TriggerNodes), tc.n1+tc.n0)
+			}
+			if got := trig.Gates[trig.Root].Fires; got != act {
+				t.Fatalf("root fires %d, want %d", got, act)
+			}
+			// Every rare node appears exactly once as a leaf.
+			seen := map[netlist.GateID]int{}
+			for i := range trig.Gates {
+				for _, l := range trig.Gates[i].LeafInputs {
+					seen[l.ID]++
+				}
+			}
+			if len(seen) != tc.n1+tc.n0 {
+				t.Fatalf("leaves cover %d nodes, want %d", len(seen), tc.n1+tc.n0)
+			}
+			for id, c := range seen {
+				if c != 1 {
+					t.Fatalf("node %d used %d times", id, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildTriggerFaninRespected(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 6} {
+		trig, err := BuildTrigger(mkNodes(17, 13), TriggerSpec{FaninK: k, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range trig.Gates {
+			g := &trig.Gates[i]
+			if got := len(g.LeafInputs) + len(g.ChildGates); got > k {
+				t.Fatalf("k=%d: gate %d has %d inputs", k, i, got)
+			}
+			if len(g.LeafInputs) > 0 && len(g.ChildGates) > 0 {
+				t.Fatalf("gate %d mixes leaves and child gates", i)
+			}
+		}
+	}
+}
+
+func TestBuildTriggerEmpty(t *testing.T) {
+	if _, err := BuildTrigger(nil, TriggerSpec{}); err == nil {
+		t.Fatal("BuildTrigger accepted empty node set")
+	}
+}
+
+func TestBuildTriggerDeterministicBySeed(t *testing.T) {
+	a, _ := BuildTrigger(mkNodes(10, 10), TriggerSpec{Seed: 4})
+	b, _ := BuildTrigger(mkNodes(10, 10), TriggerSpec{Seed: 4})
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("same seed, different structure")
+	}
+	for i := range a.Gates {
+		if a.Gates[i].Type != b.Gates[i].Type {
+			t.Fatal("same seed, different gate types")
+		}
+	}
+}
+
+func TestActivationProbProduct(t *testing.T) {
+	nodes := []rare.Node{
+		{ID: 1, RareValue: 1, Prob: 0.1},
+		{ID: 2, RareValue: 0, Prob: 0.2},
+	}
+	trig, err := BuildTrigger(nodes, TriggerSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := trig.ActivationProb, 0.1*0.2; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("ActivationProb = %v, want %v", got, want)
+	}
+}
+
+// pipeline builds circuit → rare → graph → clique for insertion tests.
+func pipeline(t *testing.T, seed int64) (*netlist.Netlist, *compat.Graph, compat.Clique) {
+	t.Helper()
+	n, err := gen.Random(gen.Spec{Name: "base", PIs: 14, POs: 6, Gates: 180, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rare.Extract(n, rare.Config{Vectors: 3000, Threshold: 0.25, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := compat.Build(n, rs, compat.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliques := g.FindCliques(compat.MineConfig{MinSize: 2, MaxCliques: 10, Seed: seed})
+	if len(cliques) == 0 {
+		t.Skip("no cliques on this seed")
+	}
+	// Use the largest clique.
+	best := cliques[0]
+	for _, c := range cliques[1:] {
+		if len(c.Vertices) > len(best.Vertices) {
+			best = c
+		}
+	}
+	return n, g, best
+}
+
+func TestInsertInstanceStructure(t *testing.T) {
+	n, g, clique := pipeline(t, 21)
+	infected, inst, err := InsertInstance(n, clique.Nodes(g), clique.Cube, 0, InsertSpec{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := infected.Validate(); err != nil {
+		t.Fatalf("infected netlist invalid: %v", err)
+	}
+	wantAdded := inst.Trigger.NumGates() + 1 // + payload
+	if got := infected.NumGates() - n.NumGates(); got != wantAdded {
+		t.Fatalf("added %d gates, want %d", got, wantAdded)
+	}
+	if len(inst.AddedGates) != wantAdded {
+		t.Fatalf("AddedGates lists %d, want %d", len(inst.AddedGates), wantAdded)
+	}
+	// Original netlist untouched.
+	if err := n.Validate(); err != nil {
+		t.Fatalf("original netlist mutated: %v", err)
+	}
+	if _, ok := n.Lookup(inst.PayloadGate); ok {
+		t.Fatal("payload gate leaked into the original netlist")
+	}
+}
+
+// TestInsertedTrojanDormantEquivalence: on vectors that do NOT fire the
+// trigger, the infected circuit is functionally identical to the golden
+// circuit (the stealth property).
+func TestInsertedTrojanDormantEquivalence(t *testing.T) {
+	n, g, clique := pipeline(t, 22)
+	infected, inst, err := InsertInstance(n, clique.Nodes(g), clique.Cube, 0, InsertSpec{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trigOut := infected.MustLookup(inst.TriggerOut)
+	rng := rand.New(rand.NewSource(1))
+	inputs := n.CombInputs()
+	checked := 0
+	for v := 0; v < 300; v++ {
+		goldIn := map[netlist.GateID]uint8{}
+		infIn := map[netlist.GateID]uint8{}
+		for _, id := range inputs {
+			val := uint8(rng.Intn(2))
+			goldIn[id] = val
+			infIn[id] = val // IDs preserved by Clone
+		}
+		gv, err := sim.Eval(n, goldIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, err := sim.Eval(infected, infIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv[trigOut] == 1 {
+			continue // trigger fired (astronomically unlikely); skip
+		}
+		checked++
+		for _, po := range n.POs {
+			if gv[po] != iv[po] {
+				t.Fatalf("vector %d: dormant trojan changed PO %s", v, n.Gates[po].Name)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("every random vector fired the trigger — not a stealthy trojan")
+	}
+}
+
+// TestInsertedTrojanFiresOnCube: filling the clique's merged cube
+// activates the trigger and flips the victim's downstream value.
+func TestInsertedTrojanFiresOnCube(t *testing.T) {
+	n, g, clique := pipeline(t, 23)
+	infected, inst, err := InsertInstance(n, clique.Nodes(g), clique.Cube, 0, InsertSpec{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	filled := clique.Cube.Fill(rng)
+	in := map[netlist.GateID]uint8{}
+	for i, id := range g.InputIDs {
+		if filled[i] {
+			in[id] = 1
+		} else {
+			in[id] = 0
+		}
+	}
+	iv, err := sim.Eval(infected, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trigOut := infected.MustLookup(inst.TriggerOut)
+	if iv[trigOut] != 1 {
+		t.Fatal("merged cube did not fire the trigger")
+	}
+	// The payload inverts the victim while active.
+	victim := infected.MustLookup(inst.Victim)
+	payload := infected.MustLookup(inst.PayloadGate)
+	if iv[payload] != iv[victim]^1 {
+		t.Fatal("active payload does not invert the victim")
+	}
+	// And every trigger node sits at its rare value.
+	for _, node := range clique.Nodes(g) {
+		if iv[node.ID] != node.RareValue {
+			t.Fatalf("trigger node %s not at rare value under the cube",
+				infected.Gates[node.ID].Name)
+		}
+	}
+}
+
+func TestInsertMultipleInstancesDistinctNames(t *testing.T) {
+	n, g, clique := pipeline(t, 24)
+	nodes := clique.Nodes(g)
+	first, _, err := InsertInstance(n, nodes, clique.Cube, 0, InsertSpec{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a second instance into the already-infected netlist.
+	second, inst2, err := InsertInstance(first, nodes, clique.Cube, 1, InsertSpec{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst2.Index != 1 {
+		t.Fatalf("instance index = %d, want 1", inst2.Index)
+	}
+}
+
+func TestInsertPayloadLeak(t *testing.T) {
+	n, g, clique := pipeline(t, 25)
+	infected, inst, err := InsertInstance(n, clique.Nodes(g), clique.Cube, 0,
+		InsertSpec{Seed: 10, Payload: PayloadLeakToOutput})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infected.POs) != len(n.POs)+1 {
+		t.Fatalf("leak payload: %d POs, want %d", len(infected.POs), len(n.POs)+1)
+	}
+	// Functional paths untouched: equivalence on ALL vectors for the
+	// original POs.
+	rng := rand.New(rand.NewSource(3))
+	for v := 0; v < 100; v++ {
+		in := map[netlist.GateID]uint8{}
+		for _, id := range n.CombInputs() {
+			in[id] = uint8(rng.Intn(2))
+		}
+		gv, _ := sim.Eval(n, in)
+		iv, _ := sim.Eval(infected, in)
+		for _, po := range n.POs {
+			if gv[po] != iv[po] {
+				t.Fatal("leak payload changed a functional output")
+			}
+		}
+	}
+	_ = inst
+}
+
+func TestInsertVictimPinned(t *testing.T) {
+	n, g, clique := pipeline(t, 26)
+	// Find some loop-safe internal net by just trying insertion with a
+	// random seed, then reuse its victim as the pinned one.
+	_, probe, err := InsertInstance(n, clique.Nodes(g), clique.Cube, 0, InsertSpec{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infected, inst, err := InsertInstance(n, clique.Nodes(g), clique.Cube, 0,
+		InsertSpec{Seed: 12, Victim: probe.Victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Victim != probe.Victim {
+		t.Fatalf("victim = %s, want %s", inst.Victim, probe.Victim)
+	}
+	if err := infected.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertVictimMissing(t *testing.T) {
+	n, g, clique := pipeline(t, 27)
+	_, _, err := InsertInstance(n, clique.Nodes(g), clique.Cube, 0,
+		InsertSpec{Victim: "no_such_net"})
+	if err == nil {
+		t.Fatal("missing victim accepted")
+	}
+}
+
+func TestInsertRejectsTriggerNodeVictim(t *testing.T) {
+	n, g, clique := pipeline(t, 28)
+	nodes := clique.Nodes(g)
+	victim := n.Gates[nodes[0].ID].Name
+	_, _, err := InsertInstance(n, nodes, clique.Cube, 0, InsertSpec{Victim: victim})
+	if err == nil {
+		t.Fatal("trigger node accepted as victim")
+	}
+}
+
+func TestInsertEmptyNodes(t *testing.T) {
+	n, err := bench.ParseString("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := InsertInstance(n, nil, atpg.Cube{}, 0, InsertSpec{}); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+}
+
+func TestPayloadKindString(t *testing.T) {
+	if PayloadFlip.String() != "flip" || PayloadLeakToOutput.String() != "leak" {
+		t.Fatal("PayloadKind.String broken")
+	}
+}
+
+func TestTriggerDepthReported(t *testing.T) {
+	trig, err := BuildTrigger(mkNodes(30, 30), TriggerSpec{FaninK: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trig.Depth() < 2 {
+		t.Fatalf("60-node trigger depth = %d, want >= 2", trig.Depth())
+	}
+	if trig.NumGates() < 15 {
+		t.Fatalf("60-node trigger has only %d gates", trig.NumGates())
+	}
+}

@@ -1,0 +1,431 @@
+// Package vparse parses structural gate-level Verilog netlists — the
+// other format (besides .bench) that hardware-trojan benchmark suites
+// ship in, and the one internal/bench's WriteVerilog emits. Supported
+// subset:
+//
+//   - one module per file, scalar ports only;
+//   - input/output/wire declarations (comma-separated lists);
+//   - primitive instantiations: and/nand/or/nor/xor/xnor/not/buf with
+//     positional ports (output first), any arity;
+//   - dff instances with named ports .q/.d/.clk (clk ignored);
+//   - assign w = expr where expr is a net name or 1'b0 / 1'b1;
+//   - // line and /* block */ comments.
+//
+// The parser resolves assigns as buffers and marks declared outputs as
+// primary outputs.
+package vparse
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cghti/internal/netlist"
+)
+
+// ParseError reports a syntax error with a token position.
+type ParseError struct {
+	Token string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("vparse: token %d (%q): %s", e.Pos, e.Token, e.Msg)
+}
+
+// Parse reads one structural Verilog module from src.
+func Parse(r io.Reader, fallbackName string) (*netlist.Netlist, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks := tokenize(string(src))
+	p := &parser{toks: toks}
+	return p.parseModule(fallbackName)
+}
+
+// ParseFile parses a .v file from disk.
+func ParseFile(path string) (*netlist.Netlist, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(name, ".v")
+	return Parse(f, name)
+}
+
+// ParseString parses Verilog text.
+func ParseString(src, fallbackName string) (*netlist.Netlist, error) {
+	return Parse(strings.NewReader(src), fallbackName)
+}
+
+// tokenize splits Verilog into identifier/punctuation tokens, dropping
+// comments.
+func tokenize(src string) []string {
+	var toks []string
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				i++
+			}
+			i += 2
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdent(c):
+			j := i
+			for j < n && (isIdent(src[j]) || src[j] == '\'') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	return toks
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || c == '$' || c == '[' || c == ']' ||
+		('0' <= c && c <= '9') || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	tok := "<eof>"
+	if p.pos < len(p.toks) {
+		tok = p.toks[p.pos]
+	}
+	return &ParseError{Token: tok, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		p.pos--
+		return p.errf("expected %q", tok)
+	}
+	return nil
+}
+
+// identList parses "a, b, c ;" (terminated by ';', consumed).
+func (p *parser) identList() ([]string, error) {
+	var names []string
+	for {
+		name := p.next()
+		if name == "" || !isIdent(name[0]) {
+			p.pos--
+			return nil, p.errf("expected identifier")
+		}
+		names = append(names, name)
+		switch p.next() {
+		case ",":
+			continue
+		case ";":
+			return names, nil
+		default:
+			p.pos--
+			return nil, p.errf("expected ',' or ';'")
+		}
+	}
+}
+
+var primitives = map[string]netlist.GateType{
+	"and": netlist.And, "nand": netlist.Nand,
+	"or": netlist.Or, "nor": netlist.Nor,
+	"xor": netlist.Xor, "xnor": netlist.Xnor,
+	"not": netlist.Not, "buf": netlist.Buf,
+}
+
+type instance struct {
+	gtype  netlist.GateType
+	output string
+	inputs []string
+}
+
+func (p *parser) parseModule(fallbackName string) (*netlist.Netlist, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name == "" {
+		return nil, p.errf("missing module name")
+	}
+	// Skip the port header "(...);" — declarations carry the direction.
+	if p.peek() == "(" {
+		depth := 0
+		for {
+			t := p.next()
+			if t == "" {
+				return nil, p.errf("unterminated port list")
+			}
+			if t == "(" {
+				depth++
+			}
+			if t == ")" {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	var (
+		inputs, outputs []string
+		declared        = map[string]bool{}
+		insts           []instance
+		assigns         [][2]string // dst, src ("<const0>"/"<const1>" for literals)
+	)
+
+	for {
+		switch t := p.next(); t {
+		case "endmodule":
+			return buildNetlist(name, fallbackName, inputs, outputs, declared, insts, assigns)
+		case "":
+			return nil, p.errf("missing endmodule")
+		case "input":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, names...)
+			for _, n := range names {
+				declared[n] = true
+			}
+		case "output":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, names...)
+			for _, n := range names {
+				declared[n] = true
+			}
+		case "wire", "reg":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				declared[n] = true
+			}
+		case "assign":
+			dst := p.next()
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			src := p.next()
+			switch src {
+			case "1'b0":
+				src = "<const0>"
+			case "1'b1":
+				src = "<const1>"
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			assigns = append(assigns, [2]string{dst, src})
+		case "dff":
+			inst, err := p.parseDFF()
+			if err != nil {
+				return nil, err
+			}
+			insts = append(insts, inst)
+		default:
+			gt, ok := primitives[strings.ToLower(t)]
+			if !ok {
+				return nil, p.errf("unsupported construct %q", t)
+			}
+			inst, err := p.parsePrimitive(gt)
+			if err != nil {
+				return nil, err
+			}
+			insts = append(insts, inst)
+		}
+	}
+}
+
+// parsePrimitive parses "name (out, in1, in2, ...);" after the gate
+// keyword (the instance name is optional in Verilog and ignored here).
+func (p *parser) parsePrimitive(gt netlist.GateType) (instance, error) {
+	if p.peek() != "(" {
+		p.next() // instance name
+	}
+	if err := p.expect("("); err != nil {
+		return instance{}, err
+	}
+	var ports []string
+	for {
+		t := p.next()
+		if t == "" {
+			return instance{}, p.errf("unterminated primitive instance")
+		}
+		if t == ")" {
+			break
+		}
+		if t == "," {
+			continue
+		}
+		ports = append(ports, t)
+	}
+	if err := p.expect(";"); err != nil {
+		return instance{}, err
+	}
+	if len(ports) < 2 {
+		return instance{}, p.errf("primitive needs an output and at least one input")
+	}
+	return instance{gtype: gt, output: ports[0], inputs: ports[1:]}, nil
+}
+
+// parseDFF parses `dff name (.q(x), .d(y), .clk(z));`.
+func (p *parser) parseDFF() (instance, error) {
+	if p.peek() != "(" {
+		p.next() // instance name
+	}
+	if err := p.expect("("); err != nil {
+		return instance{}, err
+	}
+	var q, d string
+	for {
+		t := p.next()
+		switch t {
+		case ")":
+			if err := p.expect(";"); err != nil {
+				return instance{}, err
+			}
+			if q == "" || d == "" {
+				return instance{}, p.errf("dff needs .q and .d")
+			}
+			return instance{gtype: netlist.DFF, output: q, inputs: []string{d}}, nil
+		case ",":
+			continue
+		case ".":
+			port := p.next()
+			if err := p.expect("("); err != nil {
+				return instance{}, err
+			}
+			net := p.next()
+			if err := p.expect(")"); err != nil {
+				return instance{}, err
+			}
+			switch port {
+			case "q":
+				q = net
+			case "d":
+				d = net
+			case "clk":
+				// ignored: the netlist model is single-clock
+			default:
+				return instance{}, p.errf("unknown dff port %q", port)
+			}
+		case "":
+			return instance{}, p.errf("unterminated dff instance")
+		default:
+			return instance{}, p.errf("expected named dff port")
+		}
+	}
+}
+
+// buildNetlist assembles the parsed pieces. Assign chains resolve to
+// buffers (or constants).
+func buildNetlist(name, fallback string, inputs, outputs []string, declared map[string]bool,
+	insts []instance, assigns [][2]string) (*netlist.Netlist, error) {
+	if name == "" {
+		name = fallback
+	}
+	n := netlist.New(name)
+	for _, in := range inputs {
+		if in == "clk" {
+			continue // global clock, not a logic input
+		}
+		if _, err := n.AddGate(in, netlist.Input); err != nil {
+			return nil, err
+		}
+	}
+	constCount := 0
+	for _, a := range assigns {
+		dst, src := a[0], a[1]
+		switch src {
+		case "<const0>", "<const1>":
+			t := netlist.Const0
+			if src == "<const1>" {
+				t = netlist.Const1
+			}
+			cname := fmt.Sprintf("_const%d", constCount)
+			constCount++
+			if _, err := n.AddGate(cname, t); err != nil {
+				return nil, err
+			}
+			insts = append(insts, instance{gtype: netlist.Buf, output: dst, inputs: []string{cname}})
+		default:
+			insts = append(insts, instance{gtype: netlist.Buf, output: dst, inputs: []string{src}})
+		}
+	}
+	// Declare all instance outputs, then connect.
+	for _, inst := range insts {
+		if _, err := n.AddGate(inst.output, inst.gtype); err != nil {
+			return nil, fmt.Errorf("vparse: net %q: %w", inst.output, err)
+		}
+	}
+	for _, inst := range insts {
+		dst := n.MustLookup(inst.output)
+		for _, in := range inst.inputs {
+			src, ok := n.Lookup(in)
+			if !ok {
+				return nil, fmt.Errorf("vparse: undriven net %q feeding %q", in, inst.output)
+			}
+			n.Connect(src, dst)
+		}
+	}
+	for _, out := range outputs {
+		id, ok := n.Lookup(out)
+		if !ok {
+			return nil, fmt.Errorf("vparse: output %q is never driven", out)
+		}
+		n.MarkPO(id)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
