@@ -1,0 +1,29 @@
+# Pre-merge gate for cghti. `make ci` is the check every change must
+# pass before merging (see ROADMAP.md); the individual targets are
+# usable on their own.
+
+GO ?= go
+
+.PHONY: ci build vet fmt test race bench
+
+ci: build vet fmt race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; turn any output into a failure.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...

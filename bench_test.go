@@ -23,6 +23,7 @@ import (
 	"cghti/internal/features"
 	"cghti/internal/gen"
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/opt"
 	"cghti/internal/rare"
 	"cghti/internal/sim"
@@ -149,6 +150,42 @@ func BenchmarkFullPipelineGenerate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGenerateObservability quantifies the cost of the always-on
+// instrumentation on the paper's reference circuit (c2670): "bare" runs
+// Generate with no sink and no caller trace (counters and the internal
+// trace still active — the shipping default), "noop-sink" adds a
+// subscribed no-op progress sink and a caller-owned trace. The two must
+// stay within ~2% of each other; a larger gap means an instrumentation
+// point has crept into a hot loop.
+func BenchmarkGenerateObservability(b *testing.B) {
+	n, err := gen.Benchmark("c2670")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cghti.Config{RareVectors: 2000, MinTriggerNodes: 8, Instances: 5}
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Seed = int64(i)
+			if _, err := cghti.Generate(n, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("noop-sink", func(b *testing.B) {
+		sink := obs.FuncSink(func(obs.Event) {})
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Seed = int64(i)
+			c.Trace = obs.NewTrace()
+			c.Progress = sink
+			if _, err := cghti.Generate(n, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkMEROGeneration(b *testing.B) {

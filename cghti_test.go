@@ -85,9 +85,16 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func TestTriggerRange(t *testing.T) {
 	res := generateSmall(t, 4)
-	min, max := res.TriggerRange()
+	min, max, ok := res.TriggerRange()
+	if !ok {
+		t.Fatal("TriggerRange not ok despite emitted benchmarks")
+	}
 	if min < 2 || max < min {
 		t.Fatalf("TriggerRange = %d..%d", min, max)
+	}
+	empty := &Result{}
+	if min, max, ok := empty.TriggerRange(); ok || min != 0 || max != 0 {
+		t.Fatalf("empty TriggerRange = %d..%d ok=%v, want 0..0 false", min, max, ok)
 	}
 }
 

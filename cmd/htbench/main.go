@@ -16,17 +16,28 @@ import (
 	"strings"
 	"time"
 
+	"cghti/internal/cli"
 	"cghti/internal/experiments"
+	"cghti/internal/obs"
 )
+
+const tool = "htbench"
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2, fig3, table2, table3, table4, table5 or all")
-		full     = flag.Bool("full", false, "paper-scale parameters (10k vectors, 100 instances, MERO N=1000)")
-		circuits = flag.String("circuits", "", "comma-separated circuit list (default: the paper's eight)")
-		seed     = flag.Int64("seed", 1, "random seed")
+		exp        = flag.String("exp", "all", "experiment: fig2, fig3, table2, table3, table4, table5 or all")
+		full       = flag.Bool("full", false, "paper-scale parameters (10k vectors, 100 instances, MERO N=1000)")
+		circuits   = flag.String("circuits", "", "comma-separated circuit list (default: the paper's eight)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		report     = flag.String("report", "", "write a JSON run report (per-experiment spans + counters) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+	if err := cli.StartProfiles(*cpuprofile, *memprofile); err != nil {
+		cli.Fatal(tool, err)
+	}
+	defer cli.StopProfiles()
 
 	opts := experiments.Options{
 		Full: *full,
@@ -68,18 +79,28 @@ func main() {
 	selected := order
 	if *exp != "all" {
 		if _, ok := runners[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "htbench: unknown experiment %q (have %v, all)\n", *exp, order)
-			os.Exit(2)
+			cli.Fatalf(tool, "unknown experiment %q (have %v, all)", *exp, order)
 		}
 		selected = []string{*exp}
 	}
+	snap0 := obs.Default().Snapshot()
+	trace := obs.NewTrace()
 	for _, name := range selected {
+		sp := trace.Start(name)
 		d, err := runners[name](opts)
+		sp.End()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "htbench: %s: %v\n", name, err)
-			os.Exit(1)
+			cli.Fatalf(tool, "%s: %w", name, err)
 		}
 		fmt.Printf("[%s done in %v]\n\n", name, d.Round(time.Millisecond))
+	}
+	if *report != "" {
+		rep := obs.NewReport(tool, trace, obs.Default().Snapshot().Delta(snap0))
+		rep.Args = os.Args[1:]
+		if err := rep.WriteFile(*report); err != nil {
+			cli.Fatal(tool, err)
+		}
+		fmt.Println("run report written to", *report)
 	}
 }
 

@@ -8,7 +8,9 @@
 //
 // The tool reports, per scheme, whether the trigger fired (TC) and
 // whether an output difference was observed (DC), with the first firing
-// vector index.
+// vector index. With -report it writes a JSON run report (one span per
+// scheme plus pattern-budget counters); -cpuprofile / -memprofile
+// capture pprof profiles.
 package main
 
 import (
@@ -17,10 +19,14 @@ import (
 	"os"
 
 	"cghti"
+	"cghti/internal/cli"
 	"cghti/internal/detect"
 	"cghti/internal/faultsim"
+	"cghti/internal/obs"
 	"cghti/internal/rare"
 )
+
+const tool = "htdetect"
 
 func main() {
 	var (
@@ -36,24 +42,34 @@ func main() {
 		theta        = flag.Float64("theta", 0.20, "rareness threshold for MERO/ND-ATPG rare nodes")
 		vectors      = flag.Int("vectors", 10000, "rare-node extraction vector count")
 		seed         = flag.Int64("seed", 1, "random seed")
+		report       = flag.String("report", "", "write a JSON run report (per-scheme spans + counters) to this file")
+		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
 	if *goldenPath == "" || *infectedPath == "" || *trigger == "" {
-		fmt.Fprintln(os.Stderr, "htdetect: -golden, -infected and -trigger are required")
-		os.Exit(2)
+		cli.Fatalf(tool, "-golden, -infected and -trigger are required")
 	}
+	if err := cli.StartProfiles(*cpuprofile, *memprofile); err != nil {
+		cli.Fatal(tool, err)
+	}
+	defer cli.StopProfiles()
+
+	snap0 := obs.Default().Snapshot()
+	trace := obs.NewTrace()
+
 	golden, err := cghti.ParseBenchFile(*goldenPath)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	infected, err := cghti.ParseBenchFile(*infectedPath)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	trigID, ok := infected.Lookup(*trigger)
 	if !ok {
-		fatal(fmt.Errorf("trigger net %q not found in %s", *trigger, *infectedPath))
+		cli.Fatalf(tool, "trigger net %q not found in %s", *trigger, *infectedPath)
 	}
 	tgt := detect.Target{
 		Golden:     golden,
@@ -65,9 +81,11 @@ func main() {
 	needRare := *scheme == "all" || *scheme == "mero" || *scheme == "ndatpg"
 	var rs *rare.Set
 	if needRare {
+		sp := trace.Start("rare_extract")
 		rs, err = rare.Extract(golden, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed})
+		sp.End()
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		fmt.Printf("%s: %d rare nodes at θ=%.0f%%\n", golden.Name, rs.Len(), *theta*100)
 	}
@@ -75,14 +93,14 @@ func main() {
 	run := func(name string, ts *detect.TestSet) {
 		out, err := detect.Evaluate(tgt, ts)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		fmt.Printf("%-8s %6d vectors  triggered=%-5v (first %d)  detected=%-5v (first %d)\n",
 			name, ts.Len(), out.Triggered, out.FirstTrigger, out.Detected, out.FirstDetect)
 		if *faultCov {
 			cov, err := faultsim.Run(golden, ts.Vectors, nil)
 			if err != nil {
-				fatal(err)
+				cli.Fatal(tool, err)
 			}
 			fmt.Printf("         stuck-at fault coverage on golden: %.1f%% (%d/%d)\n",
 				cov.Percent(), cov.Detected, cov.Total)
@@ -90,30 +108,37 @@ func main() {
 	}
 
 	if *scheme == "all" || *scheme == "random" {
+		sp := trace.Start("random")
 		run("random", detect.RandomTestSet(golden, *patterns, *seed))
+		sp.End()
 	}
 	if *scheme == "all" || *scheme == "mero" {
+		sp := trace.Start("mero")
 		ts, err := detect.MERO(golden, rs, detect.MEROConfig{N: *meroN, RandomVectors: *meroPool, Seed: *seed})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		run("mero", ts)
+		sp.End()
 	}
 	if *scheme == "all" || *scheme == "ndatpg" {
+		sp := trace.Start("ndatpg")
 		n := *meroN
 		if n > 10 {
 			n = 5 // ND-ATPG's N is per rare event; cap the default
 		}
 		ts, err := detect.NDATPG(golden, rs, detect.NDATPGConfig{N: n, Seed: *seed})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		run("ndatpg", ts)
+		sp.End()
 	}
 	if *scheme == "all" || *scheme == "cotd" {
+		sp := trace.Start("cotd")
 		rep, err := detect.COTD(infected, detect.COTDConfig{})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		fmt.Printf("%-8s structural analysis  flagged=%-5v suspicious=%d threshold=%.0f\n",
 			"cotd", rep.Flagged, len(rep.Suspicious), rep.Threshold)
@@ -125,10 +150,21 @@ func main() {
 			fmt.Printf("         suspicious net %s (score %.0f)\n",
 				infected.Gates[id].Name, rep.Scores[id])
 		}
+		sp.End()
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "htdetect:", err)
-	os.Exit(1)
+	if *report != "" {
+		rep := obs.NewReport(tool, trace, obs.Default().Snapshot().Delta(snap0))
+		rep.Args = os.Args[1:]
+		rep.Extra = map[string]any{
+			"golden":   golden.Name,
+			"infected": infected.Name,
+			"trigger":  *trigger,
+			"scheme":   *scheme,
+		}
+		if err := rep.WriteFile(*report); err != nil {
+			cli.Fatal(tool, err)
+		}
+		fmt.Println("run report written to", *report)
+	}
 }

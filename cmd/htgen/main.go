@@ -5,10 +5,14 @@
 //
 //	htgen -circuit c2670 -q 25 -n 10 -out ./out
 //	htgen -bench mydesign.bench -q 10 -n 5 -theta 0.2 -vectors 10000 -out ./out
+//	htgen -circuit c2670 -q 8 -report run.json -v
 //
 // For every emitted instance the tool writes <name>.bench (and with
 // -verilog also <name>.v) plus a <name>.trigger file recording the
-// trigger nodes, victim net and activation cube.
+// trigger nodes, victim net and activation cube. With -report it also
+// writes a JSON run report (per-stage span trace + counter deltas);
+// with -v it streams stage progress to stderr; -cpuprofile /
+// -memprofile capture pprof profiles.
 package main
 
 import (
@@ -19,29 +23,37 @@ import (
 	"strings"
 
 	"cghti"
+	"cghti/internal/cli"
+	"cghti/internal/obs"
 	"cghti/internal/opt"
 	"cghti/internal/trojan"
 	"cghti/internal/vparse"
 )
 
+const tool = "htgen"
+
 func main() {
 	var (
-		circuit  = flag.String("circuit", "", "built-in benchmark circuit name (see -list)")
-		benchIn  = flag.String("bench", "", "path to a .bench netlist to infect (overrides -circuit)")
-		outDir   = flag.String("out", "ht_out", "output directory")
-		q        = flag.Int("q", 8, "minimum number of trigger nodes per instance")
-		n        = flag.Int("n", 1, "number of HT instances to generate")
-		theta    = flag.Float64("theta", 0.20, "rareness threshold θ_RN (fraction of |V|)")
-		vectors  = flag.Int("vectors", 10000, "random vector count |V| for rare-node extraction")
-		faninK   = flag.Int("k", 4, "max fanin of trigger-tree gates")
-		seed     = flag.Int64("seed", 1, "random seed")
-		payload  = flag.String("payload", "flip", "trojan effect: flip (invert victim), leak (new output), force (jam victim)")
-		verilog  = flag.Bool("verilog", false, "also emit structural Verilog")
-		check    = flag.Bool("check", true, "re-prove every instance's activation cube before writing")
-		list     = flag.Bool("list", false, "list built-in circuits and exit")
-		maxNodes = flag.Int("max-rare", 0, "cap PODEM cube generation to the rarest K nodes (0 = all)")
-		timebomb = flag.Int("timebomb", 0, "convert each instance to a sequential time bomb with this many counter bits (0 = off)")
-		dedup    = flag.Bool("dedup", false, "run structural deduplication after insertion (blends trojan gates with functional logic)")
+		circuit    = flag.String("circuit", "", "built-in benchmark circuit name (see -list)")
+		benchIn    = flag.String("bench", "", "path to a .bench netlist to infect (overrides -circuit)")
+		outDir     = flag.String("out", "ht_out", "output directory")
+		q          = flag.Int("q", 8, "minimum number of trigger nodes per instance")
+		n          = flag.Int("n", 1, "number of HT instances to generate")
+		theta      = flag.Float64("theta", 0.20, "rareness threshold θ_RN (fraction of |V|)")
+		vectors    = flag.Int("vectors", 10000, "random vector count |V| for rare-node extraction")
+		faninK     = flag.Int("k", 4, "max fanin of trigger-tree gates")
+		seed       = flag.Int64("seed", 1, "random seed")
+		payload    = flag.String("payload", "flip", "trojan effect: flip (invert victim), leak (new output), force (jam victim)")
+		verilog    = flag.Bool("verilog", false, "also emit structural Verilog")
+		check      = flag.Bool("check", true, "re-prove every instance's activation cube before writing")
+		list       = flag.Bool("list", false, "list built-in circuits and exit")
+		maxNodes   = flag.Int("max-rare", 0, "cap PODEM cube generation to the rarest K nodes (0 = all)")
+		timebomb   = flag.Int("timebomb", 0, "convert each instance to a sequential time bomb with this many counter bits (0 = off)")
+		dedup      = flag.Bool("dedup", false, "run structural deduplication after insertion (blends trojan gates with functional logic)")
+		report     = flag.String("report", "", "write a JSON run report (span trace + counters) to this file")
+		verbose    = flag.Bool("v", false, "stream stage progress to stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -51,10 +63,17 @@ func main() {
 		}
 		return
 	}
+	if err := cli.StartProfiles(*cpuprofile, *memprofile); err != nil {
+		cli.Fatal(tool, err)
+	}
+	defer cli.StopProfiles()
+
+	snap0 := obs.Default().Snapshot()
+	trace := obs.NewTrace()
 
 	base, err := loadInput(*benchIn, *circuit)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 
 	cfg := cghti.Config{
@@ -65,6 +84,10 @@ func main() {
 		FaninK:          *faninK,
 		MaxRareNodes:    *maxNodes,
 		Seed:            *seed,
+		Trace:           trace,
+	}
+	if *verbose {
+		cfg.Progress = obs.TextSink(os.Stderr)
 	}
 	switch *payload {
 	case "flip", "":
@@ -74,20 +97,23 @@ func main() {
 	case "force":
 		cfg.Payload = trojan.PayloadForce
 	default:
-		fatal(fmt.Errorf("unknown payload %q (flip, leak, force)", *payload))
+		cli.Fatalf(tool, "unknown payload %q (flip, leak, force)", *payload)
 	}
 	res, err := cghti.Generate(base, cfg)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	if *check {
+		sp := trace.Start("verify")
 		if err := res.Verify(); err != nil {
-			fatal(fmt.Errorf("activation-cube verification failed: %w", err))
+			cli.Fatalf(tool, "activation-cube verification failed: %w", err)
 		}
+		sp.End()
 	}
 
+	sp := trace.Start("write_outputs")
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	fmt.Printf("%s: %d rare nodes, %d graph vertices, %d cliques mined\n",
 		base.Name, res.RareSet.Len(), res.Graph.NumVertices(), len(res.Cliques))
@@ -95,7 +121,7 @@ func main() {
 		if *timebomb > 0 {
 			tb, err := trojan.InsertTimeBomb(b.Netlist, b.Instance, trojan.TimeBombSpec{CounterBits: *timebomb})
 			if err != nil {
-				fatal(err)
+				cli.Fatal(tool, err)
 			}
 			fmt.Printf("  time bomb: %d-bit counter, armed net %s\n", tb.CounterBits, tb.Armed)
 		}
@@ -103,34 +129,54 @@ func main() {
 		if *dedup {
 			blended, dres, err := opt.Dedup(out)
 			if err != nil {
-				fatal(err)
+				cli.Fatal(tool, err)
 			}
 			fmt.Printf("  dedup: %s\n", dres)
 			out = blended
 		}
 		path := filepath.Join(*outDir, out.Name+".bench")
 		if err := cghti.WriteBenchFile(path, out); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		if *verilog {
 			if err := cghti.WriteVerilogFile(filepath.Join(*outDir, out.Name+".v"), out); err != nil {
-				fatal(err)
+				cli.Fatal(tool, err)
 			}
 		}
 		if err := writeTriggerReport(*outDir, res, b); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		fmt.Printf("  %s: q=%d, trigger=%s, victim=%s, payload=%s, est. activation prob %.3g\n",
 			path, len(b.Clique.Vertices), b.Instance.TriggerOut,
 			b.Instance.Victim, b.Instance.Payload, b.Instance.Trigger.ActivationProb)
 	}
-	min, max := res.TriggerRange()
+	sp.End()
+	min, max, _ := res.TriggerRange()
 	overhead, err := res.AreaOverhead()
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	fmt.Printf("trigger nodes %d-%d, worst-case area overhead %.2f%%, total time %v\n",
 		min, max, overhead, res.Times.Total)
+
+	if *report != "" {
+		rep := obs.NewReport(tool, trace, obs.Default().Snapshot().Delta(snap0))
+		rep.Args = os.Args[1:]
+		rep.Extra = map[string]any{
+			"circuit":        base.Name,
+			"rare_nodes":     res.RareSet.Len(),
+			"graph_vertices": res.Graph.NumVertices(),
+			"graph_edges":    res.Graph.NumEdges(),
+			"cliques":        len(res.Cliques),
+			"instances":      len(res.Benchmarks),
+			"trigger_q_min":  min,
+			"trigger_q_max":  max,
+		}
+		if err := rep.WriteFile(*report); err != nil {
+			cli.Fatal(tool, err)
+		}
+		fmt.Println("run report written to", *report)
+	}
 }
 
 func loadInput(benchPath, circuit string) (*cghti.Netlist, error) {
@@ -161,9 +207,4 @@ func writeTriggerReport(dir string, res *cghti.Result, b cghti.Benchmark) error 
 			res.Base.Gates[node.ID].Name, node.RareValue, node.Prob)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "htgen:", err)
-	os.Exit(1)
 }

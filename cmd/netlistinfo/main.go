@@ -5,36 +5,94 @@
 //
 //	netlistinfo -circuit c2670
 //	netlistinfo -bench design.bench -rare -scoap
+//	netlistinfo -circuit c2670 -rare -json | jq .rare.count
 //	netlistinfo -circuit c17 -to-verilog c17.v -to-bench c17.bench
+//
+// With -json the statistics (and the -rare / -scoap summaries, when
+// requested) are emitted as one JSON object on stdout, machine-readable
+// alongside the htgen/htdetect run reports; status notes go to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"cghti"
+	"cghti/internal/cli"
 	"cghti/internal/features"
 	"cghti/internal/rare"
 	"cghti/internal/scoap"
 	"cghti/internal/vparse"
 )
 
+const tool = "netlistinfo"
+
+// jsonRareNode is one rare node in -json output.
+type jsonRareNode struct {
+	Name      string  `json:"name"`
+	RareValue uint8   `json:"rare_value"`
+	Prob      float64 `json:"prob"`
+}
+
+// jsonOut is the -json document: netlist statistics plus the optional
+// analysis sections.
+type jsonOut struct {
+	Name     string         `json:"name"`
+	Gates    int            `json:"gates"`
+	Cells    int            `json:"cells"`
+	PIs      int            `json:"pis"`
+	POs      int            `json:"pos"`
+	DFFs     int            `json:"dffs"`
+	Depth    int32          `json:"depth"`
+	MaxFanin int            `json:"max_fanin"`
+	ByType   map[string]int `json:"by_type"`
+	Rare     *struct {
+		Theta   float64        `json:"theta"`
+		Vectors int            `json:"vectors"`
+		Count   int            `json:"count"`
+		Total   int            `json:"total_nodes"`
+		RN1     int            `json:"rn1"`
+		RN0     int            `json:"rn0"`
+		Rarest  []jsonRareNode `json:"rarest"`
+	} `json:"rare,omitempty"`
+	Scoap *struct {
+		MaxControllability int64 `json:"max_controllability"`
+		MaxObservability   int64 `json:"max_observability"`
+	} `json:"scoap,omitempty"`
+}
+
 func main() {
 	var (
-		circuit   = flag.String("circuit", "", "built-in benchmark circuit name")
-		benchIn   = flag.String("bench", "", "path to a .bench netlist (overrides -circuit)")
-		showRare  = flag.Bool("rare", false, "extract and summarize rare nodes")
-		showScoap = flag.Bool("scoap", false, "compute SCOAP testability ranges")
-		theta     = flag.Float64("theta", 0.20, "rareness threshold")
-		vectors   = flag.Int("vectors", 10000, "rare-node extraction vectors")
-		seed      = flag.Int64("seed", 1, "random seed")
-		toBench   = flag.String("to-bench", "", "write the netlist to this .bench file")
-		toVerilog = flag.String("to-verilog", "", "write the netlist to this Verilog file")
-		featCSV   = flag.String("features", "", "write per-net ML features (MIMIC-style) to this CSV file")
+		circuit    = flag.String("circuit", "", "built-in benchmark circuit name")
+		benchIn    = flag.String("bench", "", "path to a .bench netlist (overrides -circuit)")
+		showRare   = flag.Bool("rare", false, "extract and summarize rare nodes")
+		showScoap  = flag.Bool("scoap", false, "compute SCOAP testability ranges")
+		theta      = flag.Float64("theta", 0.20, "rareness threshold")
+		vectors    = flag.Int("vectors", 10000, "rare-node extraction vectors")
+		seed       = flag.Int64("seed", 1, "random seed")
+		toBench    = flag.String("to-bench", "", "write the netlist to this .bench file")
+		toVerilog  = flag.String("to-verilog", "", "write the netlist to this Verilog file")
+		featCSV    = flag.String("features", "", "write per-net ML features (MIMIC-style) to this CSV file")
+		jsonMode   = flag.Bool("json", false, "emit statistics as JSON on stdout")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
+	if err := cli.StartProfiles(*cpuprofile, *memprofile); err != nil {
+		cli.Fatal(tool, err)
+	}
+	defer cli.StopProfiles()
+
+	// In JSON mode stdout carries exactly one JSON document; status
+	// notes move to stderr.
+	notes := io.Writer(os.Stdout)
+	if *jsonMode {
+		notes = os.Stderr
+	}
 
 	var (
 		n   *cghti.Netlist
@@ -51,35 +109,72 @@ func main() {
 		err = fmt.Errorf("one of -bench (.bench or .v) or -circuit is required")
 	}
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	if err := n.Validate(); err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
-	fmt.Println(n.ComputeStats())
+	stats := n.ComputeStats()
+	doc := jsonOut{
+		Name:     stats.Name,
+		Gates:    stats.Gates,
+		Cells:    stats.Cells,
+		PIs:      stats.PIs,
+		POs:      stats.POs,
+		DFFs:     stats.DFFs,
+		Depth:    stats.Depth,
+		MaxFanin: stats.MaxFanin,
+		ByType:   make(map[string]int, len(stats.ByType)),
+	}
+	for gt, count := range stats.ByType {
+		doc.ByType[gt.String()] = count
+	}
+	if !*jsonMode {
+		fmt.Println(stats)
+	}
 
 	if *showRare {
 		rs, err := rare.Extract(n, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
-		fmt.Printf("rare nodes at θ=%.0f%% over %d vectors: %d of %d (%.1f%%), RN1=%d RN0=%d\n",
-			*theta*100, *vectors, rs.Len(), rs.TotalNodes,
-			100*float64(rs.Len())/float64(rs.TotalNodes), len(rs.RN1), len(rs.RN0))
 		show := rs.All()
 		if len(show) > 10 {
 			show = show[:10]
 		}
-		for _, node := range show {
-			fmt.Printf("  %-20s rare value %d, p=%.4f\n",
-				n.Gates[node.ID].Name, node.RareValue, node.Prob)
+		if *jsonMode {
+			doc.Rare = &struct {
+				Theta   float64        `json:"theta"`
+				Vectors int            `json:"vectors"`
+				Count   int            `json:"count"`
+				Total   int            `json:"total_nodes"`
+				RN1     int            `json:"rn1"`
+				RN0     int            `json:"rn0"`
+				Rarest  []jsonRareNode `json:"rarest"`
+			}{
+				Theta: *theta, Vectors: *vectors, Count: rs.Len(),
+				Total: rs.TotalNodes, RN1: len(rs.RN1), RN0: len(rs.RN0),
+			}
+			for _, node := range show {
+				doc.Rare.Rarest = append(doc.Rare.Rarest, jsonRareNode{
+					Name: n.Gates[node.ID].Name, RareValue: node.RareValue, Prob: node.Prob,
+				})
+			}
+		} else {
+			fmt.Printf("rare nodes at θ=%.0f%% over %d vectors: %d of %d (%.1f%%), RN1=%d RN0=%d\n",
+				*theta*100, *vectors, rs.Len(), rs.TotalNodes,
+				100*float64(rs.Len())/float64(rs.TotalNodes), len(rs.RN1), len(rs.RN0))
+			for _, node := range show {
+				fmt.Printf("  %-20s rare value %d, p=%.4f\n",
+					n.Gates[node.ID].Name, node.RareValue, node.Prob)
+			}
 		}
 	}
 
 	if *showScoap {
 		m, err := scoap.Compute(n)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		var maxCC, maxCO int64
 		for i := range n.Gates {
@@ -92,34 +187,44 @@ func main() {
 				maxCO = m.CO[i]
 			}
 		}
-		fmt.Printf("SCOAP: max finite controllability %d, max finite observability %d\n", maxCC, maxCO)
+		if *jsonMode {
+			doc.Scoap = &struct {
+				MaxControllability int64 `json:"max_controllability"`
+				MaxObservability   int64 `json:"max_observability"`
+			}{MaxControllability: maxCC, MaxObservability: maxCO}
+		} else {
+			fmt.Printf("SCOAP: max finite controllability %d, max finite observability %d\n", maxCC, maxCO)
+		}
+	}
+
+	if *jsonMode {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			cli.Fatal(tool, err)
+		}
 	}
 
 	if *toBench != "" {
 		if err := cghti.WriteBenchFile(*toBench, n); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
-		fmt.Println("wrote", *toBench)
+		fmt.Fprintln(notes, "wrote", *toBench)
 	}
 	if *toVerilog != "" {
 		if err := cghti.WriteVerilogFile(*toVerilog, n); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
-		fmt.Println("wrote", *toVerilog)
+		fmt.Fprintln(notes, "wrote", *toVerilog)
 	}
 	if *featCSV != "" {
 		vecs, err := features.Extract(n, features.Config{Vectors: *vectors, Seed: *seed})
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		if err := features.WriteCSVFile(*featCSV, vecs); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
-		fmt.Printf("wrote %s (%d nets x 12 features)\n", *featCSV, len(vecs))
+		fmt.Fprintf(notes, "wrote %s (%d nets x 12 features)\n", *featCSV, len(vecs))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "netlistinfo:", err)
-	os.Exit(1)
 }

@@ -69,7 +69,7 @@ func main() {
 				b.Instance.Trigger.ActivationProb)
 			total++
 		}
-		min, max := res.TriggerRange()
+		min, max, _ := res.TriggerRange()
 		fmt.Printf("%-6s %2d instances, trigger nodes %d-%d, insertion time %v\n",
 			name, len(res.Benchmarks), min, max, res.Times.Total)
 	}

@@ -10,10 +10,30 @@ import (
 	"cghti/internal/detect"
 	"cghti/internal/equiv"
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/rare"
 	"cghti/internal/sim"
 	"cghti/internal/trojan"
 )
+
+// Stage names of the Generate pipeline, as they appear in the trace
+// (children of the StageGenerate root span) and in progress events.
+const (
+	StageGenerate    = "generate" // root span wrapping the whole pipeline
+	StageLevelize    = "levelize"
+	StageRareExtract = "rare_extract"
+	StageCubeGen     = "cube_gen"
+	StageGraphEdges  = "graph_edges"
+	StageCliqueMine  = "clique_mine"
+	StageInsert      = "insert"
+)
+
+// PipelineStages lists the six pipeline-stage span names in execution
+// order (the Section IV-C time decomposition).
+var PipelineStages = []string{
+	StageLevelize, StageRareExtract, StageCubeGen,
+	StageGraphEdges, StageCliqueMine, StageInsert,
+}
 
 // Config holds the user-defined properties of the paper's framework: the
 // rare-node hyperparameters (θ_RN, |V|), the trigger-node count q, the
@@ -47,6 +67,15 @@ type Config struct {
 	CliqueAttempts int
 	// Seed makes the whole pipeline deterministic.
 	Seed int64
+	// Progress, if non-nil, receives stage-transition and
+	// percent-complete events while Generate runs, so long runs on
+	// large circuits are not silent. The default is no reporting; the
+	// sink may be called from the goroutine running Generate only.
+	Progress obs.Sink
+	// Trace, if non-nil, receives the pipeline's spans; otherwise
+	// Generate creates a fresh trace. Either way the trace is exposed
+	// as Result.Trace.
+	Trace *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -66,7 +95,9 @@ func (c Config) withDefaults() Config {
 }
 
 // StageTimes breaks the insertion pipeline down by stage — the
-// time-complexity decomposition of the paper's Section IV-C.
+// time-complexity decomposition of the paper's Section IV-C. It is a
+// compatibility view derived from the span trace (Result.Trace), which
+// is the authoritative record.
 type StageTimes struct {
 	Levelize    time.Duration // netlist levelization
 	RareExtract time.Duration // Algorithm 1
@@ -135,50 +166,109 @@ type Result struct {
 	Cliques []compat.Clique
 	// Benchmarks are the HT-infected netlists.
 	Benchmarks []Benchmark
-	// Times is the per-stage timing breakdown.
+	// Times is the per-stage timing breakdown (derived from Trace).
 	Times StageTimes
+	// Trace is the pipeline's span trace: a StageGenerate root span
+	// with one child per pipeline stage.
+	Trace *obs.Trace
+}
+
+// stageRunner emits progress events and records spans for one
+// Generate call.
+type stageRunner struct {
+	sink obs.Sink
+	root *obs.Span
+}
+
+func (sr *stageRunner) start(name string) *obs.Span {
+	obs.Emit(sr.sink, obs.Event{Stage: name, Kind: obs.StageStart})
+	return sr.root.Start(name)
+}
+
+func (sr *stageRunner) end(s *obs.Span) {
+	s.End()
+	obs.Emit(sr.sink, obs.Event{Stage: s.Name(), Kind: obs.StageEnd, Elapsed: s.Duration()})
+}
+
+// progress adapts an internal done/total callback to StageProgress
+// events, throttled to whole-percent changes so hot loops stay cheap.
+func (sr *stageRunner) progress(stage string, started time.Time) func(done, total int) {
+	if sr.sink == nil {
+		return nil
+	}
+	lastPct := -1
+	return func(done, total int) {
+		pct := 100
+		if total > 0 {
+			pct = 100 * done / total
+		}
+		if pct == lastPct {
+			return
+		}
+		lastPct = pct
+		obs.Emit(sr.sink, obs.Event{
+			Stage: stage, Kind: obs.StageProgress,
+			Done: done, Total: total, Elapsed: time.Since(started),
+		})
+	}
 }
 
 // Generate runs the full insertion pipeline on n.
 func Generate(n *Netlist, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	res := &Result{Base: n}
-	t0 := time.Now()
+	trace := cfg.Trace
+	if trace == nil {
+		trace = obs.NewTrace()
+	}
+	res := &Result{Base: n, Trace: trace}
+	sr := &stageRunner{sink: cfg.Progress, root: trace.Start(StageGenerate)}
+	defer sr.root.End()
 
-	tl := time.Now()
+	sp := sr.start(StageLevelize)
 	if err := n.Levelize(); err != nil {
 		return nil, err
 	}
-	res.Times.Levelize = time.Since(tl)
+	sr.end(sp)
 
-	tr := time.Now()
+	sp = sr.start(StageRareExtract)
 	rs, err := rare.Extract(n, rare.Config{
 		Vectors:   cfg.RareVectors,
 		Threshold: cfg.RareThreshold,
 		Seed:      cfg.Seed,
+		Progress:  sr.progress(StageRareExtract, sp.StartTime()),
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.Times.RareExtract = time.Since(tr)
+	sr.end(sp)
 	res.RareSet = rs
 	if rs.Len() == 0 {
 		return nil, fmt.Errorf("cghti: no rare nodes at θ=%v over %d vectors",
 			cfg.RareThreshold, cfg.RareVectors)
 	}
 
+	// compat.Build covers two pipeline stages (PODEM cube generation,
+	// then pairwise edges); it reports their durations, which become
+	// retro-recorded spans splitting the Build window.
+	buildStart := time.Now()
+	obs.Emit(cfg.Progress, obs.Event{Stage: StageCubeGen, Kind: obs.StageStart})
 	g, err := compat.Build(n, rs, compat.BuildConfig{
 		MaxBacktracks: cfg.MaxBacktracks,
 		MaxNodes:      cfg.MaxRareNodes,
+		Progress:      sr.progress(StageCubeGen, buildStart),
 	})
 	if err != nil {
 		return nil, err
 	}
 	res.Graph = g
-	res.Times.CubeGen = g.CubeTime
-	res.Times.GraphEdges = g.EdgeTime
+	cubeEnd := buildStart.Add(g.CubeTime)
+	sr.root.Add(StageCubeGen, buildStart, cubeEnd)
+	obs.Emit(cfg.Progress, obs.Event{Stage: StageCubeGen, Kind: obs.StageEnd, Elapsed: g.CubeTime})
+	obs.Emit(cfg.Progress, obs.Event{Stage: StageGraphEdges, Kind: obs.StageStart})
+	sr.root.Add(StageGraphEdges, cubeEnd, cubeEnd.Add(g.EdgeTime))
+	obs.Emit(cfg.Progress, obs.Event{Stage: StageGraphEdges, Kind: obs.StageEnd, Elapsed: g.EdgeTime})
 
-	tc := time.Now()
+	sp = sr.start(StageCliqueMine)
 	// Mine a pool larger than needed, then keep the stealthiest cliques
 	// (lowest estimated activation probability, largest first on ties).
 	cliques := g.FindCliques(compat.MineConfig{
@@ -188,14 +278,19 @@ func Generate(n *Netlist, cfg Config) (*Result, error) {
 		Seed:       cfg.Seed,
 	})
 	g.SortByStealth(cliques)
-	res.Times.CliqueMine = time.Since(tc)
+	sr.end(sp)
 	res.Cliques = cliques
 	if len(cliques) == 0 {
 		return nil, fmt.Errorf("cghti: no clique with >= %d compatible rare nodes (graph: %d vertices, %d edges)",
 			cfg.MinTriggerNodes, g.NumVertices(), g.NumEdges())
 	}
 
-	ti := time.Now()
+	sp = sr.start(StageInsert)
+	instProgress := sr.progress(StageInsert, sp.StartTime())
+	total := cfg.Instances
+	if total > len(cliques) {
+		total = len(cliques)
+	}
 	for i := 0; i < cfg.Instances && i < len(cliques); i++ {
 		c := cliques[i]
 		infected, inst, err := trojan.InsertInstance(n, c.Nodes(g), c.Cube, i, trojan.InsertSpec{
@@ -211,16 +306,41 @@ func Generate(n *Netlist, cfg Config) (*Result, error) {
 			Instance: inst,
 			Clique:   c,
 		})
+		if instProgress != nil {
+			instProgress(i+1, total)
+		}
 	}
-	res.Times.Insert = time.Since(ti)
-	res.Times.Total = time.Since(t0)
+	sr.end(sp)
+	sr.root.End()
+	res.Times = stageTimes(trace)
 	return res, nil
+}
+
+// stageTimes derives the StageTimes compatibility view from a
+// pipeline trace.
+func stageTimes(tr *obs.Trace) StageTimes {
+	dur := func(name string) time.Duration {
+		if s := tr.Find(name); s != nil {
+			return s.Duration()
+		}
+		return 0
+	}
+	return StageTimes{
+		Levelize:    dur(StageLevelize),
+		RareExtract: dur(StageRareExtract),
+		CubeGen:     dur(StageCubeGen),
+		GraphEdges:  dur(StageGraphEdges),
+		CliqueMine:  dur(StageCliqueMine),
+		Insert:      dur(StageInsert),
+		Total:       dur(StageGenerate),
+	}
 }
 
 // TriggerRange reports the smallest and largest trigger-node counts over
 // the emitted instances — the "trigger nodes" column of the paper's
-// Table III.
-func (r *Result) TriggerRange() (min, max int) {
+// Table III. ok is false (and min, max are 0) when no benchmarks were
+// emitted, so zeros cannot be mistaken for real trigger counts.
+func (r *Result) TriggerRange() (min, max int, ok bool) {
 	for i, b := range r.Benchmarks {
 		q := len(b.Clique.Vertices)
 		if i == 0 || q < min {
@@ -230,7 +350,7 @@ func (r *Result) TriggerRange() (min, max int) {
 			max = q
 		}
 	}
-	return min, max
+	return min, max, len(r.Benchmarks) > 0
 }
 
 // AreaOverhead computes the worst-case trojan area overhead percentage

@@ -4,8 +4,20 @@ import (
 	"fmt"
 
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/scoap"
 	"cghti/internal/sim"
+)
+
+// Observability counters. Engine.Stats remains the per-engine view;
+// these aggregate across all engines (including worker-pool engines)
+// so run reports see the whole process.
+var (
+	cntCalls      = obs.NewCounter("atpg.podem_calls")
+	cntBacktracks = obs.NewCounter("atpg.podem_backtracks")
+	cntAborts     = obs.NewCounter("atpg.podem_aborts")
+	cntUntestable = obs.NewCounter("atpg.podem_untestable")
+	cntImplies    = obs.NewCounter("atpg.podem_implications")
 )
 
 // Result classifies the outcome of a PODEM run.
@@ -169,6 +181,7 @@ func (e *Engine) Detect(site netlist.GateID, stuckAt uint8) (Cube, Result) {
 
 func (e *Engine) run(target netlist.GateID, want uint8, propagate bool) (Cube, Result) {
 	e.Stats.Calls++
+	cntCalls.Inc()
 	for i := range e.assign {
 		e.assign[i] = sim.V3X
 	}
@@ -225,13 +238,16 @@ func (e *Engine) run(target netlist.GateID, want uint8, propagate bool) (Cube, R
 		// Dead end: flip the deepest unflipped decision.
 		for {
 			if len(stack) == 0 {
+				cntUntestable.Inc()
 				return Cube{}, Untestable
 			}
 			top := &stack[len(stack)-1]
 			if !top.flipped {
 				backtracks++
 				e.Stats.Backtracks++
+				cntBacktracks.Inc()
 				if backtracks > maxBT {
+					cntAborts.Inc()
 					return Cube{}, Abort
 				}
 				top.flipped = true
@@ -249,6 +265,7 @@ func (e *Engine) run(target netlist.GateID, want uint8, propagate bool) (Cube, R
 // current input assignment.
 func (e *Engine) imply(site netlist.GateID, stuck sim.V3, propagate bool) {
 	e.Stats.Implies++
+	cntImplies.Inc()
 	e.evalPlane(e.good, netlist.InvalidGate, sim.V3X)
 	if propagate {
 		e.evalPlane(e.faulty, site, stuck)

@@ -1,0 +1,77 @@
+// Package cli holds plumbing shared by the cmd/* tools: uniform
+// "tool: message" fatal error handling with a guaranteed non-zero
+// exit, and opt-in pprof CPU/heap profiling behind -cpuprofile /
+// -memprofile flags.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+var (
+	profMu  sync.Mutex
+	cpuOut  *os.File
+	memPath string
+)
+
+// StartProfiles begins CPU profiling to cpuPath (if non-empty) and
+// arranges for a heap profile to be written to memPath (if non-empty)
+// when StopProfiles runs. Call once, right after flag parsing.
+func StartProfiles(cpuPath, memPathArg string) error {
+	profMu.Lock()
+	defer profMu.Unlock()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuOut = f
+	}
+	memPath = memPathArg
+	return nil
+}
+
+// StopProfiles flushes the CPU profile and writes the heap profile, if
+// either was requested. Safe to call multiple times; Fatal calls it so
+// profiles survive error exits (os.Exit skips defers).
+func StopProfiles() {
+	profMu.Lock()
+	defer profMu.Unlock()
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		cpuOut.Close()
+		cpuOut = nil
+	}
+	if memPath != "" {
+		if f, err := os.Create(memPath); err == nil {
+			runtime.GC() // get up-to-date allocation statistics
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		} else {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+		memPath = ""
+	}
+}
+
+// Fatal prints "tool: message" to stderr, flushes any active profiles,
+// and exits with status 1. Every cmd/* tool funnels errors through
+// here so failure output and exit codes are uniform.
+func Fatal(tool string, err error) {
+	StopProfiles()
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Fatalf is Fatal with formatting.
+func Fatalf(tool, format string, args ...any) {
+	Fatal(tool, fmt.Errorf(format, args...))
+}

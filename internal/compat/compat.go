@@ -17,7 +17,22 @@ import (
 
 	"cghti/internal/atpg"
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/rare"
+)
+
+// Observability counters/gauges (process-wide; run reports record
+// deltas). Hot loops add in bulk — e.g. the O(V²) pairwise edge test
+// counts once per Build, not per pair.
+var (
+	cntCubeSuccess    = obs.NewCounter("compat.cubes_generated")
+	cntCubeDropped    = obs.NewCounter("compat.cubes_dropped")
+	cntPairChecks     = obs.NewCounter("compat.pair_checks")
+	cntWorkerBatches  = obs.NewCounter("compat.worker_batches")
+	cntCliqueAttempts = obs.NewCounter("compat.clique_attempts")
+	cntCliquesFound   = obs.NewCounter("compat.cliques_found")
+	gaugeVertices     = obs.NewGauge("compat.graph_vertices")
+	gaugeEdges        = obs.NewGauge("compat.graph_edges")
 )
 
 // BuildConfig parameterizes graph construction.
@@ -34,6 +49,11 @@ type BuildConfig struct {
 	// rare node's cube is computed independently and results keep
 	// rarity order.
 	Workers int
+	// Progress, if non-nil, is called with (candidates processed,
+	// total candidates) as cube generation advances — per candidate on
+	// the serial path, per batch on the parallel path. Always invoked
+	// from the goroutine that called Build.
+	Progress func(done, total int)
 }
 
 // Graph is the compatibility graph: vertex i is rare node Nodes[i] with
@@ -80,7 +100,7 @@ func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		for _, node := range candidates {
+		for done, node := range candidates {
 			if cfg.MaxNodes > 0 && len(g.Nodes) >= cfg.MaxNodes {
 				break
 			}
@@ -91,11 +111,16 @@ func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
 			}
 			g.Nodes = append(g.Nodes, node)
 			g.Cubes = append(g.Cubes, cube)
+			if cfg.Progress != nil {
+				cfg.Progress(done+1, len(candidates))
+			}
 		}
 	} else if err := g.buildCubesParallel(n, candidates, cfg, workers); err != nil {
 		return nil, err
 	}
 	g.CubeTime = time.Since(t0)
+	cntCubeSuccess.Add(int64(len(g.Nodes)))
+	cntCubeDropped.Add(int64(g.Dropped))
 
 	t1 := time.Now()
 	v := len(g.Nodes)
@@ -112,6 +137,9 @@ func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
 		}
 	}
 	g.EdgeTime = time.Since(t1)
+	cntPairChecks.Add(int64(v) * int64(v-1) / 2)
+	gaugeVertices.Set(int64(v))
+	gaugeEdges.Set(int64(g.NumEdges()))
 	return g, nil
 }
 
@@ -215,6 +243,7 @@ func (g *Graph) FindCliques(cfg MineConfig) []Clique {
 	cand := make([]uint64, g.words)
 
 	for attempt := 0; attempt < cfg.Attempts && len(out) < cfg.MaxCliques; attempt++ {
+		cntCliqueAttempts.Inc()
 		start := rng.Intn(v)
 		clique := []int{start}
 		copy(cand, g.adj[start])
@@ -237,6 +266,7 @@ func (g *Graph) FindCliques(cfg MineConfig) []Clique {
 		seen[key] = true
 		out = append(out, Clique{Vertices: clique, Cube: g.MergedCube(clique)})
 	}
+	cntCliquesFound.Add(int64(len(out)))
 	return out
 }
 

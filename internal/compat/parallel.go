@@ -69,6 +69,10 @@ func (g *Graph) buildCubesParallel(n *netlist.Netlist, candidates []rare.Node, c
 			return initErr
 		}
 		processed = hi
+		cntWorkerBatches.Inc()
+		if cfg.Progress != nil {
+			cfg.Progress(processed, len(candidates))
+		}
 		if cfg.MaxNodes > 0 {
 			successes := 0
 			for i := 0; i < processed; i++ {

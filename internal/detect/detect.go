@@ -10,7 +10,17 @@ import (
 	"math/rand"
 
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/sim"
+)
+
+// Observability counters for the detection schemes' pattern budgets.
+var (
+	cntRandomVectors   = obs.NewCounter("detect.random_vectors")
+	cntMEROPoolVectors = obs.NewCounter("detect.mero_pool_vectors")
+	cntMEROVectors     = obs.NewCounter("detect.mero_vectors")
+	cntNDATPGVectors   = obs.NewCounter("detect.ndatpg_vectors")
+	cntEvaluations     = obs.NewCounter("detect.evaluations")
 )
 
 // TestSet is an ordered list of fully specified test vectors over a
@@ -43,6 +53,7 @@ func RandomTestSet(n *netlist.Netlist, count int, seed int64) *TestSet {
 		}
 		ts.Vectors = append(ts.Vectors, v)
 	}
+	cntRandomVectors.Add(int64(count))
 	return ts
 }
 
@@ -77,6 +88,7 @@ type Outcome struct {
 // (primary outputs plus scan captures), which is how logic-testing
 // detection compares a suspect chip against its golden model.
 func Evaluate(tgt Target, ts *TestSet) (Outcome, error) {
+	cntEvaluations.Inc()
 	out := Outcome{FirstTrigger: -1, FirstDetect: -1}
 	if len(ts.Vectors) == 0 {
 		return out, nil

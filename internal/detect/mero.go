@@ -113,6 +113,7 @@ func MERO(n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
 		v    []bool
 		hits int
 	}
+	cntMEROPoolVectors.Add(int64(cfg.RandomVectors))
 	pool := make([]scored, cfg.RandomVectors)
 	for i := range pool {
 		v := make([]bool, len(inputs))
@@ -179,5 +180,6 @@ func MERO(n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
 		}
 		ts.Add(v)
 	}
+	cntMEROVectors.Add(int64(ts.Len()))
 	return ts, nil
 }

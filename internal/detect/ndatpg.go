@@ -76,6 +76,7 @@ func NDATPG(n *netlist.Netlist, rs *rare.Set, cfg NDATPGConfig) (*TestSet, error
 			}
 		}
 	}
+	cntNDATPGVectors.Add(int64(ts.Len()))
 	return ts, nil
 }
 

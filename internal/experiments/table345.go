@@ -159,7 +159,7 @@ func Table3(o Options) (*Table3Result, error) {
 		}
 		row.ProposedTime = time.Since(t2)
 		row.Instances = len(gen.Benchmarks)
-		row.ProposedQMin, row.ProposedQMax = gen.TriggerRange()
+		row.ProposedQMin, row.ProposedQMax, _ = gen.TriggerRange()
 		res.Rows = append(res.Rows, row)
 	}
 	res.Elapsed = time.Since(start)

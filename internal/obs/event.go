@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a progress event.
+type EventKind int
+
+const (
+	// StageStart: a pipeline stage began.
+	StageStart EventKind = iota
+	// StageProgress: a running stage reports completion state.
+	StageProgress
+	// StageEnd: a pipeline stage finished.
+	StageEnd
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case StageStart:
+		return "start"
+	case StageProgress:
+		return "progress"
+	case StageEnd:
+		return "end"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one progress notification from a pipeline run. Done/Total
+// carry percent-complete information when the stage knows its work
+// size (Total > 0); Elapsed is the time since the stage started (zero
+// on StageStart).
+type Event struct {
+	Stage   string
+	Kind    EventKind
+	Done    int
+	Total   int
+	Elapsed time.Duration
+}
+
+// Sink consumes progress events. Implementations must tolerate
+// concurrent Emit calls: stages may report from worker goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Event)
+
+// Emit calls the function.
+func (f FuncSink) Emit(e Event) { f(e) }
+
+// Emit sends e to s if s is non-nil. Instrumented code calls this so a
+// missing sink costs a single branch.
+func Emit(s Sink, e Event) {
+	if s != nil {
+		s.Emit(e)
+	}
+}
+
+// TextSink returns a sink that renders events as human-readable lines
+// on w — the htgen -v progress stream. Safe for concurrent use.
+func TextSink(w io.Writer) Sink {
+	return &textSink{w: w}
+}
+
+type textSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (t *textSink) Emit(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch e.Kind {
+	case StageStart:
+		fmt.Fprintf(t.w, "[%s] start\n", e.Stage)
+	case StageProgress:
+		if e.Total > 0 {
+			fmt.Fprintf(t.w, "[%s] %d/%d (%d%%) %v\n",
+				e.Stage, e.Done, e.Total, 100*e.Done/e.Total, e.Elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(t.w, "[%s] %d done %v\n", e.Stage, e.Done, e.Elapsed.Round(time.Millisecond))
+		}
+	case StageEnd:
+		fmt.Fprintf(t.w, "[%s] done in %v\n", e.Stage, e.Elapsed.Round(time.Millisecond))
+	}
+}

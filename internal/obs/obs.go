@@ -1,0 +1,165 @@
+// Package obs is the pipeline-wide observability layer: hierarchical
+// timed spans, named counters/gauges cheap enough for hot paths,
+// progress-event sinks, and JSON run reports.
+//
+// The package uses only the standard library, and every primitive is
+// cheap enough to stay compiled in unconditionally: incrementing a
+// counter is one atomic add, a span is a pair of time.Now calls, and
+// progress events go through a nil-safe Emit that costs a branch when
+// no sink is installed. Instrumented packages declare their counters as
+// package-level vars (obs.NewCounter registers in the process-wide
+// default registry); run reports snapshot the registry before and after
+// a run and record the delta.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent
+// use from hot paths (one atomic add per Inc).
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Bulk-adding once per batch is the preferred pattern for
+// very hot loops (e.g. one Add per simulation run, not per vector).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins metric (e.g. graph vertex count), safe
+// for concurrent use.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set records the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the last value set.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry holds named counters and gauges. Registration is
+// get-or-create by name, so multiple packages (or repeated test runs)
+// asking for the same name share one metric.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a registry's metric values.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+}
+
+// Delta subtracts base from s counter-wise, dropping counters that did
+// not move, so a run report attributes only the work of that run.
+// Gauges are last-value metrics and are kept as-is.
+func (s Snapshot) Delta(base Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: make(map[string]int64, len(s.Counters)),
+		Gauges:   make(map[string]int64, len(s.Gauges)),
+	}
+	for name, v := range s.Counters {
+		if d := v - base.Counters[name]; d != 0 {
+			out.Counters[name] = d
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	return out
+}
+
+// defaultRegistry is the process-wide registry package-level metrics
+// register with.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// NewCounter registers (or finds) a counter in the default registry.
+// Intended for package-level vars in instrumented packages.
+func NewCounter(name string) *Counter { return defaultRegistry.Counter(name) }
+
+// NewGauge registers (or finds) a gauge in the default registry.
+func NewGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.hits")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if r.Counter("test.hits") != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+}
+
+func TestGaugeLastValueWins(t *testing.T) {
+	g := NewRegistry().Gauge("test.level")
+	g.Set(7)
+	g.Set(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	b := r.Counter("b")
+	a.Add(5)
+	b.Add(2)
+	base := r.Snapshot()
+	a.Add(10)
+	d := r.Snapshot().Delta(base)
+	if d.Counters["a"] != 10 {
+		t.Fatalf("delta a = %d, want 10", d.Counters["a"])
+	}
+	if _, ok := d.Counters["b"]; ok {
+		t.Fatal("unmoved counter b must be dropped from the delta")
+	}
+}
+
+func TestSpanNestingAndMonotonicity(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Start("root")
+	c1 := root.Start("child1")
+	time.Sleep(time.Millisecond)
+	c1.End()
+	c2 := root.Start("child2")
+	c2.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "root" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := roots[0].Children()
+	if len(kids) != 2 || kids[0].Name() != "child1" || kids[1].Name() != "child2" {
+		t.Fatalf("children = %v", kids)
+	}
+	// Timing monotonicity: children start no earlier than the parent,
+	// start in order, and every duration is non-negative with child1's
+	// sleep visible.
+	if kids[0].StartTime().Before(roots[0].StartTime()) {
+		t.Fatal("child1 starts before root")
+	}
+	if kids[1].StartTime().Before(kids[0].StartTime()) {
+		t.Fatal("child2 starts before child1")
+	}
+	if d := kids[0].Duration(); d < time.Millisecond {
+		t.Fatalf("child1 duration %v < 1ms", d)
+	}
+	if root.Duration() < kids[0].Duration() {
+		t.Fatal("root shorter than its child")
+	}
+	if tr.Find("child2") != kids[1] {
+		t.Fatal("Find(child2) missed")
+	}
+	if tr.Find("nope") != nil {
+		t.Fatal("Find(nope) should be nil")
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace()
+	s := tr.Start("s")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if got := s.Duration(); got != d {
+		t.Fatalf("second End changed duration: %v -> %v", d, got)
+	}
+}
+
+func TestRetroSpans(t *testing.T) {
+	tr := NewTrace()
+	base := time.Now()
+	root := tr.Add("root", base, base.Add(10*time.Millisecond))
+	root.Add("phase", base, base.Add(4*time.Millisecond))
+	if d := tr.Find("phase").Duration(); d != 4*time.Millisecond {
+		t.Fatalf("retro child duration = %v, want 4ms", d)
+	}
+	recs := tr.Records()
+	if len(recs) != 1 || recs[0].DurationNS != int64(10*time.Millisecond) {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	base := time.Now()
+	root := tr.Add("generate", base, base.Add(8*time.Millisecond))
+	root.Add("levelize", base, base.Add(time.Millisecond))
+	rep := NewReport("htgen", tr, Snapshot{
+		Counters: map[string]int64{"atpg.podem_backtracks": 42},
+		Gauges:   map[string]int64{"compat.graph_vertices": 7},
+	})
+	rep.Args = []string{"-circuit", "c2670"}
+	rep.Extra = map[string]any{"circuit": "c2670"}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "htgen" || len(got.Args) != 2 {
+		t.Fatalf("tool/args lost: %+v", got)
+	}
+	if got.Counters["atpg.podem_backtracks"] != 42 || got.Gauges["compat.graph_vertices"] != 7 {
+		t.Fatalf("metrics lost: %+v", got)
+	}
+	sp := got.Span("levelize")
+	if sp == nil || sp.DurationNS != int64(time.Millisecond) {
+		t.Fatalf("levelize span lost: %+v", sp)
+	}
+	if got.Span("generate") == nil {
+		t.Fatal("root span lost")
+	}
+	if !got.Start.Equal(rep.Start) || !got.End.Equal(rep.End) {
+		t.Fatalf("window lost: %v-%v vs %v-%v", got.Start, got.End, rep.Start, rep.End)
+	}
+	if got.Extra["circuit"] != "c2670" {
+		t.Fatalf("extra lost: %+v", got.Extra)
+	}
+}
+
+func TestEmitNilSink(t *testing.T) {
+	Emit(nil, Event{Stage: "x", Kind: StageStart}) // must not panic
+	var calls int
+	Emit(FuncSink(func(Event) { calls++ }), Event{Stage: "x", Kind: StageEnd})
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := TextSink(&buf)
+	s.Emit(Event{Stage: "rare_extract", Kind: StageStart})
+	s.Emit(Event{Stage: "rare_extract", Kind: StageProgress, Done: 5000, Total: 10000, Elapsed: time.Second})
+	s.Emit(Event{Stage: "rare_extract", Kind: StageEnd, Elapsed: 2 * time.Second})
+	out := buf.String()
+	for _, want := range []string{"[rare_extract] start", "5000/10000 (50%)", "done in 2s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if StageStart.String() != "start" || StageProgress.String() != "progress" || StageEnd.String() != "end" {
+		t.Fatal("kind names wrong")
+	}
+	if EventKind(9).String() != "EventKind(9)" {
+		t.Fatal("unknown kind name wrong")
+	}
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// SpanRecord is the JSON form of a span. Durations appear twice: as
+// integer nanoseconds for machines (jq arithmetic) and as a
+// human-readable string.
+type SpanRecord struct {
+	Name       string       `json:"name"`
+	Start      time.Time    `json:"start"`
+	DurationNS int64        `json:"duration_ns"`
+	Duration   string       `json:"duration"`
+	Children   []SpanRecord `json:"children,omitempty"`
+}
+
+// Records converts the trace to its JSON form. Open spans are measured
+// up to now.
+func (t *Trace) Records() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return recordSpans(t.roots)
+}
+
+func recordSpans(spans []*Span) []SpanRecord {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanRecord, len(spans))
+	for i, s := range spans {
+		d := time.Since(s.start)
+		if s.ended {
+			d = s.end.Sub(s.start)
+		}
+		out[i] = SpanRecord{
+			Name:       s.name,
+			Start:      s.start,
+			DurationNS: d.Nanoseconds(),
+			Duration:   d.String(),
+			Children:   recordSpans(s.children),
+		}
+	}
+	return out
+}
+
+// Report is one run's serialized observability record: the span tree
+// plus the metric deltas attributed to the run. Extra carries
+// tool-specific summary fields (circuit name, result sizes, ...).
+type Report struct {
+	Tool     string           `json:"tool,omitempty"`
+	Args     []string         `json:"args,omitempty"`
+	Start    time.Time        `json:"start"`
+	End      time.Time        `json:"end"`
+	Spans    []SpanRecord     `json:"spans"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Extra    map[string]any   `json:"extra,omitempty"`
+}
+
+// NewReport assembles a report from a trace and a metrics snapshot
+// (normally a Delta attributing only this run's work). Start/End are
+// derived from the trace's span window; an empty trace gets a
+// zero-width window at now.
+func NewReport(tool string, tr *Trace, metrics Snapshot) *Report {
+	rep := &Report{
+		Tool:     tool,
+		Counters: metrics.Counters,
+		Gauges:   metrics.Gauges,
+	}
+	if tr != nil {
+		rep.Spans = tr.Records()
+	}
+	if len(rep.Spans) == 0 {
+		now := time.Now()
+		rep.Start, rep.End = now, now
+		return rep
+	}
+	rep.Start = rep.Spans[0].Start
+	for _, s := range rep.Spans {
+		if s.Start.Before(rep.Start) {
+			rep.Start = s.Start
+		}
+		if end := s.Start.Add(time.Duration(s.DurationNS)); end.After(rep.End) {
+			rep.End = end
+		}
+	}
+	return rep
+}
+
+// Span returns the first span record named name in depth-first order,
+// or nil.
+func (r *Report) Span(name string) *SpanRecord {
+	var walk func(spans []SpanRecord) *SpanRecord
+	walk = func(spans []SpanRecord) *SpanRecord {
+		for i := range spans {
+			if spans[i].Name == name {
+				return &spans[i]
+			}
+			if hit := walk(spans[i].Children); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return walk(r.Spans)
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("obs: parse report: %w", err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace records the hierarchical timed spans of one run. All methods
+// are safe for concurrent use; spans started from different goroutines
+// simply attach to whatever parent they were started from.
+type Trace struct {
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Span is one timed region of a trace. A span is open until End is
+// called; Duration on an open span measures up to now.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	ended    bool
+	children []*Span
+}
+
+// Start opens a new root span.
+func (t *Trace) Start(name string) *Span {
+	s := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Add retro-records a root span from externally measured times (used
+// when a callee reports its own phase durations).
+func (t *Trace) Add(name string, start, end time.Time) *Span {
+	s := &Span{tr: t, name: name, start: start, end: end, ended: true}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span {
+	c := &Span{tr: s.tr, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// Add retro-records a child span from externally measured times.
+func (s *Span) Add(name string, start, end time.Time) *Span {
+	c := &Span{tr: s.tr, name: name, start: start, end: end, ended: true}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// End closes the span. Idempotent: only the first call sets the end
+// time.
+func (s *Span) End() {
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Now()
+	}
+	s.tr.mu.Unlock()
+}
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
+
+// StartTime returns when the span was opened.
+func (s *Span) StartTime() time.Time { return s.start }
+
+// Duration returns end-start for a closed span, or the time elapsed so
+// far for an open one.
+func (s *Span) Duration() time.Duration {
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.ended {
+		return s.end.Sub(s.start)
+	}
+	return time.Since(s.start)
+}
+
+// Children returns the child spans in start order.
+func (s *Span) Children() []*Span {
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Roots returns the trace's root spans in start order.
+func (t *Trace) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Find returns the first span named name in depth-first order, or nil.
+func (t *Trace) Find(name string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var walk func(spans []*Span) *Span
+	walk = func(spans []*Span) *Span {
+		for _, s := range spans {
+			if s.name == name {
+				return s
+			}
+			if hit := walk(s.children); hit != nil {
+				return hit
+			}
+		}
+		return nil
+	}
+	return walk(t.roots)
+}

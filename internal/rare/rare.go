@@ -11,7 +11,15 @@ import (
 	"sort"
 
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/sim"
+)
+
+// Observability counters (process-wide; run reports record deltas).
+var (
+	cntExtractions = obs.NewCounter("rare.extractions")
+	cntVectors     = obs.NewCounter("rare.vectors_simulated")
+	gaugeRareNodes = obs.NewGauge("rare.nodes")
 )
 
 // DefaultVectors is the paper's chosen |V| (Figure 3 shows the rare-node
@@ -36,6 +44,9 @@ type Config struct {
 	// are internal nets (gate outputs), and PIs have probability ~0.5
 	// under random vectors anyway.
 	IncludeInputs bool
+	// Progress, if non-nil, is called after each simulation batch with
+	// (vectors done, total vectors).
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +111,7 @@ func Extract(n *netlist.Netlist, cfg Config) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
+	cntExtractions.Inc()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ones := make([]int64, n.NumGates())
 	remaining := cfg.Vectors
@@ -112,8 +124,14 @@ func Extract(n *netlist.Netlist, cfg Config) (*Set, error) {
 		p.Run()
 		p.CountOnes(ones, batch)
 		remaining -= batch
+		cntVectors.Add(int64(batch))
+		if cfg.Progress != nil {
+			cfg.Progress(cfg.Vectors-remaining, cfg.Vectors)
+		}
 	}
-	return buildSet(n, cfg, ones), nil
+	s := buildSet(n, cfg, ones)
+	gaugeRareNodes.Set(int64(s.Len()))
+	return s, nil
 }
 
 // buildSet applies the θ_RN cutoff to the per-node counts. Split out so

@@ -76,6 +76,7 @@ func (e *Event) scheduleFanout(id netlist.GateID) {
 // Propagate settles all scheduled events and returns the number of gates
 // whose value changed. Changed (inputs plus gates) lists them afterwards.
 func (e *Event) Propagate() int {
+	cntEventProps.Inc()
 	e.changed = append(e.changed[:0], e.pendingInputs...)
 	e.pendingInputs = e.pendingInputs[:0]
 	changed := 0

@@ -17,6 +17,15 @@ import (
 	"math/rand"
 
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
+)
+
+// Observability counters, bulk-added once per simulation call so the
+// per-gate inner loops stay untouched.
+var (
+	cntPackedRuns    = obs.NewCounter("sim.packed_runs")
+	cntPackedVectors = obs.NewCounter("sim.packed_vectors")
+	cntEventProps    = obs.NewCounter("sim.event_propagations")
 )
 
 // Packed is a bit-parallel two-valued simulator. Each uint64 word carries
@@ -98,6 +107,8 @@ func (p *Packed) Randomize(rng *rand.Rand) {
 // Run propagates the current input/state words through the combinational
 // logic in topological order.
 func (p *Packed) Run() {
+	cntPackedRuns.Inc()
+	cntPackedVectors.Add(int64(64 * p.words))
 	W := p.words
 	vals := p.vals
 	gates := p.n.Gates

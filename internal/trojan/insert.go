@@ -6,10 +6,14 @@ import (
 
 	"cghti/internal/atpg"
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/rare"
 	"cghti/internal/scoap"
 	"cghti/internal/sim"
 )
+
+// cntInstances counts trojan instances spliced process-wide.
+var cntInstances = obs.NewCounter("trojan.instances_inserted")
 
 // PayloadKind selects the trojan's effect once triggered.
 type PayloadKind int
@@ -98,6 +102,7 @@ func InsertInstance(n *netlist.Netlist, nodes []rare.Node, cube atpg.Cube, index
 	if len(nodes) == 0 {
 		return nil, nil, fmt.Errorf("trojan: empty trigger-node set")
 	}
+	cntInstances.Inc()
 	tspec := spec.Trigger
 	tspec.Seed = spec.Seed ^ int64(uint64(index)*0x9e3779b97f4a7c15)
 	trig, err := BuildTrigger(nodes, tspec)

@@ -1,0 +1,129 @@
+package cghti_test
+
+import (
+	"testing"
+
+	"cghti"
+	"cghti/internal/gen"
+	"cghti/internal/obs"
+)
+
+// TestGenerateTrace is the pipeline observability smoke test: every
+// pipeline stage emits exactly one span under the generate root, the
+// StageTimes compatibility view matches the trace, the progress sink
+// sees ordered start/end transitions, and the hot-path counters moved.
+func TestGenerateTrace(t *testing.T) {
+	n, err := gen.Benchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap0 := obs.Default().Snapshot()
+
+	var events []obs.Event
+	trace := obs.NewTrace()
+	res, err := cghti.Generate(n, cghti.Config{
+		RareVectors:     2000,
+		MinTriggerNodes: 4,
+		Instances:       2,
+		Seed:            1,
+		Trace:           trace,
+		Progress:        obs.FuncSink(func(e obs.Event) { events = append(events, e) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != trace {
+		t.Fatal("Result.Trace must expose the configured trace")
+	}
+
+	// Exactly one generate root with exactly one child per stage.
+	roots := trace.Roots()
+	if len(roots) != 1 || roots[0].Name() != cghti.StageGenerate {
+		t.Fatalf("roots = %v, want one %q", roots, cghti.StageGenerate)
+	}
+	counts := map[string]int{}
+	for _, c := range roots[0].Children() {
+		counts[c.Name()]++
+	}
+	for _, stage := range cghti.PipelineStages {
+		if counts[stage] != 1 {
+			t.Fatalf("stage %q has %d spans, want 1 (children: %v)", stage, counts[stage], counts)
+		}
+	}
+	if len(counts) != len(cghti.PipelineStages) {
+		t.Fatalf("unexpected extra stage spans: %v", counts)
+	}
+
+	// StageTimes is a view derived from the trace.
+	want := map[string]int64{
+		cghti.StageLevelize:    int64(res.Times.Levelize),
+		cghti.StageRareExtract: int64(res.Times.RareExtract),
+		cghti.StageCubeGen:     int64(res.Times.CubeGen),
+		cghti.StageGraphEdges:  int64(res.Times.GraphEdges),
+		cghti.StageCliqueMine:  int64(res.Times.CliqueMine),
+		cghti.StageInsert:      int64(res.Times.Insert),
+		cghti.StageGenerate:    int64(res.Times.Total),
+	}
+	for stage, ns := range want {
+		if got := trace.Find(stage).Duration().Nanoseconds(); got != ns {
+			t.Fatalf("StageTimes mismatch for %s: trace %dns, view %dns", stage, got, ns)
+		}
+	}
+	if res.Times.Total < res.Times.RareExtract {
+		t.Fatal("total shorter than a stage")
+	}
+
+	// Progress events: each stage starts before it ends, in pipeline
+	// order, with rare extraction reporting percent-complete.
+	seen := map[string][]obs.EventKind{}
+	for _, e := range events {
+		seen[e.Stage] = append(seen[e.Stage], e.Kind)
+	}
+	for _, stage := range cghti.PipelineStages {
+		kinds := seen[stage]
+		if len(kinds) < 2 || kinds[0] != obs.StageStart || kinds[len(kinds)-1] != obs.StageEnd {
+			t.Fatalf("stage %s events = %v, want start...end", stage, kinds)
+		}
+	}
+	var rareProgress int
+	for _, k := range seen[cghti.StageRareExtract] {
+		if k == obs.StageProgress {
+			rareProgress++
+		}
+	}
+	if rareProgress == 0 {
+		t.Fatal("rare_extract emitted no progress events")
+	}
+
+	// Hot-path counters attributed to this run.
+	delta := obs.Default().Snapshot().Delta(snap0)
+	for _, name := range []string{
+		"atpg.podem_calls", "compat.cubes_generated", "compat.pair_checks",
+		"compat.clique_attempts", "sim.packed_vectors", "rare.vectors_simulated",
+		"trojan.instances_inserted",
+	} {
+		if delta.Counters[name] <= 0 {
+			t.Fatalf("counter %s did not move (delta %v)", name, delta.Counters)
+		}
+	}
+}
+
+// TestGenerateNoSinkNoTrace covers the default path: no sink, no
+// caller trace — Generate must still record a trace and fill
+// StageTimes.
+func TestGenerateNoSinkNoTrace(t *testing.T) {
+	n, err := gen.Benchmark("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cghti.Generate(n, cghti.Config{RareVectors: 2000, MinTriggerNodes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Trace.Find(cghti.StageGenerate) == nil {
+		t.Fatal("Generate must create a trace when none is supplied")
+	}
+	if res.Times.Total <= 0 {
+		t.Fatalf("Times.Total = %v", res.Times.Total)
+	}
+}
