@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race bench
+.PHONY: ci build vet fmt test race bench benchall
 
 ci: build vet fmt race
 
@@ -25,5 +25,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Simulation/pipeline benchmarks, recorded as BENCH_sim.json so runs
+# can be committed and diffed (see cmd/benchjson).
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench 'Sim|Generate' -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_sim.json
+	@echo "wrote BENCH_sim.json"
+
+benchall:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark runs can be committed and diffed (BENCH_sim.json
+// at the repo root is produced this way by `make bench`).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Sim|Generate' -benchmem ./... | benchjson -out BENCH_sim.json
+//
+// Lines that are not benchmark results (pkg headers, PASS/ok, logs) are
+// ignored, except that "cpu:" and "pkg:" headers annotate the following
+// results. Each result line of the form
+//
+//	BenchmarkName/sub-8   	 100	  1234 ns/op	 99 B/op	 1 allocs/op	 5.0 patterns/s
+//
+// becomes one JSON entry carrying every "value unit" pair.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the file layout. Baseline is never written by this tool; when
+// the output file already exists, its baseline block is carried over, so
+// a hand-recorded reference point survives `make bench` refreshes.
+type Doc struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	NumCPU      int             `json:"num_cpu"`
+	CPU         string          `json:"cpu,omitempty"`
+	Baseline    json.RawMessage `json:"baseline,omitempty"`
+	Results     []Result        `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Doc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		// Echo the raw stream so the make target still shows progress.
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(line, pkg); ok {
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *out != "" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old Doc
+			if json.Unmarshal(prev, &old) == nil {
+				doc.Baseline = old.Baseline
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line. The layout is
+// name, iteration count, then repeating "value unit" pairs.
+func parseLine(line, pkg string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:    trimProcSuffix(fields[0]),
+		Package: pkg,
+		Iters:   iters,
+		Metrics: map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = val
+			continue
+		}
+		r.Metrics[unit] = val
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	if r.NsPerOp == 0 && r.Metrics == nil {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// trimProcSuffix drops the "-8" GOMAXPROCS suffix go test appends.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -29,6 +29,7 @@ func main() {
 		full       = flag.Bool("full", false, "paper-scale parameters (10k vectors, 100 instances, MERO N=1000)")
 		circuits   = flag.String("circuits", "", "comma-separated circuit list (default: the paper's eight)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "simulation/ATPG goroutine budget (0 = all CPUs, 1 = serial; tables are identical)")
 		report     = flag.String("report", "", "write a JSON run report (per-experiment spans + counters) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -40,9 +41,10 @@ func main() {
 	defer cli.StopProfiles()
 
 	opts := experiments.Options{
-		Full: *full,
-		Seed: *seed,
-		Out:  os.Stdout,
+		Full:    *full,
+		Seed:    *seed,
+		Workers: *workers,
+		Out:     os.Stdout,
 	}
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")

@@ -42,6 +42,7 @@ func main() {
 		theta        = flag.Float64("theta", 0.20, "rareness threshold for MERO/ND-ATPG rare nodes")
 		vectors      = flag.Int("vectors", 10000, "rare-node extraction vector count")
 		seed         = flag.Int64("seed", 1, "random seed")
+		workers      = flag.Int("workers", 0, "simulation/ATPG goroutine budget (0 = all CPUs, 1 = serial; output is identical)")
 		report       = flag.String("report", "", "write a JSON run report (per-scheme spans + counters) to this file")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -82,7 +83,7 @@ func main() {
 	var rs *rare.Set
 	if needRare {
 		sp := trace.Start("rare_extract")
-		rs, err = rare.Extract(golden, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed})
+		rs, err = rare.Extract(golden, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed, Workers: *workers})
 		sp.End()
 		if err != nil {
 			cli.Fatal(tool, err)
@@ -91,14 +92,14 @@ func main() {
 	}
 
 	run := func(name string, ts *detect.TestSet) {
-		out, err := detect.Evaluate(tgt, ts)
+		out, err := detect.EvaluateConfig(tgt, ts, detect.EvalConfig{Workers: *workers})
 		if err != nil {
 			cli.Fatal(tool, err)
 		}
 		fmt.Printf("%-8s %6d vectors  triggered=%-5v (first %d)  detected=%-5v (first %d)\n",
 			name, ts.Len(), out.Triggered, out.FirstTrigger, out.Detected, out.FirstDetect)
 		if *faultCov {
-			cov, err := faultsim.Run(golden, ts.Vectors, nil)
+			cov, err := faultsim.RunWorkers(golden, ts.Vectors, nil, *workers)
 			if err != nil {
 				cli.Fatal(tool, err)
 			}
@@ -114,7 +115,7 @@ func main() {
 	}
 	if *scheme == "all" || *scheme == "mero" {
 		sp := trace.Start("mero")
-		ts, err := detect.MERO(golden, rs, detect.MEROConfig{N: *meroN, RandomVectors: *meroPool, Seed: *seed})
+		ts, err := detect.MERO(golden, rs, detect.MEROConfig{N: *meroN, RandomVectors: *meroPool, Seed: *seed, Workers: *workers})
 		if err != nil {
 			cli.Fatal(tool, err)
 		}
@@ -127,7 +128,7 @@ func main() {
 		if n > 10 {
 			n = 5 // ND-ATPG's N is per rare event; cap the default
 		}
-		ts, err := detect.NDATPG(golden, rs, detect.NDATPGConfig{N: n, Seed: *seed})
+		ts, err := detect.NDATPG(golden, rs, detect.NDATPGConfig{N: n, Seed: *seed, Workers: *workers})
 		if err != nil {
 			cli.Fatal(tool, err)
 		}

@@ -43,6 +43,7 @@ func main() {
 		vectors    = flag.Int("vectors", 10000, "random vector count |V| for rare-node extraction")
 		faninK     = flag.Int("k", 4, "max fanin of trigger-tree gates")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", 0, "simulation/ATPG goroutine budget (0 = all CPUs, 1 = serial; output is identical)")
 		payload    = flag.String("payload", "flip", "trojan effect: flip (invert victim), leak (new output), force (jam victim)")
 		verilog    = flag.Bool("verilog", false, "also emit structural Verilog")
 		check      = flag.Bool("check", true, "re-prove every instance's activation cube before writing")
@@ -84,6 +85,7 @@ func main() {
 		FaninK:          *faninK,
 		MaxRareNodes:    *maxNodes,
 		Seed:            *seed,
+		Workers:         *workers,
 		Trace:           trace,
 	}
 	if *verbose {

@@ -67,6 +67,10 @@ type Config struct {
 	CliqueAttempts int
 	// Seed makes the whole pipeline deterministic.
 	Seed int64
+	// Workers is the goroutine budget for the parallel stages (rare-node
+	// simulation, PODEM cube generation, pairwise edges). 1 = serial,
+	// 0 = GOMAXPROCS. The pipeline output is identical for any value.
+	Workers int
 	// Progress, if non-nil, receives stage-transition and
 	// percent-complete events while Generate runs, so long runs on
 	// large circuits are not silent. The default is no reporting; the
@@ -235,6 +239,7 @@ func Generate(n *Netlist, cfg Config) (*Result, error) {
 		Vectors:   cfg.RareVectors,
 		Threshold: cfg.RareThreshold,
 		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
 		Progress:  sr.progress(StageRareExtract, sp.StartTime()),
 	})
 	if err != nil {
@@ -255,6 +260,7 @@ func Generate(n *Netlist, cfg Config) (*Result, error) {
 	g, err := compat.Build(n, rs, compat.BuildConfig{
 		MaxBacktracks: cfg.MaxBacktracks,
 		MaxNodes:      cfg.MaxRareNodes,
+		Workers:       cfg.Workers,
 		Progress:      sr.progress(StageCubeGen, buildStart),
 	})
 	if err != nil {

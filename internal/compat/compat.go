@@ -44,10 +44,11 @@ type BuildConfig struct {
 	// means all. Large sequential circuits can have thousands of rare
 	// nodes; the cap bounds ATPG time without changing the algorithm.
 	MaxNodes int
-	// Workers sets the PODEM worker-goroutine count (1 = serial, 0 =
+	// Workers sets the worker-goroutine count for both PODEM cube
+	// generation and pairwise edge construction (1 = serial, 0 =
 	// GOMAXPROCS). The result is identical for any worker count: each
 	// rare node's cube is computed independently and results keep
-	// rarity order.
+	// rarity order, and the pairwise compatibility test is pure.
 	Workers int
 	// Progress, if non-nil, is called with (candidates processed,
 	// total candidates) as cube generation advances — per candidate on
@@ -129,12 +130,16 @@ func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
 	for i := range g.adj {
 		g.adj[i] = make([]uint64, g.words)
 	}
-	for i := 0; i < v; i++ {
-		for j := i + 1; j < v; j++ {
-			if !g.Cubes[i].Conflicts(g.Cubes[j]) {
-				g.setEdge(i, j)
+	if workers == 1 {
+		for i := 0; i < v; i++ {
+			for j := i + 1; j < v; j++ {
+				if !g.Cubes[i].Conflicts(g.Cubes[j]) {
+					g.setEdge(i, j)
+				}
 			}
 		}
+	} else {
+		g.buildEdgesParallel(workers)
 	}
 	g.EdgeTime = time.Since(t1)
 	cntPairChecks.Add(int64(v) * int64(v-1) / 2)

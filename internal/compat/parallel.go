@@ -3,6 +3,7 @@ package compat
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"cghti/internal/atpg"
 	"cghti/internal/netlist"
@@ -105,3 +106,46 @@ func (g *Graph) buildCubesParallel(n *netlist.Netlist, candidates []rare.Node, c
 // DefaultWorkers reports the worker count used when BuildConfig.Workers
 // is zero.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// buildEdgesParallel fills the bitset adjacency by sharding the
+// upper-triangle pair list row-wise over a worker pool. Workers pull
+// rows from an atomic cursor and record hits into per-worker edge
+// buffers; the buffers are folded into the shared bitsets afterwards,
+// single-threaded. The resulting adjacency is identical to the serial
+// double loop for any worker count — the pair test is pure and bitset
+// unions commute.
+func (g *Graph) buildEdgesParallel(workers int) {
+	v := len(g.Nodes)
+	if v < 2 {
+		return
+	}
+	type edge struct{ i, j int32 }
+	found := make([][]edge, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []edge
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= v-1 {
+					break
+				}
+				for j := i + 1; j < v; j++ {
+					if !g.Cubes[i].Conflicts(g.Cubes[j]) {
+						local = append(local, edge{int32(i), int32(j)})
+					}
+				}
+			}
+			found[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, local := range found {
+		for _, e := range local {
+			g.setEdge(int(e.i), int(e.j))
+		}
+	}
+}

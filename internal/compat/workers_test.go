@@ -1,0 +1,55 @@
+package compat
+
+import (
+	"testing"
+
+	"cghti/internal/gen"
+	"cghti/internal/rare"
+)
+
+// TestBuildWorkersIdentical checks that the parallel cube and edge
+// phases reproduce the serial graph exactly: same vertices, same cubes,
+// same adjacency.
+func TestBuildWorkersIdentical(t *testing.T) {
+	n, err := gen.Random(gen.Spec{Name: "wk", PIs: 14, POs: 7, Gates: 220, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rare.Extract(n, rare.Config{Vectors: 3000, Threshold: 0.25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() < 3 {
+		t.Skip("too few rare nodes on this seed")
+	}
+	ref, err := Build(n, rs, BuildConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := Build(n, rs, BuildConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumVertices() != ref.NumVertices() {
+			t.Fatalf("workers=%d: %d vertices, want %d", workers, got.NumVertices(), ref.NumVertices())
+		}
+		if got.NumEdges() != ref.NumEdges() {
+			t.Fatalf("workers=%d: %d edges, want %d", workers, got.NumEdges(), ref.NumEdges())
+		}
+		for i := 0; i < ref.NumVertices(); i++ {
+			if got.Nodes[i] != ref.Nodes[i] {
+				t.Fatalf("workers=%d: vertex %d = %+v, want %+v", workers, i, got.Nodes[i], ref.Nodes[i])
+			}
+			if got.Cubes[i].String() != ref.Cubes[i].String() {
+				t.Fatalf("workers=%d: cube %d = %s, want %s", workers, i, got.Cubes[i], ref.Cubes[i])
+			}
+			for j := i + 1; j < ref.NumVertices(); j++ {
+				if got.Compatible(i, j) != ref.Compatible(i, j) {
+					t.Fatalf("workers=%d: edge (%d,%d) = %v, want %v",
+						workers, i, j, got.Compatible(i, j), ref.Compatible(i, j))
+				}
+			}
+		}
+	}
+}

@@ -82,26 +82,53 @@ type Outcome struct {
 	FirstTrigger, FirstDetect int
 }
 
+// EvalConfig parameterizes Evaluate.
+type EvalConfig struct {
+	// Workers is the simulation goroutine budget per circuit (1 =
+	// serial, 0 = GOMAXPROCS). The outcome is bit-identical for any
+	// worker count.
+	Workers int
+	// BatchWords is the per-batch word count (64 patterns per word);
+	// 8 words = 512 vectors per batch if 0. FirstDetect scans outputs
+	// batch-by-batch, so keep the batch size fixed when comparing runs.
+	BatchWords int
+}
+
 // Evaluate simulates the test set on both circuits (64-wide
 // bit-parallel) and reports trigger/detection coverage. Outputs are
 // compared positionally over the golden circuit's combinational outputs
 // (primary outputs plus scan captures), which is how logic-testing
 // detection compares a suspect chip against its golden model.
 func Evaluate(tgt Target, ts *TestSet) (Outcome, error) {
+	return EvaluateConfig(tgt, ts, EvalConfig{Workers: 1})
+}
+
+// EvaluateConfig is Evaluate with an explicit worker/batch budget. The
+// golden and infected engines are recycled through the sim engine pool,
+// so sweeps that evaluate many targets against one golden circuit stop
+// reallocating per-gate word arrays.
+func EvaluateConfig(tgt Target, ts *TestSet, cfg EvalConfig) (Outcome, error) {
 	cntEvaluations.Inc()
 	out := Outcome{FirstTrigger: -1, FirstDetect: -1}
 	if len(ts.Vectors) == 0 {
 		return out, nil
 	}
-	const words = 8 // 512 vectors per batch
-	gp, err := sim.NewPacked(tgt.Golden, words)
+	words := cfg.BatchWords
+	if words <= 0 {
+		words = 8 // 512 vectors per batch
+	}
+	gp, err := sim.AcquirePacked(tgt.Golden, words)
 	if err != nil {
 		return out, err
 	}
-	ip, err := sim.NewPacked(tgt.Infected, words)
+	defer sim.ReleasePacked(gp)
+	ip, err := sim.AcquirePacked(tgt.Infected, words)
 	if err != nil {
 		return out, err
 	}
+	defer sim.ReleasePacked(ip)
+	gp.SetWorkers(cfg.Workers)
+	ip.SetWorkers(cfg.Workers)
 	goldenOuts := tgt.Golden.CombOutputs()
 	infectedOuts := tgt.Infected.CombOutputs()
 	nOuts := len(goldenOuts)

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -20,6 +21,11 @@ type MEROConfig struct {
 	RandomVectors int
 	// Seed drives vector generation.
 	Seed int64
+	// Workers is the goroutine budget for scoring the random pool with
+	// the bit-parallel engine (1 = serial, 0 = GOMAXPROCS). The
+	// emitted test set is bit-identical for any worker count; the
+	// greedy mutation phase stays event-driven and serial.
+	Workers int
 }
 
 func (c MEROConfig) withDefaults() MEROConfig {
@@ -108,21 +114,29 @@ func MERO(n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
 		updateHits()
 	}
 
-	// Phase 1: random pool, scored.
+	// Phase 1: random pool, scored 64 vectors at a time with the
+	// bit-parallel engine (the event simulator scores one vector per
+	// propagation; the packed engine scores a whole word per popcount).
 	type scored struct {
 		v    []bool
 		hits int
 	}
 	cntMEROPoolVectors.Add(int64(cfg.RandomVectors))
-	pool := make([]scored, cfg.RandomVectors)
-	for i := range pool {
+	vecs := make([][]bool, cfg.RandomVectors)
+	for i := range vecs {
 		v := make([]bool, len(inputs))
 		for j := range v {
 			v[j] = rng.Intn(2) == 1
 		}
-		apply(v)
-		rescanHits()
-		pool[i] = scored{v: v, hits: hits}
+		vecs[i] = v
+	}
+	poolHits, err := scorePool(n, nodes, inputs, vecs, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]scored, len(vecs))
+	for i, v := range vecs {
+		pool[i] = scored{v: v, hits: poolHits[i]}
 	}
 	sort.SliceStable(pool, func(a, b int) bool { return pool[a].hits > pool[b].hits })
 
@@ -182,4 +196,61 @@ func MERO(n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
 	}
 	cntMEROVectors.Add(int64(ts.Len()))
 	return ts, nil
+}
+
+// meroScoreWords is the packed batch size for pool scoring: 32 words =
+// 2048 vectors per Run, enough room for worker sharding.
+const meroScoreWords = 32
+
+// scorePool counts, for every vector, how many rare nodes it drives to
+// their rare values, using pooled bit-parallel simulation. The counts
+// are exactly those the event-driven scorer produced (same vectors,
+// same semantics), just 64 per word instead of one per propagation.
+func scorePool(n *netlist.Netlist, nodes []rare.Node, inputs []netlist.GateID, vecs [][]bool, workers int) ([]int, error) {
+	hits := make([]int, len(vecs))
+	p, err := sim.AcquirePacked(n, meroScoreWords)
+	if err != nil {
+		return nil, err
+	}
+	defer sim.ReleasePacked(p)
+	p.SetWorkers(workers)
+	batch := p.Patterns()
+	for base := 0; base < len(vecs); base += batch {
+		count := len(vecs) - base
+		if count > batch {
+			count = batch
+		}
+		for j, id := range inputs {
+			for w := 0; w*64 < count; w++ {
+				var word uint64
+				lim := count - w*64
+				if lim > 64 {
+					lim = 64
+				}
+				for b := 0; b < lim; b++ {
+					if vecs[base+w*64+b][j] {
+						word |= 1 << uint(b)
+					}
+				}
+				p.SetWord(id, w, word)
+			}
+		}
+		p.Run()
+		for _, node := range nodes {
+			for w := 0; w*64 < count; w++ {
+				word := p.Word(node.ID, w)
+				if node.RareValue == 0 {
+					word = ^word
+				}
+				if lim := count - w*64; lim < 64 {
+					word &= (uint64(1) << uint(lim)) - 1
+				}
+				for word != 0 {
+					hits[base+w*64+bits.TrailingZeros64(word)]++
+					word &= word - 1
+				}
+			}
+		}
+	}
+	return hits, nil
 }

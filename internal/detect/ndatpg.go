@@ -2,6 +2,9 @@ package detect
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cghti/internal/atpg"
 	"cghti/internal/netlist"
@@ -17,13 +20,23 @@ type NDATPGConfig struct {
 	N int
 	// MaxBacktracks bounds each PODEM run.
 	MaxBacktracks int
-	// Seed drives the random completion of don't-care bits.
+	// Seed drives the random completion of don't-care bits. Each rare
+	// event fills its cube from its own Seed-derived stream, so the
+	// emitted set does not depend on how the ATPG runs were scheduled.
 	Seed int64
+	// Workers is the ATPG worker-goroutine count (1 = serial, 0 =
+	// GOMAXPROCS). The test set is identical for any worker count:
+	// every event's cube is computed independently and vectors are
+	// collected in rare-set order.
+	Workers int
 }
 
 func (c NDATPGConfig) withDefaults() NDATPGConfig {
 	if c.N <= 0 {
 		c.N = 5
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -33,35 +46,38 @@ func (c NDATPGConfig) withDefaults() NDATPGConfig {
 // emits N distinct vectors per event by re-filling the cube's don't-care
 // bits. Events whose fault is redundant fall back to pure excitation
 // (justification); unexcitable events are skipped.
+//
+// The expensive ATPG runs are sharded across Workers goroutines (each
+// with its own engine); don't-care filling and dedup then walk the
+// results serially in rare-set order, so the output is deterministic.
 func NDATPG(n *netlist.Netlist, rs *rare.Set, cfg NDATPGConfig) (*TestSet, error) {
 	cfg = cfg.withDefaults()
-	eng, err := atpg.NewEngine(n)
+	events := rs.All()
+	cubes, err := ndatpgCubes(n, events, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.MaxBacktracks > 0 {
-		eng.MaxBacktracks = cfg.MaxBacktracks
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ts := &TestSet{Inputs: eng.InputIDs()}
-	seen := make(map[string]bool)
 
-	for _, node := range rs.All() {
-		cube, res := eng.Detect(node.ID, node.RareValue^1)
-		if res != atpg.Success {
-			// Redundant or aborted propagation: excitation alone still
-			// drives the rare event, which is what trojan triggering
-			// needs.
-			cube, res = eng.Justify(node.ID, node.RareValue)
-			if res != atpg.Success {
-				continue
-			}
+	ts := &TestSet{}
+	{
+		eng, err := atpg.NewEngine(n)
+		if err != nil {
+			return nil, err
 		}
-		// Emit N distinct completions of the cube. A completion already
-		// in the set (shared with another rare event) still counts
-		// toward this event's N — the vector excites it either way.
-		// Narrow cubes may have fewer than N completions; emit what
-		// exists.
+		ts.Inputs = eng.InputIDs()
+	}
+	seen := make(map[string]bool)
+	for i := range events {
+		if !cubes[i].ok {
+			continue
+		}
+		cube := cubes[i].cube
+		// Emit N distinct completions of the cube, each event drawing
+		// from its own deterministic stream. A completion already in
+		// the set (shared with another rare event) still counts toward
+		// this event's N — the vector excites it either way. Narrow
+		// cubes may have fewer than N completions; emit what exists.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i+1)*0x9e3779b9))
 		eventSeen := make(map[string]bool, cfg.N)
 		for attempt := 0; attempt < 8*cfg.N && len(eventSeen) < cfg.N; attempt++ {
 			v := cube.Fill(rng)
@@ -78,6 +94,65 @@ func NDATPG(n *netlist.Netlist, rs *rare.Set, cfg NDATPGConfig) (*TestSet, error
 	}
 	cntNDATPGVectors.Add(int64(ts.Len()))
 	return ts, nil
+}
+
+type ndCube struct {
+	cube atpg.Cube
+	ok   bool
+}
+
+// ndatpgCubes runs the per-event ATPG (detection first, excitation
+// fallback) over a worker pool, each worker owning one engine.
+func ndatpgCubes(n *netlist.Netlist, events []rare.Node, cfg NDATPGConfig) ([]ndCube, error) {
+	out := make([]ndCube, len(events))
+	workers := cfg.Workers
+	if workers > len(events) {
+		workers = len(events)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var initErr error
+	var initOnce sync.Once
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng, err := atpg.NewEngine(n)
+			if err != nil {
+				initOnce.Do(func() { initErr = err })
+				return
+			}
+			if cfg.MaxBacktracks > 0 {
+				eng.MaxBacktracks = cfg.MaxBacktracks
+			}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(events) {
+					return
+				}
+				node := events[i]
+				cube, res := eng.Detect(node.ID, node.RareValue^1)
+				if res != atpg.Success {
+					// Redundant or aborted propagation: excitation alone
+					// still drives the rare event, which is what trojan
+					// triggering needs.
+					cube, res = eng.Justify(node.ID, node.RareValue)
+					if res != atpg.Success {
+						continue
+					}
+				}
+				out[i] = ndCube{cube: cube, ok: true}
+			}
+		}()
+	}
+	wg.Wait()
+	if initErr != nil {
+		return nil, initErr
+	}
+	return out, nil
 }
 
 func vecKey(v []bool) string {

@@ -29,6 +29,10 @@ type Options struct {
 	Full bool
 	// Seed drives every random choice.
 	Seed int64
+	// Workers is the simulation/ATPG goroutine budget passed through to
+	// every stage (1 = serial, 0 = GOMAXPROCS). The tables are identical
+	// for any value; only the wall-clock changes.
+	Workers int
 	// Out receives the printed table (nil = suppress printing).
 	Out io.Writer
 }

@@ -100,7 +100,7 @@ func Table2(o Options) (*Table2Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -108,11 +108,11 @@ func Table2(o Options) (*Table2Result, error) {
 
 		// Build the three detection test sets once per circuit.
 		randomTS := detect.RandomTestSet(n, randomPatterns, o.Seed+1)
-		meroTS, err := detect.MERO(n, capped, detect.MEROConfig{N: meroN, RandomVectors: meroPool, Seed: o.Seed + 2})
+		meroTS, err := detect.MERO(n, capped, detect.MEROConfig{N: meroN, RandomVectors: meroPool, Seed: o.Seed + 2, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
-		ndTS, err := detect.NDATPG(n, capped, detect.NDATPGConfig{N: ndN, MaxBacktracks: maxBT, Seed: o.Seed + 3})
+		ndTS, err := detect.NDATPG(n, capped, detect.NDATPGConfig{N: ndN, MaxBacktracks: maxBT, Seed: o.Seed + 3, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +122,7 @@ func Table2(o Options) (*Table2Result, error) {
 			SchemeNDATPG: ndTS,
 		}
 
-		targets, err := buildFamilies(n, rs, capped, instances, proposedQ, maxBT, o.Seed)
+		targets, err := buildFamilies(n, rs, capped, instances, proposedQ, maxBT, o.Seed, o.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +131,7 @@ func Table2(o Options) (*Table2Result, error) {
 			for _, s := range res.Schemes {
 				cov := detect.Coverage{}
 				for _, tgt := range list {
-					out, err := detect.Evaluate(tgt, schemeTS[s])
+					out, err := detect.EvaluateConfig(tgt, schemeTS[s], detect.EvalConfig{Workers: o.Workers})
 					if err != nil {
 						return nil, err
 					}
@@ -148,7 +148,7 @@ func Table2(o Options) (*Table2Result, error) {
 
 // buildFamilies produces the per-family infected netlists for one
 // circuit.
-func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposedQ, maxBT int, seed int64) (map[Family][]detect.Target, error) {
+func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposedQ, maxBT int, seed int64, workers int) (map[Family][]detect.Target, error) {
 	out := map[Family][]detect.Target{}
 
 	mkTarget := func(infected *netlist.Netlist, trigName string, activation uint8) detect.Target {
@@ -202,7 +202,7 @@ func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposed
 	}
 
 	// Proposed family: compatibility-graph trojans with large q.
-	g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT})
+	g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: workers})
 	if err != nil {
 		return nil, err
 	}

@@ -92,7 +92,7 @@ func Table3(o Options) (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -221,13 +221,13 @@ func Table4(o Options) (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
 		capped := capRareSet(rs, rareCap)
 		t0 := time.Now()
-		g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT})
+		g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -299,12 +299,12 @@ func Table5(o Options) (*Table5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
 		capped := capRareSet(rs, rareCap)
-		g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT})
+		g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}

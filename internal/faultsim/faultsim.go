@@ -11,6 +11,10 @@ package faultsim
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cghti/internal/netlist"
 )
@@ -79,6 +83,23 @@ func NewSimulator(n *netlist.Netlist, words int) (*Simulator, error) {
 
 // Patterns returns the number of patterns per batch.
 func (s *Simulator) Patterns() int { return 64 * s.words }
+
+// Fork returns a simulator that shares this one's good-circuit image
+// (read-only) but owns its own faulty-image and fanout scratch, so
+// DetectMask can run concurrently on the parent and all forks. Forks
+// must not call SetInputs; reload patterns on the parent only, while no
+// fork is simulating.
+func (s *Simulator) Fork() *Simulator {
+	return &Simulator{
+		n:     s.n,
+		topo:  s.topo,
+		outs:  s.outs,
+		words: s.words,
+		good:  s.good,
+		bad:   make([]uint64, len(s.n.Gates)*s.words),
+		inTFO: make([]bool, len(s.n.Gates)),
+	}
+}
 
 // SetInputs loads up to Patterns() vectors (each one bool per
 // combinational input, CombInputs order) and simulates the good
@@ -250,8 +271,21 @@ func (c Coverage) Percent() float64 {
 // list (FullFaultList if faults is nil). Detected faults are dropped
 // from later batches (fault dropping), the standard speedup.
 func Run(n *netlist.Netlist, vectors [][]bool, faults []Fault) (Coverage, error) {
+	return RunWorkers(n, vectors, faults, 1)
+}
+
+// RunWorkers is Run with an explicit simulation goroutine budget (1 =
+// serial, 0 = GOMAXPROCS). Each batch shards the live fault list over
+// forked simulators that share the good-circuit image; per-fault
+// detection results are folded back in fault-list order, so the
+// coverage (including first-detecting-vector indices and fault
+// dropping) is identical for any worker count.
+func RunWorkers(n *netlist.Netlist, vectors [][]bool, faults []Fault, workers int) (Coverage, error) {
 	if faults == nil {
 		faults = FullFaultList(n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	cov := Coverage{Total: len(faults), PerFault: make(map[Fault]int)}
 	if len(vectors) == 0 || len(faults) == 0 {
@@ -262,6 +296,11 @@ func Run(n *netlist.Netlist, vectors [][]bool, faults []Fault) (Coverage, error)
 	if err != nil {
 		return cov, err
 	}
+	sims := []*Simulator{s}
+	for len(sims) < workers {
+		sims = append(sims, s.Fork())
+	}
+	firsts := make([]int, len(faults))
 	remaining := append([]Fault(nil), faults...)
 	for base := 0; base < len(vectors) && len(remaining) > 0; base += s.Patterns() {
 		hi := base + s.Patterns()
@@ -269,16 +308,36 @@ func Run(n *netlist.Netlist, vectors [][]bool, faults []Fault) (Coverage, error)
 			hi = len(vectors)
 		}
 		count := s.SetInputs(vectors[base:hi])
+		if workers == 1 || len(remaining) < 2 {
+			for i, f := range remaining {
+				firsts[i] = firstSetBit(s.DetectMask(f), count)
+			}
+		} else {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(sw *Simulator) {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(remaining) {
+							return
+						}
+						firsts[i] = firstSetBit(sw.DetectMask(remaining[i]), count)
+					}
+				}(sims[w])
+			}
+			wg.Wait()
+		}
 		alive := remaining[:0]
-		for _, f := range remaining {
-			mask := s.DetectMask(f)
-			first := firstSetBit(mask, count)
-			if first < 0 {
+		for i, f := range remaining {
+			if firsts[i] < 0 {
 				alive = append(alive, f)
 				continue
 			}
 			cov.Detected++
-			cov.PerFault[f] = base + first
+			cov.PerFault[f] = base + firsts[i]
 		}
 		remaining = alive
 	}
@@ -290,15 +349,11 @@ func firstSetBit(mask []uint64, limit int) int {
 		if word == 0 {
 			continue
 		}
-		for b := 0; b < 64; b++ {
-			p := w*64 + b
-			if p >= limit {
-				return -1
-			}
-			if word&(1<<uint(b)) != 0 {
-				return p
-			}
+		p := w*64 + bits.TrailingZeros64(word)
+		if p >= limit {
+			return -1
 		}
+		return p
 	}
 	return -1
 }

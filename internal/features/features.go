@@ -12,6 +12,7 @@ package features
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"math/rand"
 	"os"
 	"strconv"
@@ -108,7 +109,7 @@ func Extract(n *netlist.Netlist, cfg Config) ([]Vector, error) {
 					}
 				}
 				diff := (word ^ shifted) & maskBits(lim)
-				toggles[g] += int64(popcount(diff))
+				toggles[g] += int64(bits.OnesCount64(diff))
 				last = word >> 63
 			}
 			prev[g] = last
@@ -148,15 +149,6 @@ func maskBits(k int) uint64 {
 		return ^uint64(0)
 	}
 	return (uint64(1) << uint(k)) - 1
-}
-
-func popcount(x uint64) int {
-	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
-	}
-	return c
 }
 
 // distanceToOutputs is a reverse BFS from the combinational outputs.

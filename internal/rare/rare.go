@@ -30,6 +30,10 @@ const DefaultVectors = 10000
 // ~24% of all nodes rare at this setting).
 const DefaultThreshold = 0.20
 
+// DefaultBatchWords is the per-batch word count (64 patterns per word)
+// used when Config.BatchWords is 0: 16 words = 1024 patterns.
+const DefaultBatchWords = 16
+
 // Config parameterizes the extraction.
 type Config struct {
 	// Vectors is |V|; DefaultVectors if 0.
@@ -39,6 +43,17 @@ type Config struct {
 	Threshold float64
 	// Seed drives the random vector set.
 	Seed int64
+	// Workers is the simulation goroutine budget (1 = serial, 0 =
+	// GOMAXPROCS). The extracted set is bit-identical for any worker
+	// count: the random vector set depends only on Seed, and each
+	// pattern word is simulated by the same kernels regardless of
+	// sharding.
+	Workers int
+	// BatchWords is the number of 64-pattern words simulated per batch
+	// (DefaultBatchWords if 0). Larger batches give the worker shards
+	// more room; note that changing the batch size changes which random
+	// vectors are drawn, so keep it fixed when reproducing a run.
+	BatchWords int
 	// IncludeInputs also scores primary inputs and DFF outputs as
 	// rare-node candidates. Off by default: the paper's trigger nodes
 	// are internal nets (gate outputs), and PIs have probability ~0.5
@@ -55,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Threshold <= 0 {
 		c.Threshold = DefaultThreshold
+	}
+	if c.BatchWords <= 0 {
+		c.BatchWords = DefaultBatchWords
 	}
 	return c
 }
@@ -106,11 +124,12 @@ func Extract(n *netlist.Netlist, cfg Config) (*Set, error) {
 	if cfg.Threshold >= 1 {
 		return nil, fmt.Errorf("rare: threshold %v must be a fraction < 1", cfg.Threshold)
 	}
-	const words = 16 // 1024 patterns per batch
-	p, err := sim.NewPacked(n, words)
+	p, err := sim.AcquirePacked(n, cfg.BatchWords)
 	if err != nil {
 		return nil, err
 	}
+	defer sim.ReleasePacked(p)
+	p.SetWorkers(cfg.Workers)
 	cntExtractions.Inc()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ones := make([]int64, n.NumGates())

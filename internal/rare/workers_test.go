@@ -1,0 +1,49 @@
+package rare
+
+import (
+	"testing"
+
+	"cghti/internal/gen"
+)
+
+// TestExtractWorkersIdentical is the determinism contract for the
+// parallel engine: the extracted rare-node set (membership, rare
+// values, probabilities, raw one-counts) is identical for any worker
+// count on real benchmark circuits.
+func TestExtractWorkersIdentical(t *testing.T) {
+	for _, name := range []string{"c432", "c880"} {
+		n, err := gen.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Config{Vectors: 4000, Threshold: 0.2, Seed: 11, Workers: 1}
+		ref, err := Extract(n, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			cfg := base
+			cfg.Workers = workers
+			got, err := Extract(n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refNodes, gotNodes := ref.All(), got.All()
+			if len(gotNodes) != len(refNodes) {
+				t.Fatalf("%s workers=%d: %d rare nodes, want %d", name, workers, len(gotNodes), len(refNodes))
+			}
+			for i := range refNodes {
+				if gotNodes[i] != refNodes[i] {
+					t.Fatalf("%s workers=%d: node %d = %+v, want %+v",
+						name, workers, i, gotNodes[i], refNodes[i])
+				}
+			}
+			for i := range ref.Ones {
+				if got.Ones[i] != ref.Ones[i] {
+					t.Fatalf("%s workers=%d: ones[%d] = %d, want %d",
+						name, workers, i, got.Ones[i], ref.Ones[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"cghti/internal/netlist"
+)
+
+// The packed simulator executes a compiled program instead of walking
+// the netlist: compileProgram lowers the topological gate order into a
+// flat op list once per engine, hoisting the gate-type switch out of
+// the per-word inner loop and specializing the overwhelmingly common
+// 1- and 2-input gates into tight []uint64 kernels. Each op reads and
+// writes whole word ranges, so the same program runs serially or
+// sharded across goroutines over disjoint word blocks (distinct
+// pattern words are fully independent).
+
+type opKind uint8
+
+const (
+	opConst0 opKind = iota
+	opConst1
+	opBuf
+	opNot
+	opAnd2
+	opNand2
+	opOr2
+	opNor2
+	opXor2
+	opXnor2
+	opAndN
+	opNandN
+	opOrN
+	opNorN
+	opXorN
+	opXnorN
+)
+
+// op is one compiled gate evaluation. out/a/b are gate indexes (not
+// word offsets, so the program is independent of the engine's word
+// count); fanin is populated only for the N-ary kinds.
+type op struct {
+	kind  opKind
+	out   int32
+	a, b  int32
+	fanin []int32
+}
+
+func pick(two bool, k2, kN opKind) opKind {
+	if two {
+		return k2
+	}
+	return kN
+}
+
+// compileProgram lowers the topo order into the op list. Inputs and
+// DFFs are state (set by the caller) and compile to nothing.
+func compileProgram(n *netlist.Netlist, topo []netlist.GateID) []op {
+	prog := make([]op, 0, len(topo))
+	for _, id := range topo {
+		g := &n.Gates[id]
+		o := op{out: int32(id)}
+		switch g.Type {
+		case netlist.Input, netlist.DFF:
+			continue
+		case netlist.Const0:
+			o.kind = opConst0
+		case netlist.Const1:
+			o.kind = opConst1
+		case netlist.Buf:
+			o.kind = opBuf
+			o.a = int32(g.Fanin[0])
+		case netlist.Not:
+			o.kind = opNot
+			o.a = int32(g.Fanin[0])
+		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor:
+			two := len(g.Fanin) == 2
+			switch g.Type {
+			case netlist.And:
+				o.kind = pick(two, opAnd2, opAndN)
+			case netlist.Nand:
+				o.kind = pick(two, opNand2, opNandN)
+			case netlist.Or:
+				o.kind = pick(two, opOr2, opOrN)
+			case netlist.Nor:
+				o.kind = pick(two, opNor2, opNorN)
+			case netlist.Xor:
+				o.kind = pick(two, opXor2, opXorN)
+			case netlist.Xnor:
+				o.kind = pick(two, opXnor2, opXnorN)
+			}
+			if two {
+				o.a, o.b = int32(g.Fanin[0]), int32(g.Fanin[1])
+			} else {
+				o.fanin = make([]int32, len(g.Fanin))
+				for i, f := range g.Fanin {
+					o.fanin[i] = int32(f)
+				}
+			}
+		}
+		prog = append(prog, o)
+	}
+	return prog
+}
+
+// runProgram evaluates the program over the word range [lo, hi) of
+// vals (laid out gate-major: gate g, word w -> vals[g*W+w]). Safe to
+// call concurrently for disjoint ranges.
+func runProgram(prog []op, vals []uint64, W, lo, hi int) {
+	span := hi - lo
+	if span <= 0 {
+		return
+	}
+	for i := range prog {
+		o := &prog[i]
+		out := vals[int(o.out)*W+lo : int(o.out)*W+hi : int(o.out)*W+hi]
+		switch o.kind {
+		case opConst0:
+			for w := range out {
+				out[w] = 0
+			}
+		case opConst1:
+			for w := range out {
+				out[w] = ^uint64(0)
+			}
+		case opBuf:
+			copy(out, vals[int(o.a)*W+lo:int(o.a)*W+hi])
+		case opNot:
+			av := vals[int(o.a)*W+lo : int(o.a)*W+hi : int(o.a)*W+hi]
+			for w := range out {
+				out[w] = ^av[w]
+			}
+		case opAnd2:
+			av := vals[int(o.a)*W+lo : int(o.a)*W+hi : int(o.a)*W+hi]
+			bv := vals[int(o.b)*W+lo : int(o.b)*W+hi : int(o.b)*W+hi]
+			for w := range out {
+				out[w] = av[w] & bv[w]
+			}
+		case opNand2:
+			av := vals[int(o.a)*W+lo : int(o.a)*W+hi : int(o.a)*W+hi]
+			bv := vals[int(o.b)*W+lo : int(o.b)*W+hi : int(o.b)*W+hi]
+			for w := range out {
+				out[w] = ^(av[w] & bv[w])
+			}
+		case opOr2:
+			av := vals[int(o.a)*W+lo : int(o.a)*W+hi : int(o.a)*W+hi]
+			bv := vals[int(o.b)*W+lo : int(o.b)*W+hi : int(o.b)*W+hi]
+			for w := range out {
+				out[w] = av[w] | bv[w]
+			}
+		case opNor2:
+			av := vals[int(o.a)*W+lo : int(o.a)*W+hi : int(o.a)*W+hi]
+			bv := vals[int(o.b)*W+lo : int(o.b)*W+hi : int(o.b)*W+hi]
+			for w := range out {
+				out[w] = ^(av[w] | bv[w])
+			}
+		case opXor2:
+			av := vals[int(o.a)*W+lo : int(o.a)*W+hi : int(o.a)*W+hi]
+			bv := vals[int(o.b)*W+lo : int(o.b)*W+hi : int(o.b)*W+hi]
+			for w := range out {
+				out[w] = av[w] ^ bv[w]
+			}
+		case opXnor2:
+			av := vals[int(o.a)*W+lo : int(o.a)*W+hi : int(o.a)*W+hi]
+			bv := vals[int(o.b)*W+lo : int(o.b)*W+hi : int(o.b)*W+hi]
+			for w := range out {
+				out[w] = ^(av[w] ^ bv[w])
+			}
+		case opAndN, opNandN:
+			copy(out, vals[int(o.fanin[0])*W+lo:int(o.fanin[0])*W+hi])
+			for _, f := range o.fanin[1:] {
+				fv := vals[int(f)*W+lo : int(f)*W+hi : int(f)*W+hi]
+				for w := range out {
+					out[w] &= fv[w]
+				}
+			}
+			if o.kind == opNandN {
+				for w := range out {
+					out[w] = ^out[w]
+				}
+			}
+		case opOrN, opNorN:
+			copy(out, vals[int(o.fanin[0])*W+lo:int(o.fanin[0])*W+hi])
+			for _, f := range o.fanin[1:] {
+				fv := vals[int(f)*W+lo : int(f)*W+hi : int(f)*W+hi]
+				for w := range out {
+					out[w] |= fv[w]
+				}
+			}
+			if o.kind == opNorN {
+				for w := range out {
+					out[w] = ^out[w]
+				}
+			}
+		case opXorN, opXnorN:
+			copy(out, vals[int(o.fanin[0])*W+lo:int(o.fanin[0])*W+hi])
+			for _, f := range o.fanin[1:] {
+				fv := vals[int(f)*W+lo : int(f)*W+hi : int(f)*W+hi]
+				for w := range out {
+					out[w] ^= fv[w]
+				}
+			}
+			if o.kind == opXnorN {
+				for w := range out {
+					out[w] = ^out[w]
+				}
+			}
+		}
+	}
+}

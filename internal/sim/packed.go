@@ -4,17 +4,28 @@
 //
 //   - Packed: 64-way bit-parallel two-valued simulation (one pattern per
 //     bit of a machine word), the workhorse for the 10,000-vector
-//     functional simulation the paper uses to find rare nodes;
+//     functional simulation the paper uses to find rare nodes. The
+//     engine compiles the netlist into per-gate-type specialized word
+//     kernels (kernel.go) and can shard pattern-word blocks across
+//     goroutines — results are bit-identical for any worker count;
 //   - Eval: a scalar reference evaluator, used by tests to pin Packed;
 //   - three-valued (0/1/X) cube simulation in threeval.go, used to prove
 //     that a merged trigger cube excites every clique member;
 //   - an event-driven incremental simulator in event.go, used by MERO's
 //     bit-flip inner loop.
+//
+// Callers that simulate in rounds (rare extraction, MERO scoring,
+// detection sampling) should recycle engines through AcquirePacked /
+// ReleasePacked (pool.go) instead of rebuilding the per-gate word
+// arrays every round.
 package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"cghti/internal/netlist"
 	"cghti/internal/obs"
@@ -25,8 +36,15 @@ import (
 var (
 	cntPackedRuns    = obs.NewCounter("sim.packed_runs")
 	cntPackedVectors = obs.NewCounter("sim.packed_vectors")
+	cntPackedShards  = obs.NewCounter("sim.packed_shards")
 	cntEventProps    = obs.NewCounter("sim.event_propagations")
 )
+
+// minShardWords is the smallest word block worth handing to a
+// goroutine: below this the fork/join overhead dominates the kernel
+// work, so Run degrades gracefully to fewer (or zero) extra
+// goroutines on small batches.
+const minShardWords = 8
 
 // Packed is a bit-parallel two-valued simulator. Each uint64 word carries
 // 64 independent patterns; a Packed with W words simulates 64*W patterns
@@ -37,15 +55,26 @@ var (
 // rare-node work) or latched from their data input by Step (sequential
 // view).
 type Packed struct {
-	n     *netlist.Netlist
-	topo  []netlist.GateID
-	words int
-	vals  []uint64 // gate g, word w -> vals[int(g)*words+w]
+	n       *netlist.Netlist
+	prog    []op
+	words   int
+	workers int
+	vals    []uint64 // gate g, word w -> vals[int(g)*words+w]
 }
 
-// NewPacked builds a simulator for n with the given number of 64-pattern
-// words (words >= 1).
+// NewPacked builds a serial simulator for n with the given number of
+// 64-pattern words (words >= 1). Use NewPackedWorkers or SetWorkers to
+// enable word-block sharding.
 func NewPacked(n *netlist.Netlist, words int) (*Packed, error) {
+	return NewPackedWorkers(n, words, 1)
+}
+
+// NewPackedWorkers builds a simulator that shards Run across up to
+// workers goroutines (1 = serial, 0 = GOMAXPROCS). Results are
+// bit-identical for any worker count: distinct pattern words are fully
+// independent, and each word is computed by exactly the same kernel
+// sequence regardless of which shard owns it.
+func NewPackedWorkers(n *netlist.Netlist, words, workers int) (*Packed, error) {
 	if words < 1 {
 		return nil, fmt.Errorf("sim: words must be >= 1, got %d", words)
 	}
@@ -53,12 +82,14 @@ func NewPacked(n *netlist.Netlist, words int) (*Packed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Packed{
+	p := &Packed{
 		n:     n,
-		topo:  topo,
+		prog:  compileProgram(n, topo),
 		words: words,
 		vals:  make([]uint64, len(n.Gates)*words),
-	}, nil
+	}
+	p.SetWorkers(workers)
+	return p, nil
 }
 
 // Words returns the number of 64-pattern words per gate.
@@ -66,6 +97,20 @@ func (p *Packed) Words() int { return p.words }
 
 // Patterns returns the number of patterns simulated per Run (64 * Words).
 func (p *Packed) Patterns() int { return 64 * p.words }
+
+// Netlist returns the netlist the engine was compiled for.
+func (p *Packed) Netlist() *netlist.Netlist { return p.n }
+
+// SetWorkers sets the Run goroutine budget (1 = serial, 0 = GOMAXPROCS).
+func (p *Packed) SetWorkers(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p.workers = workers
+}
+
+// Workers returns the resolved Run goroutine budget.
+func (p *Packed) Workers() int { return p.workers }
 
 // SetWord sets the pattern word w of gate id (a PI or DFF).
 func (p *Packed) SetWord(id netlist.GateID, w int, bits uint64) {
@@ -94,7 +139,9 @@ func (p *Packed) Bit(id netlist.GateID, pat int) bool {
 }
 
 // Randomize fills every combinational input (PIs and DFF state) with
-// uniform random patterns from rng.
+// uniform random patterns from rng. The fill order is fixed
+// (CombInputs order, word-ascending) so the drawn pattern set depends
+// only on the rng state, never on the worker count.
 func (p *Packed) Randomize(rng *rand.Rand) {
 	for _, id := range p.n.CombInputs() {
 		base := int(id) * p.words
@@ -105,73 +152,44 @@ func (p *Packed) Randomize(rng *rand.Rand) {
 }
 
 // Run propagates the current input/state words through the combinational
-// logic in topological order.
+// logic. With a worker budget > 1 and enough words, the word range is
+// split into contiguous blocks simulated concurrently; every word is
+// computed by the same compiled kernel sequence either way, so the
+// output is bit-identical for any worker count.
 func (p *Packed) Run() {
 	cntPackedRuns.Inc()
 	cntPackedVectors.Add(int64(64 * p.words))
-	W := p.words
-	vals := p.vals
-	gates := p.n.Gates
-	for _, id := range p.topo {
-		g := &gates[id]
-		base := int(id) * W
-		switch g.Type {
-		case netlist.Input, netlist.DFF:
-			// state; already set
-		case netlist.Const0:
-			for w := 0; w < W; w++ {
-				vals[base+w] = 0
-			}
-		case netlist.Const1:
-			for w := 0; w < W; w++ {
-				vals[base+w] = ^uint64(0)
-			}
-		case netlist.Buf:
-			src := int(g.Fanin[0]) * W
-			copy(vals[base:base+W], vals[src:src+W])
-		case netlist.Not:
-			src := int(g.Fanin[0]) * W
-			for w := 0; w < W; w++ {
-				vals[base+w] = ^vals[src+w]
-			}
-		case netlist.And, netlist.Nand:
-			src0 := int(g.Fanin[0]) * W
-			for w := 0; w < W; w++ {
-				acc := vals[src0+w]
-				for _, f := range g.Fanin[1:] {
-					acc &= vals[int(f)*W+w]
-				}
-				if g.Type == netlist.Nand {
-					acc = ^acc
-				}
-				vals[base+w] = acc
-			}
-		case netlist.Or, netlist.Nor:
-			src0 := int(g.Fanin[0]) * W
-			for w := 0; w < W; w++ {
-				acc := vals[src0+w]
-				for _, f := range g.Fanin[1:] {
-					acc |= vals[int(f)*W+w]
-				}
-				if g.Type == netlist.Nor {
-					acc = ^acc
-				}
-				vals[base+w] = acc
-			}
-		case netlist.Xor, netlist.Xnor:
-			src0 := int(g.Fanin[0]) * W
-			for w := 0; w < W; w++ {
-				acc := vals[src0+w]
-				for _, f := range g.Fanin[1:] {
-					acc ^= vals[int(f)*W+w]
-				}
-				if g.Type == netlist.Xnor {
-					acc = ^acc
-				}
-				vals[base+w] = acc
-			}
-		}
+	shards := p.shardCount()
+	if shards <= 1 {
+		runProgram(p.prog, p.vals, p.words, 0, p.words)
+		return
 	}
+	cntPackedShards.Add(int64(shards))
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * p.words / shards
+		hi := (s + 1) * p.words / shards
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			runProgram(p.prog, p.vals, p.words, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// shardCount resolves the effective shard count for Run: never more
+// than the worker budget, and never so many that a shard drops below
+// minShardWords.
+func (p *Packed) shardCount() int {
+	shards := p.workers
+	if max := p.words / minShardWords; shards > max {
+		shards = max
+	}
+	return shards
 }
 
 // Step advances the sequential view by one clock: Run, then latch each
@@ -197,18 +215,12 @@ func (p *Packed) CountOnes(counts []int64, limit int) {
 		base := g * W
 		var c int
 		for w := 0; w < fullWords; w++ {
-			c += popcount(p.vals[base+w])
+			c += bits.OnesCount64(p.vals[base+w])
 		}
 		if remBits > 0 {
 			mask := (uint64(1) << uint(remBits)) - 1
-			c += popcount(p.vals[base+fullWords] & mask)
+			c += bits.OnesCount64(p.vals[base+fullWords] & mask)
 		}
 		counts[g] += int64(c)
 	}
-}
-
-func popcount(x uint64) int {
-	// math/bits.OnesCount64 is inlined by the compiler; keep a local
-	// alias so this file reads without the import at every call site.
-	return onesCount64(x)
 }

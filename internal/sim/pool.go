@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"sync"
+
+	"cghti/internal/netlist"
+)
+
+// Engine pooling. Building a Packed costs a topological sort, a program
+// compile and a len(gates)*words word array; callers that simulate in
+// rounds (rare extraction batches, MERO pool scoring, the per-target
+// loop of detection evaluation) would otherwise pay that on every
+// round. AcquirePacked recycles engines per (netlist, words) pair.
+//
+// The pool is bounded: at most poolPerKey idle engines per key and
+// poolMaxKeys keys; beyond that, releases are dropped and acquires
+// build fresh engines. Pooled engines keep their stale word values —
+// callers must fully set the inputs they read back (Randomize and the
+// batch loaders all do), exactly as they must between two Runs of a
+// long-lived engine.
+
+const (
+	poolPerKey  = 4
+	poolMaxKeys = 64
+)
+
+type poolKey struct {
+	n     *netlist.Netlist
+	words int
+}
+
+var packedPool = struct {
+	sync.Mutex
+	free map[poolKey][]*Packed
+}{free: make(map[poolKey][]*Packed)}
+
+// AcquirePacked returns a pooled engine for (n, words), building one if
+// the pool has none. The engine comes back with a serial worker budget;
+// call SetWorkers to shard. Pass it to ReleasePacked when done.
+func AcquirePacked(n *netlist.Netlist, words int) (*Packed, error) {
+	packedPool.Lock()
+	key := poolKey{n: n, words: words}
+	if list := packedPool.free[key]; len(list) > 0 {
+		p := list[len(list)-1]
+		packedPool.free[key] = list[:len(list)-1]
+		packedPool.Unlock()
+		p.SetWorkers(1)
+		return p, nil
+	}
+	packedPool.Unlock()
+	return NewPacked(n, words)
+}
+
+// ReleasePacked returns an engine to the pool. Safe to call with nil.
+func ReleasePacked(p *Packed) {
+	if p == nil {
+		return
+	}
+	packedPool.Lock()
+	defer packedPool.Unlock()
+	key := poolKey{n: p.n, words: p.words}
+	list := packedPool.free[key]
+	if len(list) >= poolPerKey {
+		return
+	}
+	if _, ok := packedPool.free[key]; !ok && len(packedPool.free) >= poolMaxKeys {
+		// Too many distinct netlists cached (e.g. a long Table-2 sweep
+		// over hundreds of infected circuits): drop everything rather
+		// than pinning dead netlists in memory.
+		packedPool.free = make(map[poolKey][]*Packed)
+		list = nil
+	}
+	packedPool.free[key] = append(list, p)
+}
+
+// DrainPackedPool empties the engine pool (used by tests and
+// memory-sensitive callers).
+func DrainPackedPool() {
+	packedPool.Lock()
+	defer packedPool.Unlock()
+	packedPool.free = make(map[poolKey][]*Packed)
+}

@@ -2,12 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"math/bits"
 
 	"cghti/internal/netlist"
 )
-
-func onesCount64(x uint64) int { return bits.OnesCount64(x) }
 
 // EvalGate computes the two-valued output of a gate type over scalar
 // inputs (each 0 or 1). It is the reference semantics that every other
