@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race bench benchall
+.PHONY: ci build vet fmt test race fuzz bench benchall
 
-ci: build vet fmt race
+ci: build vet fmt race fuzz
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,16 @@ fmt:
 test:
 	$(GO) test ./...
 
+# The explicit -timeout keeps a hung cancellation path from stalling CI
+# for the 10-minute default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 5m ./...
+
+# Short fuzz smoke: each native fuzz target runs briefly so a parser
+# regression that panics or hangs on malformed input fails the gate.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/bench
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/vparse
 
 # Simulation/pipeline benchmarks, recorded as BENCH_sim.json so runs
 # can be committed and diffed (see cmd/benchjson).

@@ -31,6 +31,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "simulation/ATPG goroutine budget (0 = all CPUs, 1 = serial; tables are identical)")
 		report     = flag.String("report", "", "write a JSON run report (per-experiment spans + counters) to this file")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); completed experiments still land in the partial -report")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -87,23 +88,43 @@ func main() {
 	}
 	snap0 := obs.Default().Snapshot()
 	trace := obs.NewTrace()
-	for _, name := range selected {
-		sp := trace.Start(name)
-		d, err := runners[name](opts)
-		sp.End()
-		if err != nil {
-			cli.Fatalf(tool, "%s: %w", name, err)
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	// writeReport serializes whatever the trace and counters hold right
+	// now; the abort paths call it too, so experiments that finished
+	// before a ^C or -timeout still land in the report.
+	writeReport := func(extra map[string]any) {
+		if *report == "" {
+			return
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, d.Round(time.Millisecond))
-	}
-	if *report != "" {
 		rep := obs.NewReport(tool, trace, obs.Default().Snapshot().Delta(snap0))
 		rep.Args = os.Args[1:]
+		rep.Extra = extra
 		if err := rep.WriteFile(*report); err != nil {
 			cli.Fatal(tool, err)
 		}
 		fmt.Println("run report written to", *report)
 	}
+
+	var done []string
+	for _, name := range selected {
+		if err := ctx.Err(); err != nil {
+			writeReport(map[string]any{"completed": done, "aborted_before": name})
+			cli.Fatalf(tool, "aborted before %s: %w", name, err)
+		}
+		sp := trace.Start(name)
+		d, err := runners[name](opts)
+		if err != nil {
+			sp.Abort()
+			writeReport(map[string]any{"completed": done, "failed": name})
+			cli.Fatalf(tool, "%s: %w", name, err)
+		}
+		sp.End()
+		done = append(done, name)
+		fmt.Printf("[%s done in %v]\n\n", name, d.Round(time.Millisecond))
+	}
+	writeReport(map[string]any{"completed": done})
 }
 
 // elapsed extracts the Elapsed field common to every result type.

@@ -44,6 +44,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "simulation/ATPG goroutine budget (0 = all CPUs, 1 = serial; output is identical)")
 		report       = flag.String("report", "", "write a JSON run report (per-scheme spans + counters) to this file")
+		timeout      = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a timed-out or interrupted run still writes its partial -report")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -59,6 +60,28 @@ func main() {
 
 	snap0 := obs.Default().Snapshot()
 	trace := obs.NewTrace()
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	// writeReport serializes whatever the trace and counters hold right
+	// now; fatal paths call it too, so an interrupted or timed-out run
+	// still leaves a valid partial report behind.
+	writeReport := func(extra map[string]any) {
+		if *report == "" {
+			return
+		}
+		rep := obs.NewReport(tool, trace, obs.Default().Snapshot().Delta(snap0))
+		rep.Args = os.Args[1:]
+		rep.Extra = extra
+		if err := rep.WriteFile(*report); err != nil {
+			cli.Fatal(tool, err)
+		}
+		fmt.Println("run report written to", *report)
+	}
+	fatal := func(err error) {
+		writeReport(map[string]any{"scheme": *scheme, "aborted": true})
+		cli.Fatal(tool, err)
+	}
 
 	golden, err := cghti.ParseBenchFile(*goldenPath)
 	if err != nil {
@@ -83,25 +106,26 @@ func main() {
 	var rs *rare.Set
 	if needRare {
 		sp := trace.Start("rare_extract")
-		rs, err = rare.Extract(golden, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed, Workers: *workers})
-		sp.End()
+		rs, err = rare.ExtractContext(ctx, golden, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed, Workers: *workers})
 		if err != nil {
-			cli.Fatal(tool, err)
+			sp.Abort()
+			fatal(err)
 		}
+		sp.End()
 		fmt.Printf("%s: %d rare nodes at θ=%.0f%%\n", golden.Name, rs.Len(), *theta*100)
 	}
 
 	run := func(name string, ts *detect.TestSet) {
-		out, err := detect.EvaluateConfig(tgt, ts, detect.EvalConfig{Workers: *workers})
+		out, err := detect.EvaluateContext(ctx, tgt, ts, detect.EvalConfig{Workers: *workers})
 		if err != nil {
-			cli.Fatal(tool, err)
+			fatal(err)
 		}
 		fmt.Printf("%-8s %6d vectors  triggered=%-5v (first %d)  detected=%-5v (first %d)\n",
 			name, ts.Len(), out.Triggered, out.FirstTrigger, out.Detected, out.FirstDetect)
 		if *faultCov {
-			cov, err := faultsim.RunWorkers(golden, ts.Vectors, nil, *workers)
+			cov, err := faultsim.RunContext(ctx, golden, ts.Vectors, nil, *workers)
 			if err != nil {
-				cli.Fatal(tool, err)
+				fatal(err)
 			}
 			fmt.Printf("         stuck-at fault coverage on golden: %.1f%% (%d/%d)\n",
 				cov.Percent(), cov.Detected, cov.Total)
@@ -115,9 +139,10 @@ func main() {
 	}
 	if *scheme == "all" || *scheme == "mero" {
 		sp := trace.Start("mero")
-		ts, err := detect.MERO(golden, rs, detect.MEROConfig{N: *meroN, RandomVectors: *meroPool, Seed: *seed, Workers: *workers})
+		ts, err := detect.MEROContext(ctx, golden, rs, detect.MEROConfig{N: *meroN, RandomVectors: *meroPool, Seed: *seed, Workers: *workers})
 		if err != nil {
-			cli.Fatal(tool, err)
+			sp.Abort()
+			fatal(err)
 		}
 		run("mero", ts)
 		sp.End()
@@ -128,9 +153,10 @@ func main() {
 		if n > 10 {
 			n = 5 // ND-ATPG's N is per rare event; cap the default
 		}
-		ts, err := detect.NDATPG(golden, rs, detect.NDATPGConfig{N: n, Seed: *seed, Workers: *workers})
+		ts, err := detect.NDATPGContext(ctx, golden, rs, detect.NDATPGConfig{N: n, Seed: *seed, Workers: *workers})
 		if err != nil {
-			cli.Fatal(tool, err)
+			sp.Abort()
+			fatal(err)
 		}
 		run("ndatpg", ts)
 		sp.End()
@@ -139,7 +165,8 @@ func main() {
 		sp := trace.Start("cotd")
 		rep, err := detect.COTD(infected, detect.COTDConfig{})
 		if err != nil {
-			cli.Fatal(tool, err)
+			sp.Abort()
+			fatal(err)
 		}
 		fmt.Printf("%-8s structural analysis  flagged=%-5v suspicious=%d threshold=%.0f\n",
 			"cotd", rep.Flagged, len(rep.Suspicious), rep.Threshold)
@@ -154,18 +181,10 @@ func main() {
 		sp.End()
 	}
 
-	if *report != "" {
-		rep := obs.NewReport(tool, trace, obs.Default().Snapshot().Delta(snap0))
-		rep.Args = os.Args[1:]
-		rep.Extra = map[string]any{
-			"golden":   golden.Name,
-			"infected": infected.Name,
-			"trigger":  *trigger,
-			"scheme":   *scheme,
-		}
-		if err := rep.WriteFile(*report); err != nil {
-			cli.Fatal(tool, err)
-		}
-		fmt.Println("run report written to", *report)
-	}
+	writeReport(map[string]any{
+		"golden":   golden.Name,
+		"infected": infected.Name,
+		"trigger":  *trigger,
+		"scheme":   *scheme,
+	})
 }

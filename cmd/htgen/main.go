@@ -52,6 +52,7 @@ func main() {
 		timebomb   = flag.Int("timebomb", 0, "convert each instance to a sequential time bomb with this many counter bits (0 = off)")
 		dedup      = flag.Bool("dedup", false, "run structural deduplication after insertion (blends trojan gates with functional logic)")
 		report     = flag.String("report", "", "write a JSON run report (span trace + counters) to this file")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a timed-out or interrupted run still writes its partial -report")
 		verbose    = flag.Bool("v", false, "stream stage progress to stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -71,6 +72,24 @@ func main() {
 
 	snap0 := obs.Default().Snapshot()
 	trace := obs.NewTrace()
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	// writeReport serializes whatever the trace and counters hold right
+	// now. The error paths call it too, so an interrupted or timed-out
+	// run still leaves a valid partial report behind.
+	writeReport := func(extra map[string]any) {
+		if *report == "" {
+			return
+		}
+		rep := obs.NewReport(tool, trace, obs.Default().Snapshot().Delta(snap0))
+		rep.Args = os.Args[1:]
+		rep.Extra = extra
+		if err := rep.WriteFile(*report); err != nil {
+			cli.Fatal(tool, err)
+		}
+		fmt.Println("run report written to", *report)
+	}
 
 	base, err := loadInput(*benchIn, *circuit)
 	if err != nil {
@@ -101,9 +120,17 @@ func main() {
 	default:
 		cli.Fatalf(tool, "unknown payload %q (flip, leak, force)", *payload)
 	}
-	res, err := cghti.Generate(base, cfg)
+	res, err := cghti.GenerateContext(ctx, base, cfg)
 	if err != nil {
+		extra := map[string]any{"circuit": base.Name, "aborted": true}
+		if se, ok := cghti.AsStageError(err); ok {
+			extra["failed_stage"] = se.Stage
+		}
+		writeReport(extra)
 		cli.Fatal(tool, err)
+	}
+	for _, d := range res.Degraded {
+		fmt.Fprintf(os.Stderr, "%s: warning: stage %s degraded (%s): %v\n", tool, d.Stage, d.Detail, d.Err)
 	}
 	if *check {
 		sp := trace.Start("verify")
@@ -161,24 +188,24 @@ func main() {
 	fmt.Printf("trigger nodes %d-%d, worst-case area overhead %.2f%%, total time %v\n",
 		min, max, overhead, res.Times.Total)
 
-	if *report != "" {
-		rep := obs.NewReport(tool, trace, obs.Default().Snapshot().Delta(snap0))
-		rep.Args = os.Args[1:]
-		rep.Extra = map[string]any{
-			"circuit":        base.Name,
-			"rare_nodes":     res.RareSet.Len(),
-			"graph_vertices": res.Graph.NumVertices(),
-			"graph_edges":    res.Graph.NumEdges(),
-			"cliques":        len(res.Cliques),
-			"instances":      len(res.Benchmarks),
-			"trigger_q_min":  min,
-			"trigger_q_max":  max,
-		}
-		if err := rep.WriteFile(*report); err != nil {
-			cli.Fatal(tool, err)
-		}
-		fmt.Println("run report written to", *report)
+	extra := map[string]any{
+		"circuit":        base.Name,
+		"rare_nodes":     res.RareSet.Len(),
+		"graph_vertices": res.Graph.NumVertices(),
+		"graph_edges":    res.Graph.NumEdges(),
+		"cliques":        len(res.Cliques),
+		"instances":      len(res.Benchmarks),
+		"trigger_q_min":  min,
+		"trigger_q_max":  max,
 	}
+	if len(res.Degraded) > 0 {
+		stages := make([]string, len(res.Degraded))
+		for i, d := range res.Degraded {
+			stages[i] = d.Stage
+		}
+		extra["degraded_stages"] = stages
+	}
+	writeReport(extra)
 }
 
 func loadInput(benchPath, circuit string) (*cghti.Netlist, error) {

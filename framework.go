@@ -1,11 +1,13 @@
 package cghti
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"cghti/internal/area"
 	"cghti/internal/atpg"
+	"cghti/internal/chaos"
 	"cghti/internal/compat"
 	"cghti/internal/detect"
 	"cghti/internal/equiv"
@@ -13,20 +15,36 @@ import (
 	"cghti/internal/obs"
 	"cghti/internal/rare"
 	"cghti/internal/sim"
+	"cghti/internal/stage"
 	"cghti/internal/trojan"
 )
 
 // Stage names of the Generate pipeline, as they appear in the trace
-// (children of the StageGenerate root span) and in progress events.
+// (children of the StageGenerate root span), in progress events, in
+// Config.StageBudgets keys, and in StageError.Stage. Re-exported from
+// internal/stage, the canonical home shared with the instrumented
+// worker loops.
 const (
-	StageGenerate    = "generate" // root span wrapping the whole pipeline
-	StageLevelize    = "levelize"
-	StageRareExtract = "rare_extract"
-	StageCubeGen     = "cube_gen"
-	StageGraphEdges  = "graph_edges"
-	StageCliqueMine  = "clique_mine"
-	StageInsert      = "insert"
+	StageGenerate    = stage.Generate // root span wrapping the whole pipeline
+	StageLevelize    = stage.Levelize
+	StageRareExtract = stage.RareExtract
+	StageCubeGen     = stage.CubeGen
+	StageGraphEdges  = stage.GraphEdges
+	StageCliqueMine  = stage.CliqueMine
+	StageInsert      = stage.Insert
 )
+
+// StageError is the structured failure record GenerateContext (and the
+// stage-instrumented worker pools below it) return: the stage name, the
+// worker index when attributable, the cause (context.Canceled,
+// context.DeadlineExceeded, or a panic-derived error), and — for
+// pipeline-level failures — the partial span trace up to the failure.
+// Unwrap exposes the cause, so errors.Is(err, context.Canceled) works
+// through it.
+type StageError = obs.StageError
+
+// AsStageError unwraps err to a *StageError if one is in the chain.
+func AsStageError(err error) (*StageError, bool) { return obs.AsStageError(err) }
 
 // PipelineStages lists the six pipeline-stage span names in execution
 // order (the Section IV-C time decomposition).
@@ -80,6 +98,20 @@ type Config struct {
 	// Generate creates a fresh trace. Either way the trace is exposed
 	// as Result.Trace.
 	Trace *obs.Trace
+	// Deadline bounds the whole pipeline: GenerateContext runs under a
+	// context.WithTimeout(ctx, Deadline) and a run that exceeds it
+	// fails with a *StageError wrapping context.DeadlineExceeded,
+	// naming the stage that was running. 0 = no deadline.
+	Deadline time.Duration
+	// StageBudgets gives individual stages their own time budgets,
+	// keyed by the Stage* constants. A stage that exhausts its budget
+	// is cut short; stages with a usable partial result (rare_extract,
+	// cube_gen, graph_edges, clique_mine, insert) degrade gracefully —
+	// the pipeline continues on the best-so-far output and the expiry
+	// is recorded in Result.Degraded — while the rest fail the run.
+	// Only the overall Deadline (or the caller's ctx) failing aborts
+	// the pipeline with an error.
+	StageBudgets map[string]time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -147,14 +179,48 @@ func (b *Benchmark) ProveDormant(golden *Netlist) error {
 }
 
 // Target converts the benchmark into a detection-evaluation target
-// against its golden netlist.
+// against its golden netlist. It panics when the trigger net cannot be
+// resolved in the infected netlist, which for benchmarks emitted by
+// Generate would indicate a bug; use DetectTarget on benchmarks
+// reconstructed from external input (deserialized runs, hand-edited
+// netlists).
 func (b *Benchmark) Target(golden *Netlist) detect.Target {
+	tgt, err := b.DetectTarget(golden)
+	if err != nil {
+		panic(err)
+	}
+	return tgt
+}
+
+// DetectTarget is Target with an error return instead of a panic when
+// the instance's trigger net is missing from the infected netlist.
+func (b *Benchmark) DetectTarget(golden *Netlist) (detect.Target, error) {
+	trig, ok := b.Netlist.Lookup(b.Instance.TriggerOut)
+	if !ok {
+		return detect.Target{}, fmt.Errorf("cghti: trigger net %q not found in netlist %s",
+			b.Instance.TriggerOut, b.Netlist.Name)
+	}
 	return detect.Target{
 		Golden:     golden,
 		Infected:   b.Netlist,
-		TriggerOut: b.Netlist.MustLookup(b.Instance.TriggerOut),
+		TriggerOut: trig,
 		Activation: b.Instance.Trigger.Spec.ActivationValue(),
-	}
+	}, nil
+}
+
+// Degradation records one stage that was cut short (stage budget
+// expiry) but left a usable partial result the pipeline continued on.
+type Degradation struct {
+	// Stage is the stage that was cut short (Stage* constant).
+	Stage string
+	// Err is what cut it short (typically context.DeadlineExceeded
+	// from the stage's budget).
+	Err error
+	// Done/Total report how far the stage got in its own work units
+	// (vectors, candidates, adjacency rows, mining target, instances).
+	Done, Total int
+	// Detail is a human-readable account of what was salvaged.
+	Detail string
 }
 
 // Result is the output of Generate.
@@ -175,6 +241,12 @@ type Result struct {
 	// Trace is the pipeline's span trace: a StageGenerate root span
 	// with one child per pipeline stage.
 	Trace *obs.Trace
+	// Degraded lists the stages that ran out of budget and fell back
+	// to best-so-far output, in pipeline order. Empty on a clean run.
+	// A degraded run is still a successful run: every emitted
+	// benchmark is fully verified, there are just fewer (or
+	// lower-quality) of them than an unbudgeted run would produce.
+	Degraded []Degradation
 }
 
 // stageRunner emits progress events and records spans for one
@@ -192,6 +264,11 @@ func (sr *stageRunner) start(name string) *obs.Span {
 func (sr *stageRunner) end(s *obs.Span) {
 	s.End()
 	obs.Emit(sr.sink, obs.Event{Stage: s.Name(), Kind: obs.StageEnd, Elapsed: s.Duration()})
+}
+
+func (sr *stageRunner) abort(s *obs.Span) {
+	s.Abort()
+	obs.Emit(sr.sink, obs.Event{Stage: s.Name(), Kind: obs.StageAbort, Elapsed: s.Duration()})
 }
 
 // progress adapts an internal done/total callback to StageProgress
@@ -219,7 +296,27 @@ func (sr *stageRunner) progress(stage string, started time.Time) func(done, tota
 
 // Generate runs the full insertion pipeline on n.
 func Generate(n *Netlist, cfg Config) (*Result, error) {
+	return GenerateContext(context.Background(), n, cfg)
+}
+
+// GenerateContext is Generate with cooperative cancellation and time
+// budgets. The pipeline checks ctx (plus cfg.Deadline, when set)
+// between and inside every stage's hot loop; cancellation or deadline
+// expiry fails the run promptly with a *StageError naming the stage
+// that was running and carrying the partial span trace. Per-stage
+// budgets (cfg.StageBudgets) are softer: a stage that exhausts its own
+// budget but produced a usable partial result degrades — the pipeline
+// continues on the best-so-far output and records the expiry in
+// Result.Degraded — and only stages with nothing to salvage fail the
+// run. Worker panics inside any stage surface as *StageError instead
+// of killing the process.
+func GenerateContext(ctx context.Context, n *Netlist, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
 	trace := cfg.Trace
 	if trace == nil {
 		trace = obs.NewTrace()
@@ -228,84 +325,222 @@ func Generate(n *Netlist, cfg Config) (*Result, error) {
 	sr := &stageRunner{sink: cfg.Progress, root: trace.Start(StageGenerate)}
 	defer sr.root.End()
 
+	// stageCtx derives a stage's working context from its budget (the
+	// whole-pipeline ctx when it has none).
+	stageCtx := func(name string) (context.Context, context.CancelFunc) {
+		if d, ok := cfg.StageBudgets[name]; ok && d > 0 {
+			return context.WithTimeout(ctx, d)
+		}
+		return ctx, func() {}
+	}
+	// fail converts a stage's terminal error into the pipeline's error:
+	// the root span is aborted and the partial trace attached to the
+	// StageError (the innermost attribution — e.g. the worker that
+	// panicked — is kept when err already carries one).
+	fail := func(stageName string, err error) error {
+		sr.root.Abort()
+		res.Times = stageTimes(trace)
+		se, ok := obs.AsStageError(err)
+		if !ok {
+			se = &obs.StageError{Stage: stageName, Worker: -1, Err: err}
+		}
+		if se.Trace == nil {
+			se.Trace = trace
+		}
+		return se
+	}
+	// hardStop classifies a stage interruption: pipeline-level
+	// cancellation/deadline and contained worker panics always fail the
+	// run; anything else (stage budget expiry, injected stage error) is
+	// eligible for degradation if the stage salvaged something.
+	hardStop := func(err error) bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		if se, ok := obs.AsStageError(err); ok && se.PanicValue != nil {
+			return true
+		}
+		return false
+	}
+	degrade := func(stageName string, err error, done, total int, detail string) {
+		res.Degraded = append(res.Degraded, Degradation{
+			Stage: stageName, Err: err, Done: done, Total: total, Detail: detail,
+		})
+	}
+
+	// --- levelize: no partial result is possible; any interruption or
+	// panic fails the run.
 	sp := sr.start(StageLevelize)
-	if err := n.Levelize(); err != nil {
-		return nil, err
+	if err := ctx.Err(); err != nil {
+		sr.abort(sp)
+		return nil, fail(StageLevelize, err)
+	}
+	if err := chaos.Hit(StageLevelize, 0); err != nil {
+		sr.abort(sp)
+		return nil, fail(StageLevelize, err)
+	}
+	if err := obs.Guard(StageLevelize, -1, n.Levelize); err != nil {
+		sr.abort(sp)
+		return nil, fail(StageLevelize, err)
 	}
 	sr.end(sp)
 
+	// --- rare extraction: an interrupted extraction with at least one
+	// simulated batch degrades to the smaller sample.
 	sp = sr.start(StageRareExtract)
-	rs, err := rare.Extract(n, rare.Config{
-		Vectors:   cfg.RareVectors,
-		Threshold: cfg.RareThreshold,
-		Seed:      cfg.Seed,
-		Workers:   cfg.Workers,
-		Progress:  sr.progress(StageRareExtract, sp.StartTime()),
+	rctx, cancel := stageCtx(StageRareExtract)
+	var rs *rare.Set
+	err := obs.Guard(StageRareExtract, -1, func() (e error) {
+		rs, e = rare.ExtractContext(rctx, n, rare.Config{
+			Vectors:   cfg.RareVectors,
+			Threshold: cfg.RareThreshold,
+			Seed:      cfg.Seed,
+			Workers:   cfg.Workers,
+			Progress:  sr.progress(StageRareExtract, sp.StartTime()),
+		})
+		return e
 	})
+	cancel()
 	if err != nil {
-		return nil, err
+		if hardStop(err) || rs == nil {
+			sr.abort(sp)
+			return nil, fail(StageRareExtract, err)
+		}
+		sr.abort(sp)
+		degrade(StageRareExtract, err, rs.Vectors, cfg.RareVectors,
+			fmt.Sprintf("rare set thresholded over %d of %d vectors", rs.Vectors, cfg.RareVectors))
+	} else {
+		sr.end(sp)
 	}
-	sr.end(sp)
 	res.RareSet = rs
 	if rs.Len() == 0 {
-		return nil, fmt.Errorf("cghti: no rare nodes at θ=%v over %d vectors",
-			cfg.RareThreshold, cfg.RareVectors)
+		return nil, fail(StageRareExtract, fmt.Errorf("cghti: no rare nodes at θ=%v over %d vectors",
+			cfg.RareThreshold, rs.Vectors))
 	}
 
-	// compat.Build covers two pipeline stages (PODEM cube generation,
-	// then pairwise edges); it reports their durations, which become
-	// retro-recorded spans splitting the Build window.
-	buildStart := time.Now()
-	obs.Emit(cfg.Progress, obs.Event{Stage: StageCubeGen, Kind: obs.StageStart})
-	g, err := compat.Build(n, rs, compat.BuildConfig{
+	// --- PODEM cube generation: an interrupted build keeps the cubes
+	// generated so far (rarest candidates first, so the best trigger
+	// material survives).
+	bcfg := compat.BuildConfig{
 		MaxBacktracks: cfg.MaxBacktracks,
 		MaxNodes:      cfg.MaxRareNodes,
 		Workers:       cfg.Workers,
-		Progress:      sr.progress(StageCubeGen, buildStart),
+	}
+	sp = sr.start(StageCubeGen)
+	bcfg.Progress = sr.progress(StageCubeGen, sp.StartTime())
+	cctx, cancel := stageCtx(StageCubeGen)
+	var g *compat.Graph
+	err = obs.Guard(StageCubeGen, -1, func() (e error) {
+		g, e = compat.BuildCubes(cctx, n, rs, bcfg)
+		return e
 	})
+	cancel()
 	if err != nil {
-		return nil, err
+		if hardStop(err) || g == nil || len(g.Nodes) == 0 {
+			sr.abort(sp)
+			return nil, fail(StageCubeGen, err)
+		}
+		sr.abort(sp)
+		degrade(StageCubeGen, err, g.CubesDone, g.CubesTotal,
+			fmt.Sprintf("%d cubes from %d of %d rare-node candidates", len(g.Nodes), g.CubesDone, g.CubesTotal))
+	} else {
+		sr.end(sp)
 	}
 	res.Graph = g
-	cubeEnd := buildStart.Add(g.CubeTime)
-	sr.root.Add(StageCubeGen, buildStart, cubeEnd)
-	obs.Emit(cfg.Progress, obs.Event{Stage: StageCubeGen, Kind: obs.StageEnd, Elapsed: g.CubeTime})
-	obs.Emit(cfg.Progress, obs.Event{Stage: StageGraphEdges, Kind: obs.StageStart})
-	sr.root.Add(StageGraphEdges, cubeEnd, cubeEnd.Add(g.EdgeTime))
-	obs.Emit(cfg.Progress, obs.Event{Stage: StageGraphEdges, Kind: obs.StageEnd, Elapsed: g.EdgeTime})
 
-	sp = sr.start(StageCliqueMine)
-	// Mine a pool larger than needed, then keep the stealthiest cliques
-	// (lowest estimated activation probability, largest first on ties).
-	cliques := g.FindCliques(compat.MineConfig{
-		MinSize:    cfg.MinTriggerNodes,
-		MaxCliques: 4 * cfg.Instances,
-		Attempts:   cfg.CliqueAttempts,
-		Seed:       cfg.Seed,
+	// --- pairwise edges: an interrupted pass leaves a sound
+	// under-approximation (every recorded edge is a verified
+	// compatibility), so mining can still proceed.
+	bcfg.Progress = nil
+	sp = sr.start(StageGraphEdges)
+	ectx, cancel := stageCtx(StageGraphEdges)
+	err = obs.Guard(StageGraphEdges, -1, func() error {
+		return g.ConnectEdges(ectx, bcfg)
 	})
-	g.SortByStealth(cliques)
-	sr.end(sp)
-	res.Cliques = cliques
-	if len(cliques) == 0 {
-		return nil, fmt.Errorf("cghti: no clique with >= %d compatible rare nodes (graph: %d vertices, %d edges)",
-			cfg.MinTriggerNodes, g.NumVertices(), g.NumEdges())
+	cancel()
+	if err != nil {
+		if hardStop(err) {
+			sr.abort(sp)
+			return nil, fail(StageGraphEdges, err)
+		}
+		sr.abort(sp)
+		degrade(StageGraphEdges, err, g.EdgeRowsDone, g.EdgeRowsTotal,
+			fmt.Sprintf("%d edges from %d of %d adjacency rows", g.NumEdges(), g.EdgeRowsDone, g.EdgeRowsTotal))
+	} else {
+		sr.end(sp)
 	}
 
+	// --- clique mining: every clique found before the interruption is
+	// complete and maximal, so a partial list degrades cleanly. Mine a
+	// pool larger than needed, then keep the stealthiest cliques
+	// (lowest estimated activation probability, largest first on ties).
+	sp = sr.start(StageCliqueMine)
+	mctx, cancel := stageCtx(StageCliqueMine)
+	var cliques []compat.Clique
+	err = obs.Guard(StageCliqueMine, -1, func() (e error) {
+		cliques, e = g.FindCliquesContext(mctx, compat.MineConfig{
+			MinSize:    cfg.MinTriggerNodes,
+			MaxCliques: 4 * cfg.Instances,
+			Attempts:   cfg.CliqueAttempts,
+			Seed:       cfg.Seed,
+		})
+		return e
+	})
+	cancel()
+	if err != nil {
+		if hardStop(err) || len(cliques) == 0 {
+			sr.abort(sp)
+			return nil, fail(StageCliqueMine, err)
+		}
+		sr.abort(sp)
+		degrade(StageCliqueMine, err, len(cliques), 4*cfg.Instances,
+			fmt.Sprintf("%d of %d cliques mined", len(cliques), 4*cfg.Instances))
+	} else {
+		sr.end(sp)
+	}
+	g.SortByStealth(cliques)
+	res.Cliques = cliques
+	if len(cliques) == 0 {
+		return nil, fail(StageCliqueMine, fmt.Errorf("cghti: no clique with >= %d compatible rare nodes (graph: %d vertices, %d edges)",
+			cfg.MinTriggerNodes, g.NumVertices(), g.NumEdges()))
+	}
+
+	// --- insertion: each completed instance is independently valid, so
+	// an interruption after the first instance degrades to fewer
+	// benchmarks.
 	sp = sr.start(StageInsert)
 	instProgress := sr.progress(StageInsert, sp.StartTime())
 	total := cfg.Instances
 	if total > len(cliques) {
 		total = len(cliques)
 	}
+	ictx, cancel := stageCtx(StageInsert)
+	aborted := false
 	for i := 0; i < cfg.Instances && i < len(cliques); i++ {
 		c := cliques[i]
-		infected, inst, err := trojan.InsertInstance(n, c.Nodes(g), c.Cube, i, trojan.InsertSpec{
-			Trigger: trojan.TriggerSpec{ActiveLow: cfg.ActiveLow, FaninK: cfg.FaninK},
-			Payload: cfg.Payload,
-			Seed:    cfg.Seed,
+		var (
+			infected *Netlist
+			inst     *trojan.Instance
+		)
+		err := obs.Guard(StageInsert, -1, func() (e error) {
+			infected, inst, e = trojan.InsertInstanceContext(ictx, n, c.Nodes(g), c.Cube, i, trojan.InsertSpec{
+				Trigger: trojan.TriggerSpec{ActiveLow: cfg.ActiveLow, FaninK: cfg.FaninK},
+				Payload: cfg.Payload,
+				Seed:    cfg.Seed,
+			})
+			return e
 		})
 		if err != nil {
-			return nil, fmt.Errorf("cghti: instance %d: %w", i, err)
+			if hardStop(err) || len(res.Benchmarks) == 0 {
+				cancel()
+				sr.abort(sp)
+				return nil, fail(StageInsert, fmt.Errorf("cghti: instance %d: %w", i, err))
+			}
+			sr.abort(sp)
+			degrade(StageInsert, err, len(res.Benchmarks), total,
+				fmt.Sprintf("%d of %d instances inserted", len(res.Benchmarks), total))
+			aborted = true
+			break
 		}
 		res.Benchmarks = append(res.Benchmarks, Benchmark{
 			Netlist:  infected,
@@ -316,7 +551,10 @@ func Generate(n *Netlist, cfg Config) (*Result, error) {
 			instProgress(i+1, total)
 		}
 	}
-	sr.end(sp)
+	cancel()
+	if !aborted {
+		sr.end(sp)
+	}
 	sr.root.End()
 	res.Times = stageTimes(trace)
 	return res, nil

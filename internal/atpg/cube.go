@@ -83,15 +83,28 @@ func (c Cube) Conflicts(o Cube) bool {
 
 // Merge unions o's care bits into c (receiver mutated). The caller must
 // ensure the cubes do not conflict; Merge panics otherwise, because a
-// silent overwrite would invalidate the validation-free guarantee.
+// silent overwrite would invalidate the validation-free guarantee. Use
+// TryMerge on any path where the no-conflict invariant is not already
+// proven (anything reachable from user-supplied cubes or vertex sets).
 func (c Cube) Merge(o Cube) {
-	if c.Conflicts(o) {
+	if !c.TryMerge(o) {
 		panic("atpg: merging conflicting cubes")
+	}
+}
+
+// TryMerge unions o's care bits into c (receiver mutated) and reports
+// whether the merge was performed. On a care-bit conflict it returns
+// false and leaves c unchanged — the non-panicking Merge for paths
+// where conflicting cubes are a data condition, not a bug.
+func (c Cube) TryMerge(o Cube) bool {
+	if c.Conflicts(o) {
+		return false
 	}
 	for i := range c.ones {
 		c.ones[i] |= o.ones[i]
 		c.zeros[i] |= o.zeros[i]
 	}
+	return true
 }
 
 // Clone returns an independent copy.

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the .bench parser. Invalid input
+// must come back as an error — never a panic or a hang — and any input
+// that parses must survive a write/re-parse round trip, since the
+// generated HT benchmarks are emitted through Write and read back by
+// downstream tools.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Minimal valid circuit.
+		"INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+		// Multi-gate with comments, blank lines, case-folded keywords.
+		"# comment\nINPUT(a)\nINPUT(b)\n\nOUTPUT(z)\nz = nand(a, b)\n",
+		// Forward reference and DFF feedback.
+		"INPUT(d)\nOUTPUT(q)\nq = DFF(w)\nw = AND(d, q)\n",
+		// Constants.
+		"INPUT(a)\nOUTPUT(z)\nc = CONST1()\nz = XOR(a, c)\n",
+		// Error shapes the parser must reject cleanly.
+		"INPUT(a)\nOUTPUT(z)\nz = NOT(a, b)\n", // arity
+		"z = BOGUS(a)\n",                       // unknown op
+		"INPUT(a)\nINPUT(a)\n",                 // duplicate
+		"OUTPUT(missing)\n",                    // undefined PO
+		"INPUT(a)\nOUTPUT(z)\nz = AND(a,)\n",   // empty arg
+		"a = AND(b)\nb = AND(a)\nOUTPUT(a)\n",  // combinational cycle
+		"INPUT(\n",                             // malformed paren
+		"= AND(a)\n",                           // empty lhs
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejected cleanly; that is the contract
+		}
+		out := String(n)
+		n2, err := ParseString(out, "fuzz")
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal:\n%s\nemitted:\n%s", err, src, out)
+		}
+		if len(n2.Gates) != len(n.Gates) {
+			t.Fatalf("round trip changed gate count: %d -> %d\noriginal:\n%s", len(n.Gates), len(n2.Gates), src)
+		}
+	})
+}

@@ -5,11 +5,15 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"syscall"
+	"time"
 )
 
 var (
@@ -74,4 +78,23 @@ func Fatal(tool string, err error) {
 // Fatalf is Fatal with formatting.
 func Fatalf(tool, format string, args ...any) {
 	Fatal(tool, fmt.Errorf(format, args...))
+}
+
+// Context returns a context for the tool's run: cancelled on SIGINT or
+// SIGTERM (so ^C interrupts cooperatively instead of killing the
+// process mid-write) and, when timeout > 0, expired after timeout. The
+// returned stop function releases the signal registration and any
+// timer; defer it. After the first signal the registration is dropped,
+// so a second ^C falls back to the default behavior and kills a tool
+// that is stuck in cleanup.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
 }

@@ -7,6 +7,7 @@
 package compat
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -16,9 +17,11 @@ import (
 	"time"
 
 	"cghti/internal/atpg"
+	"cghti/internal/chaos"
 	"cghti/internal/netlist"
 	"cghti/internal/obs"
 	"cghti/internal/rare"
+	"cghti/internal/stage"
 )
 
 // Observability counters/gauges (process-wide; run reports record
@@ -71,6 +74,17 @@ type Graph struct {
 	// Dropped counts rare nodes skipped because PODEM aborted or proved
 	// them unexcitable.
 	Dropped int
+	// CubesDone/CubesTotal report cube-generation progress: candidates
+	// processed vs. candidates considered. Done < Total after an
+	// interrupted BuildCubes (budget expiry or cancellation) or a
+	// MaxNodes cutoff.
+	CubesDone, CubesTotal int
+	// EdgeRowsDone/EdgeRowsTotal report edge-construction progress in
+	// adjacency rows. Done < Total after an interrupted ConnectEdges;
+	// missing rows only remove edges, so every edge present is still a
+	// genuine compatibility — an interrupted graph under-approximates
+	// but never lies.
+	EdgeRowsDone, EdgeRowsTotal int
 	// CubeTime and EdgeTime break down construction time.
 	CubeTime, EdgeTime time.Duration
 
@@ -80,6 +94,27 @@ type Graph struct {
 
 // Build runs PODEM for every rare node and assembles the graph.
 func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
+	return BuildContext(context.Background(), n, rs, cfg)
+}
+
+// BuildContext is Build with cooperative cancellation: BuildCubes
+// followed by ConnectEdges under one context. On interruption the
+// partially built graph is returned alongside the error so callers can
+// degrade gracefully; a nil graph means nothing was salvageable.
+func BuildContext(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
+	g, err := BuildCubes(ctx, n, rs, cfg)
+	if err != nil || g == nil {
+		return g, err
+	}
+	return g, g.ConnectEdges(ctx, cfg)
+}
+
+// BuildCubes runs PODEM for every rare node (rarest first) and returns
+// a graph with vertices and cubes but no edges yet — call ConnectEdges
+// to finish it. Cancellation is checked per candidate (serial) or per
+// batch (parallel); an interrupted build returns the vertices collected
+// so far together with the interrupting error.
+func BuildCubes(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
 	eng, err := atpg.NewEngine(n)
 	if err != nil {
 		return nil, err
@@ -94,18 +129,32 @@ func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
 	// skipped and the walk continues down the rarity order.
 	sort.Slice(candidates, func(a, b int) bool { return candidates[a].Prob < candidates[b].Prob })
 
-	g := &Graph{InputIDs: eng.InputIDs()}
+	g := &Graph{InputIDs: eng.InputIDs(), CubesTotal: len(candidates)}
 	t0 := time.Now()
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var runErr error
 	if workers == 1 {
+		ctxDone := ctx.Done()
+	serial:
 		for done, node := range candidates {
 			if cfg.MaxNodes > 0 && len(g.Nodes) >= cfg.MaxNodes {
 				break
 			}
+			select {
+			case <-ctxDone:
+				runErr = ctx.Err()
+				break serial
+			default:
+			}
+			if err := chaos.Hit(stage.CubeGen, 0); err != nil {
+				runErr = err
+				break serial
+			}
 			cube, res := eng.Justify(node.ID, node.RareValue)
+			g.CubesDone = done + 1
 			if res != atpg.Success {
 				g.Dropped++
 				continue
@@ -116,13 +165,25 @@ func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
 				cfg.Progress(done+1, len(candidates))
 			}
 		}
-	} else if err := g.buildCubesParallel(n, candidates, cfg, workers); err != nil {
-		return nil, err
+	} else {
+		runErr = g.buildCubesParallel(ctx, n, candidates, cfg, workers)
 	}
 	g.CubeTime = time.Since(t0)
 	cntCubeSuccess.Add(int64(len(g.Nodes)))
 	cntCubeDropped.Add(int64(g.Dropped))
+	return g, runErr
+}
 
+// ConnectEdges fills in the pairwise compatibility edges, completing a
+// graph started by BuildCubes. Cancellation is checked per adjacency
+// row; an interrupted run leaves the edges found so far in place (every
+// recorded edge is a real compatibility — only completeness suffers)
+// and returns the interrupting error.
+func (g *Graph) ConnectEdges(ctx context.Context, cfg BuildConfig) error {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	t1 := time.Now()
 	v := len(g.Nodes)
 	g.words = (v + 63) / 64
@@ -130,22 +191,41 @@ func Build(n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
 	for i := range g.adj {
 		g.adj[i] = make([]uint64, g.words)
 	}
+	g.EdgeRowsTotal = 0
+	if v >= 2 {
+		g.EdgeRowsTotal = v - 1
+	}
+	g.EdgeRowsDone = 0
+	var runErr error
 	if workers == 1 {
-		for i := 0; i < v; i++ {
+		ctxDone := ctx.Done()
+	serial:
+		for i := 0; i < v-1; i++ {
+			select {
+			case <-ctxDone:
+				runErr = ctx.Err()
+				break serial
+			default:
+			}
+			if err := chaos.Hit(stage.GraphEdges, 0); err != nil {
+				runErr = err
+				break serial
+			}
 			for j := i + 1; j < v; j++ {
 				if !g.Cubes[i].Conflicts(g.Cubes[j]) {
 					g.setEdge(i, j)
 				}
 			}
+			g.EdgeRowsDone++
 		}
 	} else {
-		g.buildEdgesParallel(workers)
+		runErr = g.buildEdgesParallel(ctx, workers)
 	}
 	g.EdgeTime = time.Since(t1)
 	cntPairChecks.Add(int64(v) * int64(v-1) / 2)
 	gaugeVertices.Set(int64(v))
 	gaugeEdges.Set(int64(g.NumEdges()))
-	return g, nil
+	return runErr
 }
 
 func (g *Graph) setEdge(i, j int) {
@@ -199,13 +279,31 @@ func (c Clique) Nodes(g *Graph) []rare.Node {
 
 // MergedCube unions the members' cubes (they cannot conflict by
 // construction — pairwise compatibility of a clique implies a consistent
-// union).
+// union). Panics on a conflict, which for miner-produced vertex sets
+// would indicate a bug; use MergedCubeErr for vertex sets that arrive
+// from outside the miner (user input, serialized cliques).
 func (g *Graph) MergedCube(vertices []int) atpg.Cube {
-	cube := atpg.NewCube(len(g.InputIDs))
-	for _, v := range vertices {
-		cube.Merge(g.Cubes[v])
+	cube, err := g.MergedCubeErr(vertices)
+	if err != nil {
+		panic(err)
 	}
 	return cube
+}
+
+// MergedCubeErr unions the members' cubes, reporting out-of-range
+// vertices and care-bit conflicts as errors instead of panicking — the
+// safe entry point for vertex sets not produced by the miner.
+func (g *Graph) MergedCubeErr(vertices []int) (atpg.Cube, error) {
+	cube := atpg.NewCube(len(g.InputIDs))
+	for _, v := range vertices {
+		if v < 0 || v >= len(g.Cubes) {
+			return atpg.Cube{}, fmt.Errorf("compat: vertex %d out of range [0,%d)", v, len(g.Cubes))
+		}
+		if !cube.TryMerge(g.Cubes[v]) {
+			return atpg.Cube{}, fmt.Errorf("compat: vertex %d's cube conflicts with the merged cube", v)
+		}
+	}
+	return cube, nil
 }
 
 // MineConfig parameterizes clique mining.
@@ -228,6 +326,16 @@ type MineConfig struct {
 // Every reported clique is maximal (no vertex can extend it), matching
 // the paper's goal of trigger sets with as many rare nodes as possible.
 func (g *Graph) FindCliques(cfg MineConfig) []Clique {
+	out, _ := g.FindCliquesContext(context.Background(), cfg)
+	return out
+}
+
+// FindCliquesContext is FindCliques with cooperative cancellation,
+// checked once per expansion attempt. On interruption the cliques mined
+// so far are returned alongside the error — each is complete and
+// maximal in its own right, so a partial list is a usable (if smaller)
+// result.
+func (g *Graph) FindCliquesContext(ctx context.Context, cfg MineConfig) (out []Clique, err error) {
 	if cfg.MinSize <= 0 {
 		cfg.MinSize = 2
 	}
@@ -240,14 +348,23 @@ func (g *Graph) FindCliques(cfg MineConfig) []Clique {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	v := g.NumVertices()
 	if v == 0 {
-		return nil
+		return nil, nil
 	}
 
-	var out []Clique
+	defer func() { cntCliquesFound.Add(int64(len(out))) }()
 	seen := make(map[string]bool)
 	cand := make([]uint64, g.words)
+	ctxDone := ctx.Done()
 
 	for attempt := 0; attempt < cfg.Attempts && len(out) < cfg.MaxCliques; attempt++ {
+		select {
+		case <-ctxDone:
+			return out, ctx.Err()
+		default:
+		}
+		if err := chaos.Hit(stage.CliqueMine, 0); err != nil {
+			return out, err
+		}
 		cntCliqueAttempts.Inc()
 		start := rng.Intn(v)
 		clique := []int{start}
@@ -271,8 +388,7 @@ func (g *Graph) FindCliques(cfg MineConfig) []Clique {
 		seen[key] = true
 		out = append(out, Clique{Vertices: clique, Cube: g.MergedCube(clique)})
 	}
-	cntCliquesFound.Add(int64(len(out)))
-	return out
+	return out, nil
 }
 
 // EnumerateExact runs Bron–Kerbosch with pivoting and reports every
@@ -463,15 +579,22 @@ func (g *Graph) SortByStealth(cliques []Clique) {
 
 // Validate cross-checks a clique: every vertex pair must be adjacent and
 // the merged cube must be conflict-free. Used by tests and the htgen
-// -check flag.
+// -check flag. Safe on cliques from external input: out-of-range
+// vertices and cube conflicts come back as errors, not panics.
 func (g *Graph) Validate(c Clique) error {
 	for i := 0; i < len(c.Vertices); i++ {
+		if v := c.Vertices[i]; v < 0 || v >= g.NumVertices() {
+			return fmt.Errorf("compat: vertex %d out of range [0,%d)", v, g.NumVertices())
+		}
 		for j := i + 1; j < len(c.Vertices); j++ {
 			if !g.Compatible(c.Vertices[i], c.Vertices[j]) {
 				return fmt.Errorf("compat: vertices %d and %d not adjacent",
 					c.Vertices[i], c.Vertices[j])
 			}
 		}
+	}
+	if _, err := g.MergedCubeErr(c.Vertices); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,13 +1,17 @@
 package compat
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"cghti/internal/atpg"
+	"cghti/internal/chaos"
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/rare"
+	"cghti/internal/stage"
 )
 
 // buildCubesParallel runs PODEM justification for the candidates over a
@@ -15,7 +19,12 @@ import (
 // count: cubes are collected in candidate (rarity) order, and the
 // MaxNodes cutoff is the index of the MaxNodes-th success in that order,
 // exactly as the serial loop would have stopped.
-func (g *Graph) buildCubesParallel(n *netlist.Netlist, candidates []rare.Node, cfg BuildConfig, workers int) error {
+//
+// Each worker runs under obs.Guard, so a panic inside PODEM surfaces as
+// a *obs.StageError instead of killing the process. On cancellation or
+// a worker error the batches completed so far are still collected into
+// the graph (partial result) and the error is returned.
+func (g *Graph) buildCubesParallel(ctx context.Context, n *netlist.Netlist, candidates []rare.Node, cfg BuildConfig, workers int) error {
 	type outcome struct {
 		cube atpg.Cube
 		ok   bool
@@ -32,10 +41,24 @@ func (g *Graph) buildCubesParallel(n *netlist.Netlist, candidates []rare.Node, c
 		return nil
 	}
 
-	var initErr error
-	var initOnce sync.Once
+	var runErr error
+	var errOnce sync.Once
+	setErr := func(err error) {
+		if err != nil {
+			errOnce.Do(func() { runErr = err })
+		}
+	}
+	ctxDone := ctx.Done()
 	processed := 0
 	for processed < len(candidates) {
+		select {
+		case <-ctxDone:
+			setErr(ctx.Err())
+		default:
+		}
+		if runErr != nil {
+			break
+		}
 		hi := processed + batch
 		if hi > len(candidates) {
 			hi = len(candidates)
@@ -48,26 +71,40 @@ func (g *Graph) buildCubesParallel(n *netlist.Netlist, candidates []rare.Node, c
 		close(next)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
-				eng, err := atpg.NewEngine(n)
-				if err != nil {
-					initOnce.Do(func() { initErr = err })
-					return
-				}
-				if cfg.MaxBacktracks > 0 {
-					eng.MaxBacktracks = cfg.MaxBacktracks
-				}
-				for i := range next {
-					node := candidates[i]
-					cube, res := eng.Justify(node.ID, node.RareValue)
-					results[i] = outcome{cube: cube, ok: res == atpg.Success}
-				}
-			}()
+				setErr(obs.Guard(stage.CubeGen, w, func() error {
+					eng, err := atpg.NewEngine(n)
+					if err != nil {
+						return err
+					}
+					if cfg.MaxBacktracks > 0 {
+						eng.MaxBacktracks = cfg.MaxBacktracks
+					}
+					for i := range next {
+						select {
+						case <-ctxDone:
+							return ctx.Err()
+						default:
+						}
+						if err := chaos.Hit(stage.CubeGen, w); err != nil {
+							return err
+						}
+						node := candidates[i]
+						cube, res := eng.Justify(node.ID, node.RareValue)
+						results[i] = outcome{cube: cube, ok: res == atpg.Success}
+					}
+					return nil
+				}))
+			}(w)
 		}
 		wg.Wait()
-		if initErr != nil {
-			return initErr
+		if runErr != nil {
+			// The interrupted batch is discarded wholesale: some of its
+			// results may be filled and some not, and collecting a
+			// partially filled batch would misreport misses as PODEM
+			// drops.
+			break
 		}
 		processed = hi
 		cntWorkerBatches.Inc()
@@ -89,6 +126,7 @@ func (g *Graph) buildCubesParallel(n *netlist.Netlist, candidates []rare.Node, c
 
 	// Collect in candidate order up to the cutoff the serial loop would
 	// have used.
+	g.CubesDone = processed
 	for i := 0; i < processed; i++ {
 		if cfg.MaxNodes > 0 && len(g.Nodes) >= cfg.MaxNodes {
 			break
@@ -100,7 +138,7 @@ func (g *Graph) buildCubesParallel(n *netlist.Netlist, candidates []rare.Node, c
 		g.Nodes = append(g.Nodes, candidates[i])
 		g.Cubes = append(g.Cubes, results[i].cube)
 	}
-	return nil
+	return runErr
 }
 
 // DefaultWorkers reports the worker count used when BuildConfig.Workers
@@ -114,31 +152,55 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // single-threaded. The resulting adjacency is identical to the serial
 // double loop for any worker count — the pair test is pure and bitset
 // unions commute.
-func (g *Graph) buildEdgesParallel(workers int) {
+//
+// Workers run under obs.Guard and check ctx per row. On interruption
+// the rows completed so far are still folded in (an edge recorded is an
+// edge verified) and the error is returned.
+func (g *Graph) buildEdgesParallel(ctx context.Context, workers int) error {
 	v := len(g.Nodes)
 	if v < 2 {
-		return
+		return nil
 	}
 	type edge struct{ i, j int32 }
 	found := make([][]edge, workers)
 	var cursor atomic.Int64
+	var rowsDone atomic.Int64
+	var runErr error
+	var errOnce sync.Once
+	setErr := func(err error) {
+		if err != nil {
+			errOnce.Do(func() { runErr = err })
+		}
+	}
+	ctxDone := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			var local []edge
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= v-1 {
-					break
-				}
-				for j := i + 1; j < v; j++ {
-					if !g.Cubes[i].Conflicts(g.Cubes[j]) {
-						local = append(local, edge{int32(i), int32(j)})
+			setErr(obs.Guard(stage.GraphEdges, w, func() error {
+				for {
+					select {
+					case <-ctxDone:
+						return ctx.Err()
+					default:
 					}
+					if err := chaos.Hit(stage.GraphEdges, w); err != nil {
+						return err
+					}
+					i := int(cursor.Add(1)) - 1
+					if i >= v-1 {
+						return nil
+					}
+					for j := i + 1; j < v; j++ {
+						if !g.Cubes[i].Conflicts(g.Cubes[j]) {
+							local = append(local, edge{int32(i), int32(j)})
+						}
+					}
+					rowsDone.Add(1)
 				}
-			}
+			}))
 			found[w] = local
 		}(w)
 	}
@@ -148,4 +210,6 @@ func (g *Graph) buildEdgesParallel(workers int) {
 			g.setEdge(int(e.i), int(e.j))
 		}
 	}
+	g.EdgeRowsDone = int(rowsDone.Load())
+	return runErr
 }

@@ -1,0 +1,79 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cghti/internal/chaos"
+	"cghti/internal/obs"
+	"cghti/internal/rare"
+	"cghti/internal/stage"
+)
+
+// cancelFixture builds the rare set the schemes need.
+func cancelFixture(t *testing.T) (tgt Target, rs *rare.Set) {
+	t.Helper()
+	tgt, rs, _, _ = fixture(t, 1)
+	return tgt, rs
+}
+
+func TestEvaluateContextCancelled(t *testing.T) {
+	tgt, _ := cancelFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ts := RandomTestSet(tgt.Golden, 5000, 1)
+	_, err := EvaluateContext(ctx, tgt, ts, EvalConfig{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestMEROContextCancelledMidRun(t *testing.T) {
+	tgt, rs := cancelFixture(t)
+	chaos.Install(chaos.Spec{
+		Stage: stage.MERO, Worker: chaos.AnyWorker,
+		Kind: chaos.Delay, Delay: 200 * time.Millisecond, OnHit: 1,
+	})
+	defer chaos.Uninstall()
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(20*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	ts, err := MEROContext(ctx, tgt.Golden, rs, MEROConfig{N: 50, RandomVectors: 5000, Seed: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MEROContext = %v, want context.Canceled", err)
+	}
+	// The partial test set (possibly empty) must still be usable.
+	if ts != nil && ts.Len() > 0 && len(ts.Inputs) == 0 {
+		t.Fatal("partial MERO test set has vectors but no input map")
+	}
+}
+
+func TestNDATPGContextCancelled(t *testing.T) {
+	tgt, rs := cancelFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NDATPGContext(ctx, tgt.Golden, rs, NDATPGConfig{N: 2, Seed: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("NDATPGContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestNDATPGWorkerPanicContained(t *testing.T) {
+	tgt, rs := cancelFixture(t)
+	chaos.Install(chaos.Spec{
+		Stage: stage.NDATPG, Worker: chaos.AnyWorker,
+		Kind: chaos.Panic, OnHit: 1,
+	})
+	defer chaos.Uninstall()
+	_, err := NDATPG(tgt.Golden, rs, NDATPGConfig{N: 2, Seed: 3, Workers: 2})
+	if err == nil {
+		t.Fatal("injected worker panic did not surface as an error")
+	}
+	se, ok := obs.AsStageError(err)
+	if !ok || se.PanicValue == nil || se.Stage != stage.NDATPG {
+		t.Fatalf("err = %v, want a panic-derived StageError for %s", err, stage.NDATPG)
+	}
+}

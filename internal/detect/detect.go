@@ -6,12 +6,15 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"cghti/internal/chaos"
 	"cghti/internal/netlist"
 	"cghti/internal/obs"
 	"cghti/internal/sim"
+	"cghti/internal/stage"
 )
 
 // Observability counters for the detection schemes' pattern budgets.
@@ -108,6 +111,14 @@ func Evaluate(tgt Target, ts *TestSet) (Outcome, error) {
 // so sweeps that evaluate many targets against one golden circuit stop
 // reallocating per-gate word arrays.
 func EvaluateConfig(tgt Target, ts *TestSet, cfg EvalConfig) (Outcome, error) {
+	return EvaluateContext(context.Background(), tgt, ts, cfg)
+}
+
+// EvaluateContext is EvaluateConfig with cooperative cancellation,
+// checked once per simulation batch. On cancellation the outcome
+// reflects the vectors evaluated so far (a vector that already
+// triggered or detected stays recorded) and ctx's error is returned.
+func EvaluateContext(ctx context.Context, tgt Target, ts *TestSet, cfg EvalConfig) (Outcome, error) {
 	cntEvaluations.Inc()
 	out := Outcome{FirstTrigger: -1, FirstDetect: -1}
 	if len(ts.Vectors) == 0 {
@@ -137,7 +148,16 @@ func EvaluateConfig(tgt Target, ts *TestSet, cfg EvalConfig) (Outcome, error) {
 	}
 
 	batch := gp.Patterns()
+	ctxDone := ctx.Done()
 	for base := 0; base < len(ts.Vectors); base += batch {
+		select {
+		case <-ctxDone:
+			return out, ctx.Err()
+		default:
+		}
+		if err := chaos.Hit(stage.Evaluate, 0); err != nil {
+			return out, err
+		}
 		count := len(ts.Vectors) - base
 		if count > batch {
 			count = batch

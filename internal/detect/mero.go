@@ -1,13 +1,16 @@
 package detect
 
 import (
+	"context"
 	"math/bits"
 	"math/rand"
 	"sort"
 
+	"cghti/internal/chaos"
 	"cghti/internal/netlist"
 	"cghti/internal/rare"
 	"cghti/internal/sim"
+	"cghti/internal/stage"
 )
 
 // MEROConfig parameterizes the MERO test generation algorithm
@@ -51,6 +54,15 @@ func (c MEROConfig) withDefaults() MEROConfig {
 //
 // The returned set is the compact MERO test set.
 func MERO(n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
+	return MEROContext(context.Background(), n, rs, cfg)
+}
+
+// MEROContext is MERO with cooperative cancellation, checked per
+// scoring batch in phase 1 and per pool candidate in the mutation
+// phase. On cancellation during mutation the vectors accumulated so far
+// form a valid (smaller) MERO set and are returned alongside ctx's
+// error; cancellation during pool scoring returns a nil set.
+func MEROContext(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	inputs := n.CombInputs()
@@ -130,7 +142,7 @@ func MERO(n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
 		}
 		vecs[i] = v
 	}
-	poolHits, err := scorePool(n, nodes, inputs, vecs, cfg.Workers)
+	poolHits, err := scorePool(ctx, n, nodes, inputs, vecs, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -146,9 +158,18 @@ func MERO(n *netlist.Netlist, rs *rare.Set, cfg MEROConfig) (*TestSet, error) {
 	need := len(nodes)
 	done := func() bool { return satisfied >= need }
 
+	ctxDone := ctx.Done()
 	for _, cand := range pool {
 		if done() {
 			break
+		}
+		select {
+		case <-ctxDone:
+			return ts, ctx.Err()
+		default:
+		}
+		if err := chaos.Hit(stage.MERO, 0); err != nil {
+			return ts, err
 		}
 		v := cand.v
 		apply(v)
@@ -206,7 +227,7 @@ const meroScoreWords = 32
 // their rare values, using pooled bit-parallel simulation. The counts
 // are exactly those the event-driven scorer produced (same vectors,
 // same semantics), just 64 per word instead of one per propagation.
-func scorePool(n *netlist.Netlist, nodes []rare.Node, inputs []netlist.GateID, vecs [][]bool, workers int) ([]int, error) {
+func scorePool(ctx context.Context, n *netlist.Netlist, nodes []rare.Node, inputs []netlist.GateID, vecs [][]bool, workers int) ([]int, error) {
 	hits := make([]int, len(vecs))
 	p, err := sim.AcquirePacked(n, meroScoreWords)
 	if err != nil {
@@ -215,7 +236,16 @@ func scorePool(n *netlist.Netlist, nodes []rare.Node, inputs []netlist.GateID, v
 	defer sim.ReleasePacked(p)
 	p.SetWorkers(workers)
 	batch := p.Patterns()
+	ctxDone := ctx.Done()
 	for base := 0; base < len(vecs); base += batch {
+		select {
+		case <-ctxDone:
+			return nil, ctx.Err()
+		default:
+		}
+		if err := chaos.Hit(stage.MERO, 0); err != nil {
+			return nil, err
+		}
 		count := len(vecs) - base
 		if count > batch {
 			count = batch

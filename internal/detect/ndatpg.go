@@ -1,14 +1,18 @@
 package detect
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"cghti/internal/atpg"
+	"cghti/internal/chaos"
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/rare"
+	"cghti/internal/stage"
 )
 
 // NDATPGConfig parameterizes the ND-ATPG scheme (Jayasena & Mishra,
@@ -51,9 +55,18 @@ func (c NDATPGConfig) withDefaults() NDATPGConfig {
 // with its own engine); don't-care filling and dedup then walk the
 // results serially in rare-set order, so the output is deterministic.
 func NDATPG(n *netlist.Netlist, rs *rare.Set, cfg NDATPGConfig) (*TestSet, error) {
+	return NDATPGContext(context.Background(), n, rs, cfg)
+}
+
+// NDATPGContext is NDATPG with cooperative cancellation (checked per
+// rare event inside the ATPG worker pool) and panic containment (a
+// panicking worker surfaces as a *obs.StageError instead of killing the
+// process). Cancellation returns a nil set with ctx's error: vectors
+// are only assembled after every event's cube is known.
+func NDATPGContext(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg NDATPGConfig) (*TestSet, error) {
 	cfg = cfg.withDefaults()
 	events := rs.All()
-	cubes, err := ndatpgCubes(n, events, cfg)
+	cubes, err := ndatpgCubes(ctx, n, events, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -102,8 +115,9 @@ type ndCube struct {
 }
 
 // ndatpgCubes runs the per-event ATPG (detection first, excitation
-// fallback) over a worker pool, each worker owning one engine.
-func ndatpgCubes(n *netlist.Netlist, events []rare.Node, cfg NDATPGConfig) ([]ndCube, error) {
+// fallback) over a worker pool, each worker owning one engine. Workers
+// run under obs.Guard and check ctx per event.
+func ndatpgCubes(ctx context.Context, n *netlist.Netlist, events []rare.Node, cfg NDATPGConfig) ([]ndCube, error) {
 	out := make([]ndCube, len(events))
 	workers := cfg.Workers
 	if workers > len(events) {
@@ -112,45 +126,60 @@ func ndatpgCubes(n *netlist.Netlist, events []rare.Node, cfg NDATPGConfig) ([]nd
 	if workers < 1 {
 		workers = 1
 	}
-	var initErr error
-	var initOnce sync.Once
+	var runErr error
+	var errOnce sync.Once
+	setErr := func(err error) {
+		if err != nil {
+			errOnce.Do(func() { runErr = err })
+		}
+	}
+	ctxDone := ctx.Done()
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			eng, err := atpg.NewEngine(n)
-			if err != nil {
-				initOnce.Do(func() { initErr = err })
-				return
-			}
-			if cfg.MaxBacktracks > 0 {
-				eng.MaxBacktracks = cfg.MaxBacktracks
-			}
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(events) {
-					return
+			setErr(obs.Guard(stage.NDATPG, w, func() error {
+				eng, err := atpg.NewEngine(n)
+				if err != nil {
+					return err
 				}
-				node := events[i]
-				cube, res := eng.Detect(node.ID, node.RareValue^1)
-				if res != atpg.Success {
-					// Redundant or aborted propagation: excitation alone
-					// still drives the rare event, which is what trojan
-					// triggering needs.
-					cube, res = eng.Justify(node.ID, node.RareValue)
-					if res != atpg.Success {
-						continue
+				if cfg.MaxBacktracks > 0 {
+					eng.MaxBacktracks = cfg.MaxBacktracks
+				}
+				for {
+					select {
+					case <-ctxDone:
+						return ctx.Err()
+					default:
 					}
+					if err := chaos.Hit(stage.NDATPG, w); err != nil {
+						return err
+					}
+					i := int(cursor.Add(1)) - 1
+					if i >= len(events) {
+						return nil
+					}
+					node := events[i]
+					cube, res := eng.Detect(node.ID, node.RareValue^1)
+					if res != atpg.Success {
+						// Redundant or aborted propagation: excitation alone
+						// still drives the rare event, which is what trojan
+						// triggering needs.
+						cube, res = eng.Justify(node.ID, node.RareValue)
+						if res != atpg.Success {
+							continue
+						}
+					}
+					out[i] = ndCube{cube: cube, ok: true}
 				}
-				out[i] = ndCube{cube: cube, ok: true}
-			}
-		}()
+			}))
+		}(w)
 	}
 	wg.Wait()
-	if initErr != nil {
-		return nil, initErr
+	if runErr != nil {
+		return nil, runErr
 	}
 	return out, nil
 }

@@ -151,13 +151,17 @@ func Table2(o Options) (*Table2Result, error) {
 func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposedQ, maxBT int, seed int64, workers int) (map[Family][]detect.Target, error) {
 	out := map[Family][]detect.Target{}
 
-	mkTarget := func(infected *netlist.Netlist, trigName string, activation uint8) detect.Target {
+	mkTarget := func(infected *netlist.Netlist, trigName string, activation uint8) (detect.Target, error) {
+		trig, ok := infected.Lookup(trigName)
+		if !ok {
+			return detect.Target{}, fmt.Errorf("experiments: trigger net %q not found in %s", trigName, infected.Name)
+		}
 		return detect.Target{
 			Golden:     n,
 			Infected:   infected,
-			TriggerOut: infected.MustLookup(trigName),
+			TriggerOut: trig,
 			Activation: activation,
-		}
+		}, nil
 	}
 
 	// Random family: q ∈ [10,20], inserted without validation (the bulk
@@ -171,7 +175,11 @@ func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposed
 		if err != nil {
 			return nil, err
 		}
-		out[FamilyRandom] = append(out[FamilyRandom], mkTarget(r.Infected, r.TriggerOut, 1))
+		tgt, err := mkTarget(r.Infected, r.TriggerOut, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[FamilyRandom] = append(out[FamilyRandom], tgt)
 	}
 
 	// RL family: q=5 over the rarest candidates, small training budget.
@@ -185,7 +193,11 @@ func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposed
 			}
 			return nil, err
 		}
-		out[FamilyRL] = append(out[FamilyRL], mkTarget(r.Infected, r.TriggerOut, 1))
+		tgt, err := mkTarget(r.Infected, r.TriggerOut, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[FamilyRL] = append(out[FamilyRL], tgt)
 	}
 
 	// Trust-Hub family: q ∈ [2,8] mid-probability comparators.
@@ -198,7 +210,11 @@ func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposed
 			}
 			return nil, err
 		}
-		out[FamilyTrustHub] = append(out[FamilyTrustHub], mkTarget(r.Infected, r.TriggerOut, 1))
+		tgt, err := mkTarget(r.Infected, r.TriggerOut, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[FamilyTrustHub] = append(out[FamilyTrustHub], tgt)
 	}
 
 	// Proposed family: compatibility-graph trojans with large q.
@@ -220,7 +236,11 @@ func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposed
 		if err != nil {
 			return nil, err
 		}
-		out[FamilyProposed] = append(out[FamilyProposed], mkTarget(infected, inst.TriggerOut, 1))
+		tgt, err := mkTarget(infected, inst.TriggerOut, 1)
+		if err != nil {
+			return nil, err
+		}
+		out[FamilyProposed] = append(out[FamilyProposed], tgt)
 	}
 	return out, nil
 }

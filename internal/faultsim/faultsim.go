@@ -10,13 +10,17 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"cghti/internal/chaos"
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
+	"cghti/internal/stage"
 )
 
 // Fault is a single stuck-at fault on a gate output net.
@@ -281,6 +285,17 @@ func Run(n *netlist.Netlist, vectors [][]bool, faults []Fault) (Coverage, error)
 // coverage (including first-detecting-vector indices and fault
 // dropping) is identical for any worker count.
 func RunWorkers(n *netlist.Netlist, vectors [][]bool, faults []Fault, workers int) (Coverage, error) {
+	return RunContext(context.Background(), n, vectors, faults, workers)
+}
+
+// RunContext is RunWorkers with cooperative cancellation (checked per
+// pattern batch on the coordinator and per fault inside the workers)
+// and panic containment (a panicking worker surfaces as a
+// *obs.StageError instead of killing the process). On cancellation the
+// coverage accumulated over completed batches is returned alongside
+// ctx's error — detections already recorded are real, only later
+// vectors go unmeasured.
+func RunContext(ctx context.Context, n *netlist.Netlist, vectors [][]bool, faults []Fault, workers int) (Coverage, error) {
 	if faults == nil {
 		faults = FullFaultList(n)
 	}
@@ -300,48 +315,84 @@ func RunWorkers(n *netlist.Netlist, vectors [][]bool, faults []Fault, workers in
 	for len(sims) < workers {
 		sims = append(sims, s.Fork())
 	}
+	ctxDone := ctx.Done()
 	firsts := make([]int, len(faults))
 	remaining := append([]Fault(nil), faults...)
-	for base := 0; base < len(vectors) && len(remaining) > 0; base += s.Patterns() {
-		hi := base + s.Patterns()
-		if hi > len(vectors) {
-			hi = len(vectors)
-		}
-		count := s.SetInputs(vectors[base:hi])
-		if workers == 1 || len(remaining) < 2 {
-			for i, f := range remaining {
-				firsts[i] = firstSetBit(s.DetectMask(f), count)
+	// The whole batch loop runs under a coordinator-level Guard so a
+	// panic on the coordinator path (not just inside a worker) also
+	// surfaces as a *obs.StageError; cov is accumulated per completed
+	// batch, so the partial coverage survives an early return.
+	loopErr := obs.Guard(stage.FaultSim, 0, func() error {
+		for base := 0; base < len(vectors) && len(remaining) > 0; base += s.Patterns() {
+			select {
+			case <-ctxDone:
+				return ctx.Err()
+			default:
 			}
-		} else {
-			var cursor atomic.Int64
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(sw *Simulator) {
-					defer wg.Done()
-					for {
-						i := int(cursor.Add(1)) - 1
-						if i >= len(remaining) {
-							return
+			if err := chaos.Hit(stage.FaultSim, 0); err != nil {
+				return err
+			}
+			hi := base + s.Patterns()
+			if hi > len(vectors) {
+				hi = len(vectors)
+			}
+			count := s.SetInputs(vectors[base:hi])
+			if workers == 1 || len(remaining) < 2 {
+				for i, f := range remaining {
+					firsts[i] = firstSetBit(s.DetectMask(f), count)
+				}
+			} else {
+				var runErr error
+				var errOnce sync.Once
+				var cursor atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int, sw *Simulator) {
+						defer wg.Done()
+						if err := obs.Guard(stage.FaultSim, w, func() error {
+							for {
+								select {
+								case <-ctxDone:
+									return ctx.Err()
+								default:
+								}
+								if err := chaos.Hit(stage.FaultSim, w); err != nil {
+									return err
+								}
+								i := int(cursor.Add(1)) - 1
+								if i >= len(remaining) {
+									return nil
+								}
+								firsts[i] = firstSetBit(sw.DetectMask(remaining[i]), count)
+							}
+						}); err != nil {
+							errOnce.Do(func() { runErr = err })
 						}
-						firsts[i] = firstSetBit(sw.DetectMask(remaining[i]), count)
-					}
-				}(sims[w])
+					}(w, sims[w])
+				}
+				wg.Wait()
+				if runErr != nil {
+					// The batch is incomplete: some faults were never
+					// simulated this round, so its detections cannot be
+					// folded in without misordering first-detect indices.
+					return runErr
+				}
 			}
-			wg.Wait()
-		}
-		alive := remaining[:0]
-		for i, f := range remaining {
-			if firsts[i] < 0 {
-				alive = append(alive, f)
-				continue
+			alive := remaining[:0]
+			for i, f := range remaining {
+				if firsts[i] < 0 {
+					alive = append(alive, f)
+					continue
+				}
+				cov.Detected++
+				cov.PerFault[f] = base + firsts[i]
 			}
-			cov.Detected++
-			cov.PerFault[f] = base + firsts[i]
+			remaining = alive
 		}
-		remaining = alive
-	}
-	return cov, nil
+		return nil
+	})
+	return cov, loopErr
 }
 
 func firstSetBit(mask []uint64, limit int) int {

@@ -17,6 +17,10 @@ const (
 	StageProgress
 	// StageEnd: a pipeline stage finished.
 	StageEnd
+	// StageAbort: a pipeline stage was cut short (cancellation,
+	// deadline/budget expiry, or a contained panic). Degraded stages
+	// emit StageAbort instead of StageEnd.
+	StageAbort
 )
 
 // String names the kind.
@@ -28,6 +32,8 @@ func (k EventKind) String() string {
 		return "progress"
 	case StageEnd:
 		return "end"
+	case StageAbort:
+		return "abort"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -90,5 +96,7 @@ func (t *textSink) Emit(e Event) {
 		}
 	case StageEnd:
 		fmt.Fprintf(t.w, "[%s] done in %v\n", e.Stage, e.Elapsed.Round(time.Millisecond))
+	case StageAbort:
+		fmt.Fprintf(t.w, "[%s] aborted after %v\n", e.Stage, e.Elapsed.Round(time.Millisecond))
 	}
 }

@@ -16,6 +16,7 @@ type SpanRecord struct {
 	Start      time.Time    `json:"start"`
 	DurationNS int64        `json:"duration_ns"`
 	Duration   string       `json:"duration"`
+	Aborted    bool         `json:"aborted,omitempty"`
 	Children   []SpanRecord `json:"children,omitempty"`
 }
 
@@ -42,6 +43,7 @@ func recordSpans(spans []*Span) []SpanRecord {
 			Start:      s.start,
 			DurationNS: d.Nanoseconds(),
 			Duration:   d.String(),
+			Aborted:    s.aborted,
 			Children:   recordSpans(s.children),
 		}
 	}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// StageError is the structured failure record of one pipeline stage: a
+// cancellation, deadline expiry, injected fault, or recovered worker
+// panic, attributed to the stage (and worker) it happened in. The
+// framework attaches the partial span trace before returning it, so a
+// caller that gets an error still sees how far the run progressed.
+type StageError struct {
+	// Stage is the canonical stage name (internal/stage constants).
+	Stage string
+	// Worker is the worker-goroutine index the failure occurred on, or
+	// -1 when the failure is not attributable to a specific worker.
+	Worker int
+	// Err is the cause: context.Canceled, context.DeadlineExceeded, a
+	// chaos-injected error, or a panic-derived error.
+	Err error
+	// PanicValue is the recovered panic value when the failure was a
+	// panic, nil otherwise.
+	PanicValue any
+	// Stack is the panicking goroutine's stack when PanicValue is
+	// non-nil.
+	Stack string
+	// Trace is the partial span trace up to the failure (set by the
+	// framework; nil for errors surfaced below the framework layer).
+	Trace *Trace
+}
+
+// Error renders "stage <name>[ worker <i>]: <cause>".
+func (e *StageError) Error() string {
+	who := fmt.Sprintf("stage %s", e.Stage)
+	if e.Worker >= 0 {
+		who = fmt.Sprintf("%s worker %d", who, e.Worker)
+	}
+	if e.PanicValue != nil {
+		return fmt.Sprintf("%s: panic: %v", who, e.PanicValue)
+	}
+	return fmt.Sprintf("%s: %v", who, e.Err)
+}
+
+// Unwrap exposes the cause, so errors.Is(err, context.Canceled) and
+// friends see through the stage attribution.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// AsStageError unwraps err to a *StageError if one is in the chain.
+func AsStageError(err error) (*StageError, bool) {
+	var se *StageError
+	ok := errors.As(err, &se)
+	return se, ok
+}
+
+// Stagef wraps err in a StageError for the given stage, unless err is
+// already a StageError (the innermost attribution — the worker that
+// actually failed — wins). A nil err returns nil.
+func Stagef(stageName string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := AsStageError(err); ok {
+		return err
+	}
+	return &StageError{Stage: stageName, Worker: -1, Err: err}
+}
+
+// Guard runs f, converting a panic into a *StageError that records the
+// stage, worker index, panic value, and stack. Worker goroutines wrap
+// their loop bodies in Guard so a panic in one worker becomes a
+// structured error on the collecting goroutine instead of killing the
+// process. A panic value that is already a *StageError (a nested guard)
+// passes through unchanged.
+func Guard(stageName string, worker int, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*StageError); ok {
+				err = se
+				return
+			}
+			err = &StageError{
+				Stage:      stageName,
+				Worker:     worker,
+				Err:        fmt.Errorf("panic: %v", r),
+				PanicValue: r,
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}()
+	return f()
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStageErrorRendering(t *testing.T) {
+	se := &StageError{Stage: "cube_gen", Worker: -1, Err: context.Canceled}
+	if got := se.Error(); got != "stage cube_gen: context canceled" {
+		t.Fatalf("Error() = %q", got)
+	}
+	se.Worker = 3
+	if got := se.Error(); got != "stage cube_gen worker 3: context canceled" {
+		t.Fatalf("Error() = %q", got)
+	}
+	se.PanicValue = "kaboom"
+	if got := se.Error(); got != "stage cube_gen worker 3: panic: kaboom" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestStageErrorUnwrap(t *testing.T) {
+	se := &StageError{Stage: "s", Worker: -1, Err: fmt.Errorf("wrapped: %w", context.DeadlineExceeded)}
+	if !errors.Is(se, context.DeadlineExceeded) {
+		t.Fatal("errors.Is did not see through StageError")
+	}
+	got, ok := AsStageError(fmt.Errorf("outer: %w", se))
+	if !ok || got != se {
+		t.Fatalf("AsStageError = %v, %v", got, ok)
+	}
+	if _, ok := AsStageError(errors.New("plain")); ok {
+		t.Fatal("AsStageError matched a plain error")
+	}
+}
+
+func TestStagefInnermostWins(t *testing.T) {
+	if Stagef("s", nil) != nil {
+		t.Fatal("Stagef(nil) != nil")
+	}
+	inner := &StageError{Stage: "inner", Worker: 2, Err: context.Canceled}
+	if got := Stagef("outer", inner); got != inner {
+		t.Fatalf("Stagef rewrapped an existing StageError: %v", got)
+	}
+	wrapped := Stagef("outer", context.Canceled)
+	se, ok := AsStageError(wrapped)
+	if !ok || se.Stage != "outer" || se.Worker != -1 {
+		t.Fatalf("Stagef = %+v", se)
+	}
+}
+
+func TestGuardPassesThroughError(t *testing.T) {
+	want := errors.New("plain failure")
+	if got := Guard("s", 0, func() error { return want }); got != want {
+		t.Fatalf("Guard = %v, want %v", got, want)
+	}
+	if got := Guard("s", 0, func() error { return nil }); got != nil {
+		t.Fatalf("Guard = %v, want nil", got)
+	}
+}
+
+func TestGuardConvertsPanic(t *testing.T) {
+	err := Guard("cube_gen", 7, func() error { panic("exploded") })
+	se, ok := AsStageError(err)
+	if !ok {
+		t.Fatalf("Guard returned %T, want *StageError", err)
+	}
+	if se.Stage != "cube_gen" || se.Worker != 7 {
+		t.Fatalf("attribution = %s/%d", se.Stage, se.Worker)
+	}
+	if se.PanicValue != "exploded" {
+		t.Fatalf("PanicValue = %v", se.PanicValue)
+	}
+	if !strings.Contains(se.Stack, "stageerr_test.go") {
+		t.Fatalf("Stack does not point at the panic site:\n%s", se.Stack)
+	}
+}
+
+func TestGuardNestedStageErrorPassesThrough(t *testing.T) {
+	inner := &StageError{Stage: "inner", Worker: 1, Err: context.Canceled}
+	err := Guard("outer", 0, func() error { panic(inner) })
+	se, ok := AsStageError(err)
+	if !ok || se != inner {
+		t.Fatalf("nested StageError did not pass through: %v", err)
+	}
+}
+
+func TestSpanAbort(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Start("root")
+	child := root.Start("child")
+	child.Abort()
+	if !child.Aborted() {
+		t.Fatal("Aborted() = false after Abort")
+	}
+	d := child.Duration()
+	child.End() // End after Abort must not clear the mark or restart the clock
+	if !child.Aborted() || child.Duration() != d {
+		t.Fatal("End after Abort changed the span")
+	}
+	root.End()
+	if root.Aborted() {
+		t.Fatal("root span wrongly marked aborted")
+	}
+	rec := tr.Records()
+	if len(rec) != 1 || len(rec[0].Children) != 1 {
+		t.Fatalf("records = %+v", rec)
+	}
+	if !rec[0].Children[0].Aborted || rec[0].Aborted {
+		t.Fatalf("Aborted flags wrong in records: %+v", rec)
+	}
+}

@@ -16,14 +16,15 @@ type Trace struct {
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{} }
 
-// Span is one timed region of a trace. A span is open until End is
-// called; Duration on an open span measures up to now.
+// Span is one timed region of a trace. A span is open until End (or
+// Abort) is called; Duration on an open span measures up to now.
 type Span struct {
 	tr       *Trace
 	name     string
 	start    time.Time
 	end      time.Time
 	ended    bool
+	aborted  bool
 	children []*Span
 }
 
@@ -73,6 +74,27 @@ func (s *Span) End() {
 		s.end = time.Now()
 	}
 	s.tr.mu.Unlock()
+}
+
+// Abort closes the span and marks it aborted: the stage was cut short
+// by cancellation, a deadline/budget expiry, or a contained panic. Like
+// End it is idempotent on the end time, but the aborted mark sticks
+// even if End already ran.
+func (s *Span) Abort() {
+	s.tr.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Now()
+	}
+	s.aborted = true
+	s.tr.mu.Unlock()
+}
+
+// Aborted reports whether the span was cut short.
+func (s *Span) Aborted() bool {
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.aborted
 }
 
 // Name returns the span's name.

@@ -6,13 +6,16 @@
 package rare
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"cghti/internal/chaos"
 	"cghti/internal/netlist"
 	"cghti/internal/obs"
 	"cghti/internal/sim"
+	"cghti/internal/stage"
 )
 
 // Observability counters (process-wide; run reports record deltas).
@@ -120,6 +123,17 @@ func (s *Set) Len() int { return len(s.RN1) + len(s.RN0) }
 
 // Extract runs Algorithm 1 on n.
 func Extract(n *netlist.Netlist, cfg Config) (*Set, error) {
+	return ExtractContext(context.Background(), n, cfg)
+}
+
+// ExtractContext is Extract with cooperative cancellation, checked
+// once per simulation batch. When ctx expires mid-extraction the
+// vectors simulated so far are still a valid (smaller) sample, so the
+// set built from them is returned alongside ctx.Err(): callers that
+// treat a budget expiry as graceful degradation re-threshold over the
+// partial sample, callers that treat it as fatal ignore the set. When
+// no whole batch completed the returned set is nil.
+func ExtractContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Set, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Threshold >= 1 {
 		return nil, fmt.Errorf("rare: threshold %v must be a fraction < 1", cfg.Threshold)
@@ -133,8 +147,17 @@ func Extract(n *netlist.Netlist, cfg Config) (*Set, error) {
 	cntExtractions.Inc()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ones := make([]int64, n.NumGates())
+	done := ctx.Done()
 	remaining := cfg.Vectors
 	for remaining > 0 {
+		select {
+		case <-done:
+			return partialSet(n, cfg, ones, cfg.Vectors-remaining), ctx.Err()
+		default:
+		}
+		if err := chaos.Hit(stage.RareExtract, 0); err != nil {
+			return partialSet(n, cfg, ones, cfg.Vectors-remaining), err
+		}
 		batch := p.Patterns()
 		if batch > remaining {
 			batch = remaining
@@ -151,6 +174,18 @@ func Extract(n *netlist.Netlist, cfg Config) (*Set, error) {
 	s := buildSet(n, cfg, ones)
 	gaugeRareNodes.Set(int64(s.Len()))
 	return s, nil
+}
+
+// partialSet thresholds an interrupted extraction over the vectors
+// actually simulated; nil when no batch completed.
+func partialSet(n *netlist.Netlist, cfg Config, ones []int64, vectorsDone int) *Set {
+	if vectorsDone <= 0 {
+		return nil
+	}
+	cfg.Vectors = vectorsDone
+	s := buildSet(n, cfg, ones)
+	gaugeRareNodes.Set(int64(s.Len()))
+	return s
 }
 
 // buildSet applies the θ_RN cutoff to the per-node counts. Split out so

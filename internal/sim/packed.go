@@ -165,7 +165,14 @@ func (p *Packed) Run() {
 		return
 	}
 	cntPackedShards.Add(int64(shards))
+	// A panic in a shard goroutine would kill the whole process (no
+	// deferred recover can catch a panic on another goroutine), so each
+	// shard captures its panic and the first one is re-raised here on
+	// the caller's goroutine, where stage-level containment can demote
+	// it to an error.
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
 	for s := 0; s < shards; s++ {
 		lo := s * p.words / shards
 		hi := (s + 1) * p.words / shards
@@ -175,10 +182,18 @@ func (p *Packed) Run() {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
 			runProgram(p.prog, p.vals, p.words, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }
 
 // shardCount resolves the effective shard count for Run: never more

@@ -1,15 +1,18 @@
 package trojan
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"cghti/internal/atpg"
+	"cghti/internal/chaos"
 	"cghti/internal/netlist"
 	"cghti/internal/obs"
 	"cghti/internal/rare"
 	"cghti/internal/scoap"
 	"cghti/internal/sim"
+	"cghti/internal/stage"
 )
 
 // cntInstances counts trojan instances spliced process-wide.
@@ -98,6 +101,15 @@ type Instance struct {
 // distinguishes multiple instances inserted into the same base netlist
 // (it prefixes gate names).
 func InsertInstance(n *netlist.Netlist, nodes []rare.Node, cube atpg.Cube, index int, spec InsertSpec) (*netlist.Netlist, *Instance, error) {
+	return InsertInstanceContext(context.Background(), n, nodes, cube, index, spec)
+}
+
+// InsertInstanceContext is InsertInstance with cooperative cancellation,
+// checked between victim-candidate trials (each trial clones and
+// re-levelizes the netlist — the expensive part of insertion). On
+// cancellation it returns ctx's error; there is no partial result, an
+// instance either splices completely or not at all.
+func InsertInstanceContext(ctx context.Context, n *netlist.Netlist, nodes []rare.Node, cube atpg.Cube, index int, spec InsertSpec) (*netlist.Netlist, *Instance, error) {
 	spec = spec.withDefaults()
 	if len(nodes) == 0 {
 		return nil, nil, fmt.Errorf("trojan: empty trigger-node set")
@@ -161,7 +173,16 @@ func InsertInstance(n *netlist.Netlist, nodes []rare.Node, cube atpg.Cube, index
 		best     *netlist.Netlist
 		bestInst Instance
 	)
+	ctxDone := ctx.Done()
 	for _, victim := range candidates {
+		select {
+		case <-ctxDone:
+			return nil, nil, ctx.Err()
+		default:
+		}
+		if err := chaos.Hit(stage.Insert, 0); err != nil {
+			return nil, nil, err
+		}
 		trial := out.Clone()
 		trialInst := *inst
 		if err := wirePayload(trial, &trialInst, trig, victim, trigOut, prefix, spec); err != nil {

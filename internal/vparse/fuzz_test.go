@@ -1,0 +1,50 @@
+package vparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the structural-Verilog parser.
+// Invalid input must come back as an error — never a panic or a hang —
+// and any module that parses must already satisfy the netlist
+// invariants (Parse runs Validate and Levelize before returning).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Minimal valid module.
+		"module m(a, z); input a; output z; not(z, a); endmodule",
+		// Declarations, wires, assigns, constants, comments.
+		`// header
+module top(a, b, z);
+  input a, b;
+  output z;
+  wire w;
+  nand g1 (w, a, b); /* named instance */
+  assign z = w;
+endmodule`,
+		"module m(z); output z; assign z = 1'b1; endmodule",
+		// DFF with named ports, clk ignored.
+		"module m(clk, d, q); input clk, d; output q; dff ff (.q(q), .d(d), .clk(clk)); endmodule",
+		// Error shapes the parser must reject cleanly.
+		"module m(z); output z; endmodule",                    // undriven output
+		"module m(a); input a; foo(a); endmodule",             // unsupported construct
+		"module m(a, z); input a; output z; not(z, a);",       // missing endmodule
+		"module m(z); output z; dff ff (.q(z)); endmodule",    // dff missing .d
+		"module m(z); output z; not(z, ghost); endmodule",     // undriven net
+		"module m(a, z); input a; output z; not(); endmodule", // no ports
+		"module",                  // truncated
+		"module m(a, b; input a;", // unterminated port list
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejected cleanly; that is the contract
+		}
+		if n == nil {
+			t.Fatalf("nil netlist without error for:\n%s", src)
+		}
+	})
+}
