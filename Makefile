@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race fuzz bench benchall
+.PHONY: ci build vet fmt test race fuzz modcheck bench benchall
 
-ci: build vet fmt race fuzz
+ci: build vet fmt modcheck race fuzz
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,20 @@ fmt:
 test:
 	$(GO) test ./...
 
+# The module must stay stdlib-only: `go list -m all` reports exactly
+# one module (cghti itself) when no third-party dependency has crept in.
+modcheck:
+	@mods=$$($(GO) list -m all | wc -l); if [ "$$mods" -ne 1 ]; then \
+		echo "module is no longer stdlib-only:"; $(GO) list -m all; exit 1; fi
+
 # The explicit -timeout keeps a hung cancellation path from stalling CI
-# for the 10-minute default.
+# for the 10-minute default. The executor and artifact store are named
+# explicitly (with -count=1) so the cache/taint concurrency paths are
+# always exercised under the race detector, never served from the test
+# cache.
 race:
 	$(GO) test -race -timeout 5m ./...
+	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact
 
 # Short fuzz smoke: each native fuzz target runs briefly so a parser
 # regression that panics or hangs on malformed input fails the gate.
@@ -34,10 +44,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/vparse
 
 # Simulation/pipeline benchmarks, recorded as BENCH_sim.json so runs
-# can be committed and diffed (see cmd/benchjson).
+# can be committed and diffed (see cmd/benchjson). The artifact-cache
+# benchmark (cold vs warm Generate) lands in its own BENCH_pipeline.json
+# so the warm-run speedup is tracked independently of kernel changes.
 bench:
 	$(GO) test -run '^$$' -bench 'Sim|Generate' -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_sim.json
 	@echo "wrote BENCH_sim.json"
+	$(GO) test -run '^$$' -bench 'PipelineCache' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_pipeline.json
+	@echo "wrote BENCH_pipeline.json"
 
 benchall:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"cghti/internal/artifact"
 	"cghti/internal/cli"
 	"cghti/internal/experiments"
 	"cghti/internal/obs"
@@ -30,6 +31,7 @@ func main() {
 		circuits   = flag.String("circuits", "", "comma-separated circuit list (default: the paper's eight)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		workers    = flag.Int("workers", 0, "simulation/ATPG goroutine budget (0 = all CPUs, 1 = serial; tables are identical)")
+		cacheDir   = flag.String("cache-dir", "", "persist pipeline artifacts (rare sets, compatibility graphs) here; experiments that revisit a circuit with identical parameters reuse the work")
 		report     = flag.String("report", "", "write a JSON run report (per-experiment spans + counters) to this file")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); completed experiments still land in the partial -report")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -49,6 +51,13 @@ func main() {
 	}
 	if *circuits != "" {
 		opts.Circuits = strings.Split(*circuits, ",")
+	}
+	if *cacheDir != "" {
+		cache, err := artifact.DirCache(*cacheDir)
+		if err != nil {
+			cli.Fatal(tool, err)
+		}
+		opts.Cache = cache
 	}
 
 	runners := map[string]func(experiments.Options) (time.Duration, error){

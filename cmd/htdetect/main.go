@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"cghti"
+	"cghti/internal/artifact"
 	"cghti/internal/cli"
 	"cghti/internal/detect"
 	"cghti/internal/faultsim"
@@ -43,6 +44,7 @@ func main() {
 		vectors      = flag.Int("vectors", 10000, "rare-node extraction vector count")
 		seed         = flag.Int64("seed", 1, "random seed")
 		workers      = flag.Int("workers", 0, "simulation/ATPG goroutine budget (0 = all CPUs, 1 = serial; output is identical)")
+		cacheDir     = flag.String("cache-dir", "", "persist the rare-node extraction artifact here; reruns against the same golden netlist and parameters skip the simulation sweep")
 		report       = flag.String("report", "", "write a JSON run report (per-scheme spans + counters) to this file")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a timed-out or interrupted run still writes its partial -report")
 		cpuprofile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -105,8 +107,14 @@ func main() {
 	needRare := *scheme == "all" || *scheme == "mero" || *scheme == "ndatpg"
 	var rs *rare.Set
 	if needRare {
+		var cache *artifact.Cache
+		if *cacheDir != "" {
+			if cache, err = artifact.DirCache(*cacheDir); err != nil {
+				cli.Fatal(tool, err)
+			}
+		}
 		sp := trace.Start("rare_extract")
-		rs, err = rare.ExtractContext(ctx, golden, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed, Workers: *workers})
+		rs, err = rare.ExtractCached(ctx, cache, golden, rare.Config{Vectors: *vectors, Threshold: *theta, Seed: *seed, Workers: *workers})
 		if err != nil {
 			sp.Abort()
 			fatal(err)

@@ -51,6 +51,7 @@ func main() {
 		maxNodes   = flag.Int("max-rare", 0, "cap PODEM cube generation to the rarest K nodes (0 = all)")
 		timebomb   = flag.Int("timebomb", 0, "convert each instance to a sequential time bomb with this many counter bits (0 = off)")
 		dedup      = flag.Bool("dedup", false, "run structural deduplication after insertion (blends trojan gates with functional logic)")
+		cacheDir   = flag.String("cache-dir", "", "persist pipeline artifacts (rare sets, cubes, graphs) here; warm reruns with identical parameters skip the expensive stages")
 		report     = flag.String("report", "", "write a JSON run report (span trace + counters) to this file")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); a timed-out or interrupted run still writes its partial -report")
 		verbose    = flag.Bool("v", false, "stream stage progress to stderr")
@@ -105,6 +106,7 @@ func main() {
 		MaxRareNodes:    *maxNodes,
 		Seed:            *seed,
 		Workers:         *workers,
+		CacheDir:        *cacheDir,
 		Trace:           trace,
 	}
 	if *verbose {
@@ -131,6 +133,9 @@ func main() {
 	}
 	for _, d := range res.Degraded {
 		fmt.Fprintf(os.Stderr, "%s: warning: stage %s degraded (%s): %v\n", tool, d.Stage, d.Detail, d.Err)
+	}
+	if len(res.CachedStages) > 0 {
+		fmt.Printf("served from cache: %s\n", strings.Join(res.CachedStages, ", "))
 	}
 	if *check {
 		sp := trace.Start("verify")
@@ -197,6 +202,9 @@ func main() {
 		"instances":      len(res.Benchmarks),
 		"trigger_q_min":  min,
 		"trigger_q_max":  max,
+	}
+	if len(res.CachedStages) > 0 {
+		extra["cached_stages"] = res.CachedStages
 	}
 	if len(res.Degraded) > 0 {
 		stages := make([]string, len(res.Degraded))

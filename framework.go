@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cghti/internal/area"
+	"cghti/internal/artifact"
 	"cghti/internal/atpg"
 	"cghti/internal/chaos"
 	"cghti/internal/compat"
@@ -13,6 +14,7 @@ import (
 	"cghti/internal/equiv"
 	"cghti/internal/netlist"
 	"cghti/internal/obs"
+	"cghti/internal/pipeline"
 	"cghti/internal/rare"
 	"cghti/internal/sim"
 	"cghti/internal/stage"
@@ -52,6 +54,27 @@ var PipelineStages = []string{
 	StageLevelize, StageRareExtract, StageCubeGen,
 	StageGraphEdges, StageCliqueMine, StageInsert,
 }
+
+// ArtifactCache is the content-addressed store for intermediate
+// pipeline artifacts (rare sets, compatibility graphs, clique lists):
+// a bounded in-memory LRU tier plus an optional on-disk tier whose
+// entries are hash-verified on every read. Construct one with NewCache
+// or DirCache and share it across Generate calls (it is safe for
+// concurrent use).
+type ArtifactCache = artifact.Cache
+
+// NewCache returns a memory-only artifact cache bounded by maxEntries
+// entries and maxBytes payload bytes (non-positive values select the
+// defaults: 128 entries, 256 MiB).
+func NewCache(maxEntries int, maxBytes int64) *ArtifactCache {
+	return artifact.NewCache(maxEntries, maxBytes)
+}
+
+// DirCache returns the process-wide artifact cache persisted under dir
+// (created if missing). Calls with the same directory share one memory
+// tier, so repeated Generate runs in one process hit memory, and runs
+// across processes hit disk.
+func DirCache(dir string) (*ArtifactCache, error) { return artifact.DirCache(dir) }
 
 // Config holds the user-defined properties of the paper's framework: the
 // rare-node hyperparameters (θ_RN, |V|), the trigger-node count q, the
@@ -112,6 +135,68 @@ type Config struct {
 	// Only the overall Deadline (or the caller's ctx) failing aborts
 	// the pipeline with an error.
 	StageBudgets map[string]time.Duration
+	// Cache, if non-nil, is the content-addressed artifact store the
+	// pipeline consults before recomputing rare extraction, cube
+	// generation, and graph edges — and fills on clean runs. Cached
+	// stages record no span and emit a StageCached event; degraded
+	// upstream output disables caching for the rest of that run, so a
+	// partial artifact is never stored under (or served for) a full-run
+	// fingerprint. Caching never changes outputs: fingerprints cover
+	// the canonical netlist bytes, the stage-relevant configuration
+	// (Seed included, Workers excluded) and every upstream artifact.
+	Cache *ArtifactCache
+	// CacheDir, if non-empty and Cache is nil, selects the process-wide
+	// disk-backed cache under this directory (see DirCache).
+	CacheDir string
+}
+
+// Validate rejects nonsensical configurations with a descriptive error
+// instead of silently defaulting or misbehaving. Zero values mean "use
+// the default" and always pass; Generate calls Validate first, so an
+// invalid Config fails before any work happens.
+func (c Config) Validate() error {
+	bad := func(field string, format string, args ...any) error {
+		return fmt.Errorf("cghti: invalid Config.%s: %s", field, fmt.Sprintf(format, args...))
+	}
+	if c.RareVectors < 0 {
+		return bad("RareVectors", "%d is negative; want > 0 vectors (or 0 for the default %d)", c.RareVectors, rare.DefaultVectors)
+	}
+	if c.RareThreshold < 0 {
+		return bad("RareThreshold", "%v is negative; θ_RN is a fraction in (0, 1)", c.RareThreshold)
+	}
+	if c.RareThreshold >= 1 {
+		return bad("RareThreshold", "%v >= 1 would mark every node rare; θ_RN is a fraction in (0, 1)", c.RareThreshold)
+	}
+	if c.MinTriggerNodes < 0 || c.MinTriggerNodes == 1 {
+		return bad("MinTriggerNodes", "%d; a trigger set needs q >= 2 rare nodes (or 0 for the default)", c.MinTriggerNodes)
+	}
+	if c.Instances < 0 {
+		return bad("Instances", "%d is negative; want N > 0 instances (or 0 for the default 1)", c.Instances)
+	}
+	if c.FaninK < 0 || c.FaninK == 1 {
+		return bad("FaninK", "%d; trigger-tree gates need fan-in >= 2 (or 0 for the default 4)", c.FaninK)
+	}
+	if c.MaxBacktracks < 0 {
+		return bad("MaxBacktracks", "%d is negative; want a positive PODEM budget (or 0 for the default)", c.MaxBacktracks)
+	}
+	if c.MaxRareNodes < 0 {
+		return bad("MaxRareNodes", "%d is negative; want a positive cap (or 0 for no cap)", c.MaxRareNodes)
+	}
+	if c.CliqueAttempts < 0 {
+		return bad("CliqueAttempts", "%d is negative; want positive restarts (or 0 for the default)", c.CliqueAttempts)
+	}
+	if c.Workers < 0 {
+		return bad("Workers", "%d is negative; want 1 = serial, n = n goroutines, 0 = GOMAXPROCS", c.Workers)
+	}
+	if c.Deadline < 0 {
+		return bad("Deadline", "%v is negative; want a positive duration (or 0 for none)", c.Deadline)
+	}
+	for name, d := range c.StageBudgets {
+		if d < 0 {
+			return bad("StageBudgets", "budget %v for stage %q is negative", d, name)
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -133,7 +218,8 @@ func (c Config) withDefaults() Config {
 // StageTimes breaks the insertion pipeline down by stage — the
 // time-complexity decomposition of the paper's Section IV-C. It is a
 // compatibility view derived from the span trace (Result.Trace), which
-// is the authoritative record.
+// is the authoritative record. A stage served from the artifact cache
+// records no span and reports zero.
 type StageTimes struct {
 	Levelize    time.Duration // netlist levelization
 	RareExtract time.Duration // Algorithm 1
@@ -210,18 +296,8 @@ func (b *Benchmark) DetectTarget(golden *Netlist) (detect.Target, error) {
 
 // Degradation records one stage that was cut short (stage budget
 // expiry) but left a usable partial result the pipeline continued on.
-type Degradation struct {
-	// Stage is the stage that was cut short (Stage* constant).
-	Stage string
-	// Err is what cut it short (typically context.DeadlineExceeded
-	// from the stage's budget).
-	Err error
-	// Done/Total report how far the stage got in its own work units
-	// (vectors, candidates, adjacency rows, mining target, instances).
-	Done, Total int
-	// Detail is a human-readable account of what was salvaged.
-	Detail string
-}
+// It is the pipeline executor's record type, re-exported.
+type Degradation = pipeline.Degradation
 
 // Result is the output of Generate.
 type Result struct {
@@ -239,7 +315,7 @@ type Result struct {
 	// Times is the per-stage timing breakdown (derived from Trace).
 	Times StageTimes
 	// Trace is the pipeline's span trace: a StageGenerate root span
-	// with one child per pipeline stage.
+	// with one child per pipeline stage that actually ran.
 	Trace *obs.Trace
 	// Degraded lists the stages that ran out of budget and fell back
 	// to best-so-far output, in pipeline order. Empty on a clean run.
@@ -247,51 +323,9 @@ type Result struct {
 	// benchmark is fully verified, there are just fewer (or
 	// lower-quality) of them than an unbudgeted run would produce.
 	Degraded []Degradation
-}
-
-// stageRunner emits progress events and records spans for one
-// Generate call.
-type stageRunner struct {
-	sink obs.Sink
-	root *obs.Span
-}
-
-func (sr *stageRunner) start(name string) *obs.Span {
-	obs.Emit(sr.sink, obs.Event{Stage: name, Kind: obs.StageStart})
-	return sr.root.Start(name)
-}
-
-func (sr *stageRunner) end(s *obs.Span) {
-	s.End()
-	obs.Emit(sr.sink, obs.Event{Stage: s.Name(), Kind: obs.StageEnd, Elapsed: s.Duration()})
-}
-
-func (sr *stageRunner) abort(s *obs.Span) {
-	s.Abort()
-	obs.Emit(sr.sink, obs.Event{Stage: s.Name(), Kind: obs.StageAbort, Elapsed: s.Duration()})
-}
-
-// progress adapts an internal done/total callback to StageProgress
-// events, throttled to whole-percent changes so hot loops stay cheap.
-func (sr *stageRunner) progress(stage string, started time.Time) func(done, total int) {
-	if sr.sink == nil {
-		return nil
-	}
-	lastPct := -1
-	return func(done, total int) {
-		pct := 100
-		if total > 0 {
-			pct = 100 * done / total
-		}
-		if pct == lastPct {
-			return
-		}
-		lastPct = pct
-		obs.Emit(sr.sink, obs.Event{
-			Stage: stage, Kind: obs.StageProgress,
-			Done: done, Total: total, Elapsed: time.Since(started),
-		})
-	}
+	// CachedStages lists the stages served from Config.Cache instead of
+	// running, in pipeline order. Empty when caching is off or cold.
+	CachedStages []string
 }
 
 // Generate runs the full insertion pipeline on n.
@@ -310,7 +344,14 @@ func Generate(n *Netlist, cfg Config) (*Result, error) {
 // Result.Degraded — and only stages with nothing to salvage fail the
 // run. Worker panics inside any stage surface as *StageError instead
 // of killing the process.
+//
+// The stage orchestration itself — spans, budgets, panic containment,
+// degradation, caching — lives in internal/pipeline; this function only
+// builds the stage graph and interprets its result.
 func GenerateContext(ctx context.Context, n *Netlist, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -321,241 +362,92 @@ func GenerateContext(ctx context.Context, n *Netlist, cfg Config) (*Result, erro
 	if trace == nil {
 		trace = obs.NewTrace()
 	}
-	res := &Result{Base: n, Trace: trace}
-	sr := &stageRunner{sink: cfg.Progress, root: trace.Start(StageGenerate)}
-	defer sr.root.End()
+	root := trace.Start(StageGenerate)
+	defer root.End()
 
-	// stageCtx derives a stage's working context from its budget (the
-	// whole-pipeline ctx when it has none).
-	stageCtx := func(name string) (context.Context, context.CancelFunc) {
-		if d, ok := cfg.StageBudgets[name]; ok && d > 0 {
-			return context.WithTimeout(ctx, d)
+	cache := cfg.Cache
+	if cache == nil && cfg.CacheDir != "" {
+		c, err := artifact.DirCache(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("cghti: cache dir: %w", err)
 		}
-		return ctx, func() {}
+		cache = c
 	}
-	// fail converts a stage's terminal error into the pipeline's error:
-	// the root span is aborted and the partial trace attached to the
-	// StageError (the innermost attribution — e.g. the worker that
-	// panicked — is kept when err already carries one).
-	fail := func(stageName string, err error) error {
-		sr.root.Abort()
-		res.Times = stageTimes(trace)
-		se, ok := obs.AsStageError(err)
-		if !ok {
-			se = &obs.StageError{Stage: stageName, Worker: -1, Err: err}
-		}
-		if se.Trace == nil {
-			se.Trace = trace
-		}
-		return se
+	env := &pipeline.Env{
+		Sink:    cfg.Progress,
+		Trace:   trace,
+		Root:    root,
+		Budgets: cfg.StageBudgets,
+		Cache:   cache,
 	}
-	// hardStop classifies a stage interruption: pipeline-level
-	// cancellation/deadline and contained worker panics always fail the
-	// run; anything else (stage budget expiry, injected stage error) is
-	// eligible for degradation if the stage salvaged something.
-	hardStop := func(err error) bool {
-		if ctx.Err() != nil {
-			return true
-		}
-		if se, ok := obs.AsStageError(err); ok && se.PanicValue != nil {
-			return true
-		}
-		return false
-	}
-	degrade := func(stageName string, err error, done, total int, detail string) {
-		res.Degraded = append(res.Degraded, Degradation{
-			Stage: stageName, Err: err, Done: done, Total: total, Detail: detail,
-		})
+	if cache != nil {
+		env.BaseFP = artifact.NetlistFingerprint(n)
 	}
 
-	// --- levelize: no partial result is possible; any interruption or
-	// panic fails the run.
-	sp := sr.start(StageLevelize)
-	if err := ctx.Err(); err != nil {
-		sr.abort(sp)
-		return nil, fail(StageLevelize, err)
-	}
-	if err := chaos.Hit(StageLevelize, 0); err != nil {
-		sr.abort(sp)
-		return nil, fail(StageLevelize, err)
-	}
-	if err := obs.Guard(StageLevelize, -1, n.Levelize); err != nil {
-		sr.abort(sp)
-		return nil, fail(StageLevelize, err)
-	}
-	sr.end(sp)
-
-	// --- rare extraction: an interrupted extraction with at least one
-	// simulated batch degrades to the smaller sample.
-	sp = sr.start(StageRareExtract)
-	rctx, cancel := stageCtx(StageRareExtract)
-	var rs *rare.Set
-	err := obs.Guard(StageRareExtract, -1, func() (e error) {
-		rs, e = rare.ExtractContext(rctx, n, rare.Config{
-			Vectors:   cfg.RareVectors,
-			Threshold: cfg.RareThreshold,
-			Seed:      cfg.Seed,
-			Workers:   cfg.Workers,
-			Progress:  sr.progress(StageRareExtract, sp.StartTime()),
-		})
-		return e
-	})
-	cancel()
-	if err != nil {
-		if hardStop(err) || rs == nil {
-			sr.abort(sp)
-			return nil, fail(StageRareExtract, err)
-		}
-		sr.abort(sp)
-		degrade(StageRareExtract, err, rs.Vectors, cfg.RareVectors,
-			fmt.Sprintf("rare set thresholded over %d of %d vectors", rs.Vectors, cfg.RareVectors))
-	} else {
-		sr.end(sp)
-	}
-	res.RareSet = rs
-	if rs.Len() == 0 {
-		return nil, fail(StageRareExtract, fmt.Errorf("cghti: no rare nodes at θ=%v over %d vectors",
-			cfg.RareThreshold, rs.Vectors))
-	}
-
-	// --- PODEM cube generation: an interrupted build keeps the cubes
-	// generated so far (rarest candidates first, so the best trigger
-	// material survives).
-	bcfg := compat.BuildConfig{
+	buildCfg := compat.BuildConfig{
 		MaxBacktracks: cfg.MaxBacktracks,
 		MaxNodes:      cfg.MaxRareNodes,
 		Workers:       cfg.Workers,
 	}
-	sp = sr.start(StageCubeGen)
-	bcfg.Progress = sr.progress(StageCubeGen, sp.StartTime())
-	cctx, cancel := stageCtx(StageCubeGen)
-	var g *compat.Graph
-	err = obs.Guard(StageCubeGen, -1, func() (e error) {
-		g, e = compat.BuildCubes(cctx, n, rs, bcfg)
-		return e
-	})
-	cancel()
-	if err != nil {
-		if hardStop(err) || g == nil || len(g.Nodes) == 0 {
-			sr.abort(sp)
-			return nil, fail(StageCubeGen, err)
-		}
-		sr.abort(sp)
-		degrade(StageCubeGen, err, g.CubesDone, g.CubesTotal,
-			fmt.Sprintf("%d cubes from %d of %d rare-node candidates", len(g.Nodes), g.CubesDone, g.CubesTotal))
-	} else {
-		sr.end(sp)
-	}
-	res.Graph = g
 
-	// --- pairwise edges: an interrupted pass leaves a sound
-	// under-approximation (every recorded edge is a verified
-	// compatibility), so mining can still proceed.
-	bcfg.Progress = nil
-	sp = sr.start(StageGraphEdges)
-	ectx, cancel := stageCtx(StageGraphEdges)
-	err = obs.Guard(StageGraphEdges, -1, func() error {
-		return g.ConnectEdges(ectx, bcfg)
-	})
-	cancel()
-	if err != nil {
-		if hardStop(err) {
-			sr.abort(sp)
-			return nil, fail(StageGraphEdges, err)
-		}
-		sr.abort(sp)
-		degrade(StageGraphEdges, err, g.EdgeRowsDone, g.EdgeRowsTotal,
-			fmt.Sprintf("%d edges from %d of %d adjacency rows", g.NumEdges(), g.EdgeRowsDone, g.EdgeRowsTotal))
-	} else {
-		sr.end(sp)
-	}
-
-	// --- clique mining: every clique found before the interruption is
-	// complete and maximal, so a partial list degrades cleanly. Mine a
-	// pool larger than needed, then keep the stealthiest cliques
-	// (lowest estimated activation probability, largest first on ties).
-	sp = sr.start(StageCliqueMine)
-	mctx, cancel := stageCtx(StageCliqueMine)
-	var cliques []compat.Clique
-	err = obs.Guard(StageCliqueMine, -1, func() (e error) {
-		cliques, e = g.FindCliquesContext(mctx, compat.MineConfig{
-			MinSize:    cfg.MinTriggerNodes,
-			MaxCliques: 4 * cfg.Instances,
-			Attempts:   cfg.CliqueAttempts,
-			Seed:       cfg.Seed,
-		})
-		return e
-	})
-	cancel()
-	if err != nil {
-		if hardStop(err) || len(cliques) == 0 {
-			sr.abort(sp)
-			return nil, fail(StageCliqueMine, err)
-		}
-		sr.abort(sp)
-		degrade(StageCliqueMine, err, len(cliques), 4*cfg.Instances,
-			fmt.Sprintf("%d of %d cliques mined", len(cliques), 4*cfg.Instances))
-	} else {
-		sr.end(sp)
-	}
-	g.SortByStealth(cliques)
-	res.Cliques = cliques
-	if len(cliques) == 0 {
-		return nil, fail(StageCliqueMine, fmt.Errorf("cghti: no clique with >= %d compatible rare nodes (graph: %d vertices, %d edges)",
-			cfg.MinTriggerNodes, g.NumVertices(), g.NumEdges()))
-	}
-
-	// --- insertion: each completed instance is independently valid, so
-	// an interruption after the first instance degrades to fewer
-	// benchmarks.
-	sp = sr.start(StageInsert)
-	instProgress := sr.progress(StageInsert, sp.StartTime())
-	total := cfg.Instances
-	if total > len(cliques) {
-		total = len(cliques)
-	}
-	ictx, cancel := stageCtx(StageInsert)
-	aborted := false
-	for i := 0; i < cfg.Instances && i < len(cliques); i++ {
-		c := cliques[i]
-		var (
-			infected *Netlist
-			inst     *trojan.Instance
-		)
-		err := obs.Guard(StageInsert, -1, func() (e error) {
-			infected, inst, e = trojan.InsertInstanceContext(ictx, n, c.Nodes(g), c.Cube, i, trojan.InsertSpec{
-				Trigger: trojan.TriggerSpec{ActiveLow: cfg.ActiveLow, FaninK: cfg.FaninK},
-				Payload: cfg.Payload,
-				Seed:    cfg.Seed,
-			})
-			return e
-		})
-		if err != nil {
-			if hardStop(err) || len(res.Benchmarks) == 0 {
-				cancel()
-				sr.abort(sp)
-				return nil, fail(StageInsert, fmt.Errorf("cghti: instance %d: %w", i, err))
+	g := pipeline.NewGraph()
+	// Levelization annotates the netlist in place; no partial result is
+	// possible, so any interruption or panic fails the run. Its output
+	// keeps the netlist's content identity (TransparentFunc), which is
+	// what lets downstream fingerprints match the standalone cached
+	// helpers' recipe.
+	g.Add(pipeline.TransparentFunc(StageLevelize,
+		func(ctx context.Context, env *pipeline.Env, _ []pipeline.Artifact) (pipeline.Artifact, error) {
+			if err := chaos.Hit(StageLevelize, 0); err != nil {
+				return nil, err
 			}
-			sr.abort(sp)
-			degrade(StageInsert, err, len(res.Benchmarks), total,
-				fmt.Sprintf("%d of %d instances inserted", len(res.Benchmarks), total))
-			aborted = true
-			break
-		}
+			if err := n.Levelize(); err != nil {
+				return nil, err
+			}
+			return n, nil
+		}))
+	g.Add(rare.NewExtractStage(rare.Config{
+		Vectors:   cfg.RareVectors,
+		Threshold: cfg.RareThreshold,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+	}), StageLevelize)
+	g.Add(compat.NewCubeStage(buildCfg), StageLevelize, StageRareExtract)
+	g.Add(compat.NewEdgeStage(buildCfg), StageCubeGen)
+	g.Add(compat.NewMineStage(compat.MineConfig{
+		MinSize:    cfg.MinTriggerNodes,
+		MaxCliques: 4 * cfg.Instances,
+		Attempts:   cfg.CliqueAttempts,
+		Seed:       cfg.Seed,
+	}), StageGraphEdges)
+	g.Add(trojan.NewInsertStage(trojan.InsertSpec{
+		Trigger: trojan.TriggerSpec{ActiveLow: cfg.ActiveLow, FaninK: cfg.FaninK},
+		Payload: cfg.Payload,
+		Seed:    cfg.Seed,
+	}, cfg.Instances), StageLevelize, StageGraphEdges, StageCliqueMine)
+
+	pres, err := g.Run(ctx, env)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Base:         n,
+		Trace:        trace,
+		RareSet:      pres.Output(StageRareExtract).(*rare.Set),
+		Graph:        pres.Output(StageGraphEdges).(*compat.Graph),
+		Cliques:      pres.Output(StageCliqueMine).([]compat.Clique),
+		Degraded:     pres.Degraded,
+		CachedStages: pres.Cached,
+	}
+	for _, ins := range pres.Output(StageInsert).([]trojan.Inserted) {
 		res.Benchmarks = append(res.Benchmarks, Benchmark{
-			Netlist:  infected,
-			Instance: inst,
-			Clique:   c,
+			Netlist:  ins.Netlist,
+			Instance: ins.Instance,
+			Clique:   ins.Clique,
 		})
-		if instProgress != nil {
-			instProgress(i+1, total)
-		}
 	}
-	cancel()
-	if !aborted {
-		sr.end(sp)
-	}
-	sr.root.End()
+	root.End()
 	res.Times = stageTimes(trace)
 	return res, nil
 }

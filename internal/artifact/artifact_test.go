@@ -1,0 +1,282 @@
+package artifact
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEnc()
+	e.Uvarint(0)
+	e.Uvarint(1 << 40)
+	e.Varint(-12345)
+	e.Int(42)
+	e.U8(0xAB)
+	e.Bool(true)
+	e.Bool(false)
+	e.F64(math.Pi)
+	e.F64(0)
+	e.Bytes([]byte{1, 2, 3})
+	e.Bytes(nil)
+	e.String("rare_extract")
+	e.String("")
+	e.Words([]uint64{0, ^uint64(0), 0xDEADBEEF})
+	e.Words(nil)
+	data := e.Finish()
+
+	d := NewDec(data)
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d, want 0", got)
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Errorf("Uvarint = %d, want %d", got, uint64(1)<<40)
+	}
+	if got := d.Varint(); got != -12345 {
+		t.Errorf("Varint = %d, want -12345", got)
+	}
+	if got := d.Int(); got != 42 {
+		t.Errorf("Int = %d, want 42", got)
+	}
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x, want 0xAB", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := d.F64(); got != math.Pi {
+		t.Errorf("F64 = %v, want pi", got)
+	}
+	if got := d.F64(); got != 0 {
+		t.Errorf("F64 = %v, want 0", got)
+	}
+	if got := d.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := d.Bytes(); len(got) != 0 {
+		t.Errorf("empty Bytes = %v", got)
+	}
+	if got := d.String(); got != "rare_extract" {
+		t.Errorf("String = %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	w := d.Words()
+	if len(w) != 3 || w[0] != 0 || w[1] != ^uint64(0) || w[2] != 0xDEADBEEF {
+		t.Errorf("Words = %v", w)
+	}
+	if got := d.Words(); len(got) != 0 {
+		t.Errorf("empty Words = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestDecTruncatedAndTrailing(t *testing.T) {
+	e := NewEnc()
+	e.String("hello")
+	data := e.Finish()
+
+	// Truncation mid-field is a sticky error, not a panic or a huge alloc.
+	d := NewDec(data[:2])
+	_ = d.String()
+	if d.Err() == nil {
+		t.Error("truncated String: want error")
+	}
+	_ = d.Int() // reads after the error stay zero-valued and safe
+	if d.Finish() == nil {
+		t.Error("Finish after truncation: want error")
+	}
+
+	// A corrupted length prefix claiming more than remains must not allocate.
+	e2 := NewEnc()
+	e2.Uvarint(1 << 50)
+	if got := NewDec(e2.Finish()).Words(); got != nil {
+		t.Errorf("oversized Words claim decoded to %v", got)
+	}
+
+	// Unconsumed input is an error: every byte must be accounted for.
+	d3 := NewDec(data)
+	_ = d3.Uvarint()
+	if d3.Finish() == nil {
+		t.Error("Finish with trailing bytes: want error")
+	}
+}
+
+func TestDeriveDistinctness(t *testing.T) {
+	base := Hash([]byte("netlist"))
+	other := Hash([]byte("netlist2"))
+	fps := []Fingerprint{
+		Derive("rare_extract", []byte{1}, base),
+		Derive("rare_extract", []byte{2}, base),        // config differs
+		Derive("cube_gen", []byte{1}, base),            // name differs
+		Derive("rare_extract", []byte{1}, other),       // input differs
+		Derive("rare_extract", []byte{1}, base, other), // input count differs
+		Derive("rare_extract", nil, base),
+	}
+	seen := map[Fingerprint]int{}
+	for i, fp := range fps {
+		if fp.IsZero() {
+			t.Errorf("fp %d is zero", i)
+		}
+		if j, dup := seen[fp]; dup {
+			t.Errorf("fingerprints %d and %d collide", i, j)
+		}
+		seen[fp] = i
+	}
+	// Deterministic: same inputs, same fingerprint.
+	if Derive("rare_extract", []byte{1}, base) != fps[0] {
+		t.Error("Derive is not deterministic")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3, 1<<20)
+	fp := func(i byte) Fingerprint { return Hash([]byte{i}) }
+	for i := byte(0); i < 4; i++ {
+		c.Put(fp(i), []byte{i})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get(fp(0)); ok {
+		t.Error("oldest entry should have been evicted")
+	}
+	for i := byte(1); i < 4; i++ {
+		if _, ok := c.Get(fp(i)); !ok {
+			t.Errorf("entry %d missing", i)
+		}
+	}
+	// Touching 1 makes 2 the coldest.
+	c.Get(fp(1))
+	c.Put(fp(4), []byte{4})
+	if _, ok := c.Get(fp(2)); ok {
+		t.Error("LRU order not respected: 2 should have been evicted")
+	}
+	if _, ok := c.Get(fp(1)); !ok {
+		t.Error("recently used entry 1 evicted")
+	}
+
+	// Byte-bound eviction always keeps the newest entry, even oversized.
+	cb := NewCache(100, 8)
+	cb.Put(fp(10), make([]byte, 100))
+	if _, ok := cb.Get(fp(10)); !ok {
+		t.Error("single oversized entry must stay resident")
+	}
+	cb.Put(fp(11), make([]byte, 100))
+	if _, ok := cb.Get(fp(10)); ok {
+		t.Error("byte bound not enforced")
+	}
+
+	// The zero fingerprint is refused.
+	c.Put(Fingerprint{}, []byte{9})
+	if _, ok := c.Get(Fingerprint{}); ok {
+		t.Error("zero fingerprint stored")
+	}
+}
+
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	fp := Hash([]byte("payload-key"))
+	payload := []byte("the artifact payload")
+
+	c1 := NewCache(0, 0)
+	if err := c1.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c1.Put(fp, payload)
+
+	// A fresh cache over the same dir sees the entry (disk round trip).
+	c2 := NewCache(0, 0)
+	if err := c2.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(fp)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("disk Get = %v, %v", got, ok)
+	}
+}
+
+func TestCacheDiskCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	fp := Hash([]byte("poisoned"))
+	c := NewCache(0, 0)
+	if err := c.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(fp, []byte("good bytes"))
+	path := filepath.Join(dir, fp.String())
+
+	// Flip a payload byte: the stored hash no longer matches.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCache(0, 0)
+	if err := fresh.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(fp); ok {
+		t.Fatal("corrupted entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupted entry not deleted")
+	}
+
+	// A file that is not an entry at all (bad magic / too short).
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(fp); ok {
+		t.Fatal("junk entry served")
+	}
+}
+
+func TestDirCacheIdentity(t *testing.T) {
+	dir := t.TempDir()
+	a, err := DirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("DirCache returned distinct instances for one directory")
+	}
+	if a.Dir() == "" {
+		t.Error("DirCache instance has no disk tier")
+	}
+	other, err := DirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == a {
+		t.Error("distinct directories share an instance")
+	}
+}
+
+func TestNetlistFingerprintDeterministic(t *testing.T) {
+	// Structural identity only: fingerprinting the same netlist twice is
+	// stable within a process (no wall-clock or map-order leakage). The
+	// cross-construction property is exercised by the root cache tests.
+	if Hash([]byte("x")) == Hash([]byte("y")) {
+		t.Fatal("Hash collision on distinct inputs")
+	}
+	var zero Fingerprint
+	if !zero.IsZero() {
+		t.Error("zero fingerprint not IsZero")
+	}
+	if Hash(nil).IsZero() {
+		t.Error("Hash(nil) must not be the zero fingerprint")
+	}
+}

@@ -1,0 +1,197 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Enc builds the canonical binary encoding of an artifact. Integers are
+// varint-encoded, floats are their IEEE-754 bit patterns, and every
+// variable-length field is length-prefixed. The result depends only on
+// the values written — never on map order or pointer identity — so
+// equal artifacts encode to equal bytes, which is what makes the
+// encodings fingerprintable.
+type Enc struct{ b []byte }
+
+// NewEnc returns an empty encoder.
+func NewEnc() *Enc { return &Enc{} }
+
+// Uvarint appends an unsigned varint.
+func (e *Enc) Uvarint(x uint64) { e.b = binary.AppendUvarint(e.b, x) }
+
+// Varint appends a zig-zag signed varint.
+func (e *Enc) Varint(x int64) { e.b = binary.AppendVarint(e.b, x) }
+
+// Int appends an int as a signed varint.
+func (e *Enc) Int(x int) { e.Varint(int64(x)) }
+
+// U8 appends one byte.
+func (e *Enc) U8(x uint8) { e.b = append(e.b, x) }
+
+// Bool appends a bool as one byte.
+func (e *Enc) Bool(x bool) {
+	if x {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends a float64 as its fixed 8-byte bit pattern.
+func (e *Enc) F64(x float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(x))
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (e *Enc) Bytes(p []byte) {
+	e.Uvarint(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// String appends a length-prefixed string.
+func (e *Enc) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Words appends a length-prefixed []uint64 (fixed 8 bytes per word) —
+// the bitset representation shared by cubes and adjacency rows.
+func (e *Enc) Words(w []uint64) {
+	e.Uvarint(uint64(len(w)))
+	for _, x := range w {
+		e.b = binary.LittleEndian.AppendUint64(e.b, x)
+	}
+}
+
+// Finish returns the encoded bytes.
+func (e *Enc) Finish() []byte { return e.b }
+
+var errTruncated = errors.New("artifact: truncated encoding")
+
+// Dec decodes an Enc-produced encoding with a sticky error: after the
+// first malformed read every subsequent read returns a zero value, so
+// decoders can be written straight-line and check Err (or Finish) once.
+// Length prefixes are validated against the remaining input before any
+// allocation, so a corrupted length cannot cause huge allocations.
+type Dec struct {
+	b   []byte
+	err error
+}
+
+// NewDec returns a decoder over data.
+func NewDec(data []byte) *Dec { return &Dec{b: data} }
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = errTruncated
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+// Varint reads a zig-zag signed varint.
+func (d *Dec) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return x
+}
+
+// Int reads a signed varint as an int.
+func (d *Dec) Int() int { return int(d.Varint()) }
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	x := d.b[0]
+	d.b = d.b[1:]
+	return x
+}
+
+// Bool reads a one-byte bool.
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// F64 reads a fixed 8-byte float64.
+func (d *Dec) F64() float64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return math.Float64frombits(x)
+}
+
+// Bytes reads a length-prefixed byte slice (aliasing the input).
+func (d *Dec) Bytes() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail()
+		return nil
+	}
+	out := d.b[:n:n]
+	d.b = d.b[n:]
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() string { return string(d.Bytes()) }
+
+// Words reads a length-prefixed []uint64.
+func (d *Dec) Words() []uint64 {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)/8) {
+		d.fail()
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(d.b)
+		d.b = d.b[8:]
+	}
+	return out
+}
+
+// Err returns the first decoding error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Finish reports the first decoding error, or an error when input
+// bytes remain unconsumed — a decode must account for every byte.
+func (d *Dec) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("artifact: %d trailing bytes after decode", len(d.b))
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+package artifact
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cghti/internal/obs"
+)
+
+// Observability counters (process-wide; run reports record deltas).
+var (
+	cntHits      = obs.NewCounter("artifact.cache_hits")
+	cntMisses    = obs.NewCounter("artifact.cache_misses")
+	cntDiskHits  = obs.NewCounter("artifact.disk_hits")
+	cntPuts      = obs.NewCounter("artifact.cache_puts")
+	cntEvictions = obs.NewCounter("artifact.cache_evictions")
+	cntCorrupt   = obs.NewCounter("artifact.disk_corrupt")
+)
+
+// Default memory-tier bounds applied when NewCache is given
+// non-positive limits.
+const (
+	DefaultMaxEntries = 128
+	DefaultMaxBytes   = 256 << 20
+)
+
+// Cache is a two-tier content-addressed artifact store. The memory tier
+// is a bounded LRU (entry count and total payload bytes); the optional
+// disk tier (AttachDir) persists entries across processes. Disk entries
+// carry a payload hash that is verified on every read: a corrupted or
+// tampered entry is deleted and reported as a miss, never trusted.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	lru        *list.List // front = most recently used
+	entries    map[Fingerprint]*list.Element
+	dir        string
+}
+
+type cacheEntry struct {
+	fp   Fingerprint
+	data []byte
+}
+
+// NewCache returns a memory-only cache bounded by maxEntries entries
+// and maxBytes total payload bytes (defaults apply to non-positive
+// values).
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		lru:        list.New(),
+		entries:    make(map[Fingerprint]*list.Element),
+	}
+}
+
+// AttachDir adds the on-disk tier rooted at dir, creating it if needed.
+func (c *Cache) AttachDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.dir = dir
+	c.mu.Unlock()
+	return nil
+}
+
+// Dir returns the attached disk directory ("" when memory-only).
+func (c *Cache) Dir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dir
+}
+
+// Len reports the number of entries resident in the memory tier.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Get returns the payload stored under fp, consulting the memory tier
+// first and falling back to the disk tier (promoting a verified disk
+// entry into memory).
+func (c *Cache) Get(fp Fingerprint) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[fp]; ok {
+		c.lru.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		cntHits.Inc()
+		return data, true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		if data, ok := readEntry(filepath.Join(dir, fp.String())); ok {
+			c.install(fp, data)
+			cntHits.Inc()
+			cntDiskHits.Inc()
+			return data, true
+		}
+	}
+	cntMisses.Inc()
+	return nil, false
+}
+
+// Put stores data under fp in the memory tier and, when a disk tier is
+// attached, on disk. The zero fingerprint is rejected (it carries no
+// identity). The caller must not mutate data afterwards.
+func (c *Cache) Put(fp Fingerprint, data []byte) {
+	if fp.IsZero() {
+		return
+	}
+	cntPuts.Inc()
+	c.install(fp, data)
+	c.mu.Lock()
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		writeEntry(filepath.Join(dir, fp.String()), data)
+	}
+}
+
+func (c *Cache) install(fp Fingerprint, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		c.lru.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		c.bytes += int64(len(data)) - int64(len(ent.data))
+		ent.data = data
+	} else {
+		c.entries[fp] = c.lru.PushFront(&cacheEntry{fp: fp, data: data})
+		c.bytes += int64(len(data))
+	}
+	// Evict from the cold end; always keep the most recent entry so a
+	// single oversized artifact still caches.
+	for (c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes) && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		ent := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, ent.fp)
+		c.bytes -= int64(len(ent.data))
+		cntEvictions.Inc()
+	}
+}
+
+// On-disk entry format: 4-byte magic, sha256 of the payload, payload.
+// The hash makes every read self-verifying — fingerprints address the
+// *inputs* that produced an artifact, the stored hash attests the
+// artifact bytes themselves survived the round trip.
+var diskMagic = [4]byte{'C', 'G', 'A', '1'}
+
+func writeEntry(path string, data []byte) {
+	sum := sha256.Sum256(data)
+	buf := make([]byte, 0, len(diskMagic)+len(sum)+len(data))
+	buf = append(buf, diskMagic[:]...)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, data...)
+	// Write-then-rename so readers never observe a half-written entry.
+	// Failures are silent: the disk tier is an optimization, and a
+	// missing entry just means recomputation.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+	}
+}
+
+// readEntry loads and verifies one on-disk entry. A missing file is a
+// plain miss; a short, mislabeled, or hash-mismatched file counts as
+// corruption — deleted (best effort) and reported as a miss.
+func readEntry(path string) ([]byte, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	const header = 4 + sha256.Size
+	if len(raw) < header || [4]byte(raw[:4]) != diskMagic {
+		cntCorrupt.Inc()
+		os.Remove(path)
+		return nil, false
+	}
+	payload := raw[header:]
+	if sha256.Sum256(payload) != [sha256.Size]byte(raw[4:header]) {
+		cntCorrupt.Inc()
+		os.Remove(path)
+		return nil, false
+	}
+	return payload, true
+}
+
+// dirCaches deduplicates Cache instances per absolute directory, so
+// every pipeline run pointed at the same cache directory shares one
+// memory tier within the process.
+var dirCaches sync.Map // absolute dir -> *Cache
+
+// DirCache returns the process-wide Cache backed by dir, creating the
+// directory and the instance on first use.
+func DirCache(dir string) (*Cache, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if c, ok := dirCaches.Load(abs); ok {
+		return c.(*Cache), nil
+	}
+	c := NewCache(0, 0)
+	if err := c.AttachDir(abs); err != nil {
+		return nil, err
+	}
+	actual, _ := dirCaches.LoadOrStore(abs, c)
+	return actual.(*Cache), nil
+}

@@ -1,0 +1,168 @@
+package compat
+
+import (
+	"fmt"
+
+	"cghti/internal/artifact"
+	"cghti/internal/atpg"
+	"cghti/internal/netlist"
+	"cghti/internal/rare"
+)
+
+// Codec versions guard the encoding layouts; bumping one invalidates
+// the corresponding cached artifacts (old entries fail to decode and
+// are recomputed).
+const (
+	graphCodecVersion  = 1
+	cliqueCodecVersion = 1
+)
+
+// EncodeGraph serializes g to the canonical binary artifact form. The
+// adjacency bitset is included when present (a cube-only graph from
+// BuildCubes encodes without it); construction timings are transient
+// and not preserved.
+func EncodeGraph(g *Graph) []byte {
+	e := artifact.NewEnc()
+	e.Uvarint(graphCodecVersion)
+	e.Int(len(g.InputIDs))
+	for _, id := range g.InputIDs {
+		e.Varint(int64(id))
+	}
+	rare.EncodeNodes(e, g.Nodes)
+	e.Int(len(g.Cubes))
+	for _, c := range g.Cubes {
+		atpg.EncodeCube(e, c)
+	}
+	e.Int(g.Dropped)
+	e.Int(g.CubesDone)
+	e.Int(g.CubesTotal)
+	e.Int(g.EdgeRowsDone)
+	e.Int(g.EdgeRowsTotal)
+	if g.adj == nil {
+		e.Bool(false)
+	} else {
+		e.Bool(true)
+		e.Int(g.words)
+		e.Int(len(g.adj))
+		for _, row := range g.adj {
+			e.Words(row)
+		}
+	}
+	return e.Finish()
+}
+
+// DecodeGraph reverses EncodeGraph, validating every structural
+// invariant (one cube per node, adjacency dimensions) so a corrupted
+// encoding cannot produce a graph that indexes out of range.
+func DecodeGraph(data []byte) (*Graph, error) {
+	d := artifact.NewDec(data)
+	if v := d.Uvarint(); v != graphCodecVersion {
+		return nil, fmt.Errorf("compat: graph codec version %d, want %d", v, graphCodecVersion)
+	}
+	g := &Graph{}
+	nIn := d.Int()
+	if d.Err() == nil && (nIn < 0 || nIn > len(data)) {
+		return nil, fmt.Errorf("compat: graph encoding claims %d inputs", nIn)
+	}
+	if d.Err() == nil {
+		g.InputIDs = make([]netlist.GateID, nIn)
+		for i := range g.InputIDs {
+			g.InputIDs[i] = netlist.GateID(d.Varint())
+		}
+	}
+	var err error
+	if g.Nodes, err = rare.DecodeNodes(d); err != nil {
+		return nil, err
+	}
+	nCubes := d.Int()
+	if d.Err() == nil && nCubes != len(g.Nodes) {
+		return nil, fmt.Errorf("compat: %d cubes for %d nodes", nCubes, len(g.Nodes))
+	}
+	if d.Err() == nil {
+		g.Cubes = make([]atpg.Cube, 0, nCubes)
+		for i := 0; i < nCubes; i++ {
+			c, err := atpg.DecodeCube(d)
+			if err != nil {
+				return nil, err
+			}
+			g.Cubes = append(g.Cubes, c)
+		}
+	}
+	g.Dropped = d.Int()
+	g.CubesDone = d.Int()
+	g.CubesTotal = d.Int()
+	g.EdgeRowsDone = d.Int()
+	g.EdgeRowsTotal = d.Int()
+	if d.Bool() {
+		g.words = d.Int()
+		rows := d.Int()
+		if d.Err() == nil && (rows != len(g.Nodes) || g.words != (len(g.Nodes)+63)/64) {
+			return nil, fmt.Errorf("compat: adjacency %d rows x %d words for %d nodes", rows, g.words, len(g.Nodes))
+		}
+		if d.Err() == nil {
+			g.adj = make([][]uint64, rows)
+			for i := range g.adj {
+				row := d.Words()
+				if d.Err() == nil && len(row) != g.words {
+					return nil, fmt.Errorf("compat: adjacency row %d has %d words, want %d", i, len(row), g.words)
+				}
+				g.adj[i] = row
+			}
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// EncodeCliques serializes a mined clique list in order, preserving the
+// stealth-sorted sequence the insertion stage consumes.
+func EncodeCliques(cliques []Clique) []byte {
+	e := artifact.NewEnc()
+	e.Uvarint(cliqueCodecVersion)
+	e.Int(len(cliques))
+	for _, c := range cliques {
+		e.Int(len(c.Vertices))
+		for _, v := range c.Vertices {
+			e.Int(v)
+		}
+		atpg.EncodeCube(e, c.Cube)
+	}
+	return e.Finish()
+}
+
+// DecodeCliques reverses EncodeCliques.
+func DecodeCliques(data []byte) ([]Clique, error) {
+	d := artifact.NewDec(data)
+	if v := d.Uvarint(); v != cliqueCodecVersion {
+		return nil, fmt.Errorf("compat: clique codec version %d, want %d", v, cliqueCodecVersion)
+	}
+	n := d.Int()
+	if d.Err() == nil && (n < 0 || n > len(data)) {
+		return nil, fmt.Errorf("compat: clique encoding claims %d cliques", n)
+	}
+	out := make([]Clique, 0, max(n, 0))
+	for i := 0; i < n; i++ {
+		nv := d.Int()
+		if d.Err() == nil && (nv < 0 || nv > len(data)) {
+			return nil, fmt.Errorf("compat: clique %d claims %d vertices", i, nv)
+		}
+		if d.Err() != nil {
+			break
+		}
+		c := Clique{Vertices: make([]int, nv)}
+		for j := range c.Vertices {
+			c.Vertices[j] = d.Int()
+		}
+		var err error
+		if c.Cube, err = atpg.DecodeCube(d); err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package compat
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"cghti/internal/artifact"
+	"cghti/internal/rare"
+)
+
+func TestGraphCodecRoundTrip(t *testing.T) {
+	_, _, g := buildGraph(t, rareCircuit, 0.3)
+	if len(g.Nodes) == 0 {
+		t.Fatal("test graph has no vertices")
+	}
+	enc := EncodeGraph(g)
+	got, err := DecodeGraph(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode-decode-encode byte equality is the stability contract the
+	// cache fingerprints rely on.
+	if !bytes.Equal(EncodeGraph(got), enc) {
+		t.Fatal("re-encoding a decoded graph changed the bytes")
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("decoded graph: %d vertices %d edges, want %d/%d",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if len(got.InputIDs) != len(g.InputIDs) {
+		t.Fatalf("InputIDs length %d, want %d", len(got.InputIDs), len(g.InputIDs))
+	}
+	for i := range g.Nodes {
+		if got.Nodes[i] != g.Nodes[i] {
+			t.Fatalf("node %d = %+v, want %+v", i, got.Nodes[i], g.Nodes[i])
+		}
+	}
+	// The decoded graph must be minable: same cliques as the original.
+	cfg := MineConfig{MinSize: 2, MaxCliques: 16, Seed: 7}
+	orig := g.FindCliques(cfg)
+	back := got.FindCliques(cfg)
+	if len(orig) != len(back) {
+		t.Fatalf("decoded graph mines %d cliques, original %d", len(back), len(orig))
+	}
+}
+
+func TestGraphCodecCubeOnly(t *testing.T) {
+	n, rs, _ := buildGraph(t, rareCircuit, 0.3)
+	g, err := BuildCubes(context.Background(), n, rs, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeGraph(EncodeGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() {
+		t.Fatalf("vertices %d, want %d", got.NumVertices(), g.NumVertices())
+	}
+	if got.NumEdges() != 0 {
+		t.Fatal("cube-only graph decoded with edges")
+	}
+}
+
+func TestGraphCodecRejectsCorruption(t *testing.T) {
+	_, _, g := buildGraph(t, rareCircuit, 0.3)
+	enc := EncodeGraph(g)
+	if _, err := DecodeGraph(enc[:len(enc)-3]); err == nil {
+		t.Error("truncated graph decoded without error")
+	}
+	if _, err := DecodeGraph(append(append([]byte{}, enc...), 0x7F)); err == nil {
+		t.Error("trailing bytes decoded without error")
+	}
+	if _, err := DecodeGraph([]byte{0x63}); err == nil {
+		t.Error("version skew decoded without error")
+	}
+}
+
+func TestCliqueCodecRoundTrip(t *testing.T) {
+	_, _, g := buildGraph(t, rareCircuit, 0.3)
+	cliques := g.FindCliques(MineConfig{MinSize: 2, MaxCliques: 16, Seed: 3})
+	if len(cliques) == 0 {
+		t.Skip("no cliques in test graph")
+	}
+	g.SortByStealth(cliques)
+	enc := EncodeCliques(cliques)
+	got, err := DecodeCliques(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(EncodeCliques(got), enc) {
+		t.Fatal("re-encoding decoded cliques changed the bytes")
+	}
+	if len(got) != len(cliques) {
+		t.Fatalf("decoded %d cliques, want %d", len(got), len(cliques))
+	}
+	for i := range cliques {
+		if len(got[i].Vertices) != len(cliques[i].Vertices) {
+			t.Fatalf("clique %d has %d vertices, want %d", i, len(got[i].Vertices), len(cliques[i].Vertices))
+		}
+		for j, v := range cliques[i].Vertices {
+			if got[i].Vertices[j] != v {
+				t.Fatalf("clique %d vertex %d = %d, want %d", i, j, got[i].Vertices[j], v)
+			}
+		}
+	}
+}
+
+func TestBuildCachedMatchesBuild(t *testing.T) {
+	n, rs, want := buildGraph(t, rareCircuit, 0.3)
+	cache := artifact.NewCache(0, 0)
+	cold, err := BuildCached(context.Background(), cache, n, rs, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := BuildCached(context.Background(), cache, n, rs, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*Graph{cold, warm} {
+		if !bytes.Equal(EncodeGraph(g), EncodeGraph(want)) {
+			t.Fatal("cached build differs from direct build")
+		}
+	}
+
+	// A capped (mutated) rare set keys differently: content, not pointer.
+	capped := &rare.Set{
+		RN1: rs.RN1, Vectors: rs.Vectors, Threshold: rs.Threshold, TotalNodes: rs.TotalNodes,
+	}
+	gc, err := BuildCached(context.Background(), cache, n, capped, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.NumVertices() == want.NumVertices() && len(rs.RN0) > 0 {
+		t.Fatal("distinct rare-set content served the same cached graph")
+	}
+}

@@ -11,11 +11,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"text/tabwriter"
 
+	"cghti/internal/artifact"
+	"cghti/internal/compat"
 	"cghti/internal/gen"
 	"cghti/internal/netlist"
 	"cghti/internal/rare"
@@ -33,8 +36,26 @@ type Options struct {
 	// every stage (1 = serial, 0 = GOMAXPROCS). The tables are identical
 	// for any value; only the wall-clock changes.
 	Workers int
+	// Cache, if non-nil, is the content-addressed artifact store the
+	// experiment generators route rare extraction, graph construction,
+	// and Generate runs through, so sweeps that revisit a circuit with
+	// identical upstream parameters (Table 2/3/4/5 all re-extract the
+	// same rare sets) reuse the work. Results are identical either way.
+	Cache *artifact.Cache
 	// Out receives the printed table (nil = suppress printing).
 	Out io.Writer
+}
+
+// extractRare is the cache-routed rare extraction every experiment
+// generator shares.
+func (o Options) extractRare(n *netlist.Netlist, cfg rare.Config) (*rare.Set, error) {
+	return rare.ExtractCached(context.Background(), o.Cache, n, cfg)
+}
+
+// buildGraph is the cache-routed compatibility-graph construction every
+// experiment generator shares.
+func (o Options) buildGraph(n *netlist.Netlist, rs *rare.Set, cfg compat.BuildConfig) (*compat.Graph, error) {
+	return compat.BuildCached(context.Background(), o.Cache, n, rs, cfg)
 }
 
 func (o Options) withDefaults() Options {

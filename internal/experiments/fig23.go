@@ -41,7 +41,7 @@ func Fig2(o Options) (*Fig2Result, error) {
 			return nil, err
 		}
 		// Extract once at the largest threshold; re-threshold downward.
-		base, err := rare.Extract(n, rare.Config{Vectors: vectors, Threshold: 0.30, Seed: o.Seed})
+		base, err := o.extractRare(n, rare.Config{Vectors: vectors, Threshold: 0.30, Seed: o.Seed})
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +118,7 @@ func Fig3(o Options) (*Fig3Result, error) {
 		}
 		row := Fig3Row{Circuit: name}
 		for _, v := range res.VectorCounts {
-			s, err := rare.Extract(n, rare.Config{Vectors: v, Threshold: rare.DefaultThreshold, Seed: o.Seed})
+			s, err := o.extractRare(n, rare.Config{Vectors: v, Threshold: rare.DefaultThreshold, Seed: o.Seed})
 			if err != nil {
 				return nil, err
 			}

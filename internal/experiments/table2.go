@@ -100,7 +100,7 @@ func Table2(o Options) (*Table2Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
+		rs, err := o.extractRare(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +122,7 @@ func Table2(o Options) (*Table2Result, error) {
 			SchemeNDATPG: ndTS,
 		}
 
-		targets, err := buildFamilies(n, rs, capped, instances, proposedQ, maxBT, o.Seed, o.Workers)
+		targets, err := buildFamilies(o, n, rs, capped, instances, proposedQ, maxBT)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +148,8 @@ func Table2(o Options) (*Table2Result, error) {
 
 // buildFamilies produces the per-family infected netlists for one
 // circuit.
-func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposedQ, maxBT int, seed int64, workers int) (map[Family][]detect.Target, error) {
+func buildFamilies(o Options, n *netlist.Netlist, rs, capped *rare.Set, instances, proposedQ, maxBT int) (map[Family][]detect.Target, error) {
+	seed, workers := o.Seed, o.Workers
 	out := map[Family][]detect.Target{}
 
 	mkTarget := func(infected *netlist.Netlist, trigName string, activation uint8) (detect.Target, error) {
@@ -218,7 +219,7 @@ func buildFamilies(n *netlist.Netlist, rs, capped *rare.Set, instances, proposed
 	}
 
 	// Proposed family: compatibility-graph trojans with large q.
-	g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: workers})
+	g, err := o.buildGraph(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: workers})
 	if err != nil {
 		return nil, err
 	}

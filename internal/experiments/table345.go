@@ -92,7 +92,7 @@ func Table3(o Options) (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
+		rs, err := o.extractRare(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -143,6 +143,7 @@ func Table3(o Options) (*Table3Result, error) {
 			MaxBacktracks:   maxBT,
 			MaxRareNodes:    rareCap,
 			Seed:            o.Seed,
+			Cache:           o.Cache,
 		})
 		if err != nil {
 			// Retry with the largest cliques available.
@@ -152,6 +153,7 @@ func Table3(o Options) (*Table3Result, error) {
 				MaxBacktracks: maxBT,
 				MaxRareNodes:  rareCap,
 				Seed:          o.Seed,
+				Cache:         o.Cache,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s: %w", name, err)
@@ -221,13 +223,13 @@ func Table4(o Options) (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
+		rs, err := o.extractRare(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
 		capped := capRareSet(rs, rareCap)
 		t0 := time.Now()
-		g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: o.Workers})
+		g, err := o.buildGraph(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -299,12 +301,12 @@ func Table5(o Options) (*Table5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rs, err := rare.Extract(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
+		rs, err := o.extractRare(n, rare.Config{Vectors: rareVectors, Threshold: rare.DefaultThreshold, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
 		capped := capRareSet(rs, rareCap)
-		g, err := compat.Build(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: o.Workers})
+		g, err := o.buildGraph(n, capped, compat.BuildConfig{MaxBacktracks: maxBT, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}

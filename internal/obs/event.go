@@ -21,6 +21,9 @@ const (
 	// deadline/budget expiry, or a contained panic). Degraded stages
 	// emit StageAbort instead of StageEnd.
 	StageAbort
+	// StageCached: a pipeline stage was served from the artifact cache
+	// instead of running. Emitted in place of the start/end pair.
+	StageCached
 )
 
 // String names the kind.
@@ -34,6 +37,8 @@ func (k EventKind) String() string {
 		return "end"
 	case StageAbort:
 		return "abort"
+	case StageCached:
+		return "cached"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -98,5 +103,7 @@ func (t *textSink) Emit(e Event) {
 		fmt.Fprintf(t.w, "[%s] done in %v\n", e.Stage, e.Elapsed.Round(time.Millisecond))
 	case StageAbort:
 		fmt.Fprintf(t.w, "[%s] aborted after %v\n", e.Stage, e.Elapsed.Round(time.Millisecond))
+	case StageCached:
+		fmt.Fprintf(t.w, "[%s] served from cache\n", e.Stage)
 	}
 }

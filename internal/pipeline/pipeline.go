@@ -1,0 +1,379 @@
+// Package pipeline is the typed stage-graph executor behind Generate.
+// A Stage is one pipeline step; a Graph wires stages into a DAG; Run
+// executes them in dependency order and owns — once, uniformly — the
+// cross-cutting machinery every stage needs: span start/end/abort,
+// per-stage soft time budgets, panic containment (obs.Guard), progress
+// events, the hard-stop vs graceful-degradation classification, and
+// content-addressed artifact caching.
+//
+// Failure semantics (identical to the hand-rolled pipeline this package
+// replaced): pipeline-level cancellation/deadline expiry and contained
+// panics always fail the run with a *obs.StageError naming the stage
+// (innermost attribution preserved) and carrying the partial trace with
+// aborted spans marked. Any other stage interruption — a budget expiry,
+// an injected error — degrades instead of failing when the stage
+// salvaged a usable partial result (Degradable), and the run continues
+// on the best-so-far output with a Degradation record.
+//
+// Caching: a Cacheable stage with an available cache and untainted
+// inputs may be replaced wholesale by a stored artifact. Cache hits
+// record no span (the trace shows exactly what ran) and emit a
+// StageCached event. A degraded stage taints its output and everything
+// downstream of it for the rest of the run: tainted stages neither read
+// nor write the cache, so partial results can never be stored under —
+// or served for — a full-run fingerprint.
+package pipeline
+
+import (
+	"context"
+	"time"
+
+	"cghti/internal/artifact"
+	"cghti/internal/obs"
+)
+
+// Artifact is a stage output. Stages downcast their inputs to the
+// concrete types their upstream stages produce; the graph definition is
+// what guarantees the positions line up.
+type Artifact = any
+
+// Stage is one pipeline step. Run receives its dependencies' outputs in
+// the order they were declared to Graph.Add. On interruption a stage
+// should return its partial output alongside the error — whether that
+// partial is usable is judged by the optional Degradable interface.
+type Stage interface {
+	Name() string
+	Run(ctx context.Context, env *Env, inputs []Artifact) (Artifact, error)
+}
+
+// Degradable lets a stage declare that an interrupted Run left a usable
+// partial result. Salvage inspects the partial output and reports
+// progress in the stage's own work units plus a human-readable account;
+// ok=false means nothing was salvageable and the run must fail.
+type Degradable interface {
+	Salvage(out Artifact) (done, total int, detail string, ok bool)
+}
+
+// Validator lets a stage assert a post-condition on its (possibly
+// degraded) output. A validation failure fails the run with stage
+// attribution; it runs after degradation handling, so "ran fine but
+// produced nothing" surfaces as the stage's own descriptive error.
+type Validator interface {
+	Validate(out Artifact) error
+}
+
+// Cacheable lets a stage participate in content-addressed caching.
+// CacheConfig returns the canonical encoding of exactly the
+// configuration the stage's output depends on — determinism-neutral
+// knobs like worker counts must be excluded. Encode/Decode round-trip
+// the output artifact through the stable binary form.
+type Cacheable interface {
+	CacheConfig() []byte
+	Encode(out Artifact) ([]byte, error)
+	Decode(data []byte) (Artifact, error)
+}
+
+// Transparent marks a single-input stage whose output has the same
+// content identity as its input (e.g. levelization, which annotates the
+// netlist in place without changing its structure). Its fingerprint
+// passes through unchanged, so downstream fingerprints match those
+// computed directly from the input by standalone cached helpers.
+type Transparent interface {
+	CacheTransparent() bool
+}
+
+// Env carries the per-run context stages and the executor share.
+type Env struct {
+	// Sink receives stage progress events; nil disables reporting.
+	Sink obs.Sink
+	// Trace receives the stage spans (created by Run when nil).
+	Trace *obs.Trace
+	// Root is the parent span for stage spans (created by Run when nil).
+	Root *obs.Span
+	// Budgets gives stages individual soft time budgets by stage name.
+	Budgets map[string]time.Duration
+	// Cache, when non-nil, lets Cacheable stages skip recomputation.
+	Cache *artifact.Cache
+	// BaseFP seeds the fingerprint chain (the input netlist identity).
+	// Zero disables caching even when Cache is set.
+	BaseFP artifact.Fingerprint
+}
+
+// Progress returns a done/total callback that emits StageProgress
+// events, throttled to whole-percent changes so hot loops stay cheap,
+// or nil when no sink is configured. Elapsed is measured from the call
+// (stages call this as they start running).
+func (e *Env) Progress(stageName string) func(done, total int) {
+	if e.Sink == nil {
+		return nil
+	}
+	started := time.Now()
+	lastPct := -1
+	return func(done, total int) {
+		pct := 100
+		if total > 0 {
+			pct = 100 * done / total
+		}
+		if pct == lastPct {
+			return
+		}
+		lastPct = pct
+		obs.Emit(e.Sink, obs.Event{
+			Stage: stageName, Kind: obs.StageProgress,
+			Done: done, Total: total, Elapsed: time.Since(started),
+		})
+	}
+}
+
+// Degradation records one stage that was cut short but left a usable
+// partial result the pipeline continued on.
+type Degradation struct {
+	// Stage is the stage that was cut short.
+	Stage string
+	// Err is what cut it short (typically context.DeadlineExceeded
+	// from the stage's budget).
+	Err error
+	// Done/Total report how far the stage got in its own work units.
+	Done, Total int
+	// Detail is a human-readable account of what was salvaged.
+	Detail string
+}
+
+// Result is a completed pipeline run.
+type Result struct {
+	outputs map[string]Artifact
+	// Degraded lists the stages that were cut short and salvaged, in
+	// pipeline order. Empty on a clean run.
+	Degraded []Degradation
+	// Cached lists the stages served from the artifact cache, in
+	// pipeline order.
+	Cached []string
+}
+
+// Output returns the named stage's output (nil if the stage is unknown).
+func (r *Result) Output(name string) Artifact { return r.outputs[name] }
+
+type node struct {
+	stage Stage
+	deps  []int
+}
+
+// Graph is a stage DAG under construction. Stages are appended with
+// Add; because a dependency must already be present when it is named,
+// the graph is acyclic by construction and insertion order is a
+// topological order.
+type Graph struct {
+	nodes  []node
+	byName map[string]int
+}
+
+// NewGraph returns an empty stage graph.
+func NewGraph() *Graph { return &Graph{byName: make(map[string]int)} }
+
+// Add appends a stage whose inputs are the outputs of the named,
+// previously added stages (in that order). It panics on a duplicate
+// stage name or an unknown dependency — both are bugs in the graph
+// definition, not runtime conditions.
+func (g *Graph) Add(s Stage, deps ...string) {
+	name := s.Name()
+	if _, dup := g.byName[name]; dup {
+		panic("pipeline: duplicate stage " + name)
+	}
+	n := node{stage: s}
+	for _, d := range deps {
+		i, ok := g.byName[d]
+		if !ok {
+			panic("pipeline: stage " + name + " depends on unknown stage " + d)
+		}
+		n.deps = append(n.deps, i)
+	}
+	g.byName[name] = len(g.nodes)
+	g.nodes = append(g.nodes, n)
+}
+
+// Run executes the graph in insertion (topological) order.
+func (g *Graph) Run(ctx context.Context, env *Env) (*Result, error) {
+	if env == nil {
+		env = &Env{}
+	}
+	if env.Trace == nil {
+		env.Trace = obs.NewTrace()
+	}
+	ownRoot := env.Root == nil
+	if ownRoot {
+		env.Root = env.Trace.Start("pipeline")
+	}
+
+	res := &Result{outputs: make(map[string]Artifact, len(g.nodes))}
+	outputs := make([]Artifact, len(g.nodes))
+	fps := make([]artifact.Fingerprint, len(g.nodes))
+	tainted := make([]bool, len(g.nodes))
+
+	// fail converts a stage's terminal error into the pipeline's error:
+	// the root span is aborted and the partial trace attached to the
+	// StageError (the innermost attribution — e.g. the worker that
+	// panicked — is kept when err already carries one).
+	fail := func(stageName string, err error) error {
+		env.Root.Abort()
+		se, ok := obs.AsStageError(err)
+		if !ok {
+			se = &obs.StageError{Stage: stageName, Worker: -1, Err: err}
+		}
+		if se.Trace == nil {
+			se.Trace = env.Trace
+		}
+		return se
+	}
+	abort := func(sp *obs.Span) {
+		sp.Abort()
+		obs.Emit(env.Sink, obs.Event{Stage: sp.Name(), Kind: obs.StageAbort, Elapsed: sp.Duration()})
+	}
+
+	for idx := range g.nodes {
+		nd := &g.nodes[idx]
+		st := nd.stage
+		name := st.Name()
+
+		inputs := make([]Artifact, len(nd.deps))
+		taint := false
+		for k, dep := range nd.deps {
+			inputs[k] = outputs[dep]
+			taint = taint || tainted[dep]
+		}
+
+		// Fingerprint chain: hash(name, stage config, input fps), with
+		// the netlist identity seeding stages that have no dependencies.
+		cacheable, canCache := st.(Cacheable)
+		caching := env.Cache != nil && !env.BaseFP.IsZero()
+		if caching {
+			inFPs := make([]artifact.Fingerprint, 0, len(nd.deps)+1)
+			for _, dep := range nd.deps {
+				inFPs = append(inFPs, fps[dep])
+			}
+			if len(inFPs) == 0 {
+				inFPs = append(inFPs, env.BaseFP)
+			}
+			if t, ok := st.(Transparent); ok && t.CacheTransparent() && len(inFPs) == 1 {
+				fps[idx] = inFPs[0]
+			} else {
+				var cfgBytes []byte
+				if canCache {
+					cfgBytes = cacheable.CacheConfig()
+				}
+				fps[idx] = artifact.Derive(name, cfgBytes, inFPs...)
+			}
+		}
+
+		// Warm path: an untainted cache hit replaces the stage — no span
+		// is recorded (the trace shows exactly what ran) and a
+		// StageCached event tells progress listeners why it is silent.
+		// An undecodable entry falls through to recomputation.
+		if caching && canCache && !taint {
+			if data, ok := env.Cache.Get(fps[idx]); ok {
+				if out, err := cacheable.Decode(data); err == nil {
+					outputs[idx] = out
+					res.outputs[name] = out
+					res.Cached = append(res.Cached, name)
+					obs.Emit(env.Sink, obs.Event{Stage: name, Kind: obs.StageCached})
+					continue
+				}
+			}
+		}
+
+		sp := env.Root.Start(name)
+		obs.Emit(env.Sink, obs.Event{Stage: name, Kind: obs.StageStart})
+		if err := ctx.Err(); err != nil {
+			abort(sp)
+			return nil, fail(name, err)
+		}
+		sctx, cancel := ctx, context.CancelFunc(func() {})
+		if d, ok := env.Budgets[name]; ok && d > 0 {
+			sctx, cancel = context.WithTimeout(ctx, d)
+		}
+		var out Artifact
+		runErr := obs.Guard(name, -1, func() (e error) {
+			out, e = st.Run(sctx, env, inputs)
+			return e
+		})
+		cancel()
+
+		if runErr != nil {
+			// hardStop: pipeline-level cancellation/deadline and
+			// contained panics always fail the run; anything else is
+			// eligible for degradation if the stage salvaged something.
+			hard := ctx.Err() != nil
+			if se, ok := obs.AsStageError(runErr); ok && se.PanicValue != nil {
+				hard = true
+			}
+			var done, total int
+			var detail string
+			salvaged := false
+			if !hard {
+				if dg, ok := st.(Degradable); ok {
+					done, total, detail, salvaged = dg.Salvage(out)
+				}
+			}
+			abort(sp)
+			if hard || !salvaged {
+				return nil, fail(name, runErr)
+			}
+			res.Degraded = append(res.Degraded, Degradation{
+				Stage: name, Err: runErr, Done: done, Total: total, Detail: detail,
+			})
+			tainted[idx] = true
+		} else {
+			sp.End()
+			obs.Emit(env.Sink, obs.Event{Stage: name, Kind: obs.StageEnd, Elapsed: sp.Duration()})
+		}
+		tainted[idx] = tainted[idx] || taint
+		outputs[idx] = out
+		res.outputs[name] = out
+
+		// Post-condition check, after degradation handling: a degraded
+		// stage that salvaged nothing usable downstream still fails with
+		// its own descriptive error. The stage span keeps its recorded
+		// state; only the root is marked aborted.
+		if v, ok := st.(Validator); ok {
+			if err := v.Validate(out); err != nil {
+				return nil, fail(name, err)
+			}
+		}
+
+		// Only clean, validated, untainted outputs are stored.
+		if caching && canCache && runErr == nil && !tainted[idx] {
+			if data, err := cacheable.Encode(out); err == nil {
+				env.Cache.Put(fps[idx], data)
+			}
+		}
+	}
+	if ownRoot {
+		env.Root.End()
+	}
+	return res, nil
+}
+
+// Func adapts a bare function to the Stage interface, for steps that
+// need no configuration struct of their own.
+func Func(name string, fn func(ctx context.Context, env *Env, inputs []Artifact) (Artifact, error)) Stage {
+	return funcStage{name: name, fn: fn}
+}
+
+// TransparentFunc is Func for a stage whose output keeps its single
+// input's content identity (see Transparent).
+func TransparentFunc(name string, fn func(ctx context.Context, env *Env, inputs []Artifact) (Artifact, error)) Stage {
+	return transparentFuncStage{funcStage{name: name, fn: fn}}
+}
+
+type funcStage struct {
+	name string
+	fn   func(ctx context.Context, env *Env, inputs []Artifact) (Artifact, error)
+}
+
+func (s funcStage) Name() string { return s.name }
+func (s funcStage) Run(ctx context.Context, env *Env, inputs []Artifact) (Artifact, error) {
+	return s.fn(ctx, env, inputs)
+}
+
+type transparentFuncStage struct{ funcStage }
+
+func (transparentFuncStage) CacheTransparent() bool { return true }

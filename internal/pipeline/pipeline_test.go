@@ -1,0 +1,312 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"cghti/internal/artifact"
+	"cghti/internal/obs"
+)
+
+// countStage is a configurable Cacheable/Degradable/Validator stage used
+// throughout the executor tests.
+type countStage struct {
+	name     string
+	runs     int
+	fn       func(inputs []Artifact) (Artifact, error)
+	salvage  func(out Artifact) (int, int, string, bool)
+	validate func(out Artifact) error
+}
+
+func (s *countStage) Name() string { return s.name }
+func (s *countStage) Run(ctx context.Context, env *Env, inputs []Artifact) (Artifact, error) {
+	s.runs++
+	return s.fn(inputs)
+}
+func (s *countStage) Salvage(out Artifact) (int, int, string, bool) {
+	if s.salvage == nil {
+		return 0, 0, "", false
+	}
+	return s.salvage(out)
+}
+func (s *countStage) Validate(out Artifact) error {
+	if s.validate == nil {
+		return nil
+	}
+	return s.validate(out)
+}
+func (s *countStage) CacheConfig() []byte { return []byte(s.name) }
+func (s *countStage) Encode(out Artifact) ([]byte, error) {
+	return []byte(out.(string)), nil
+}
+func (s *countStage) Decode(data []byte) (Artifact, error) {
+	return string(data), nil
+}
+
+func TestGraphChaining(t *testing.T) {
+	g := NewGraph()
+	g.Add(Func("a", func(ctx context.Context, env *Env, in []Artifact) (Artifact, error) {
+		return "A", nil
+	}))
+	g.Add(Func("b", func(ctx context.Context, env *Env, in []Artifact) (Artifact, error) {
+		return in[0].(string) + "B", nil
+	}), "a")
+	g.Add(Func("c", func(ctx context.Context, env *Env, in []Artifact) (Artifact, error) {
+		return in[0].(string) + in[1].(string) + "C", nil
+	}), "a", "b")
+
+	res, err := g.Run(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Output("c"); got != "AABC" {
+		t.Fatalf("c output = %v, want AABC", got)
+	}
+	if len(res.Degraded) != 0 || len(res.Cached) != 0 {
+		t.Fatalf("clean run reported Degraded=%v Cached=%v", res.Degraded, res.Cached)
+	}
+}
+
+func TestAddPanicsOnBadGraph(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	g := NewGraph()
+	g.Add(Func("a", nil))
+	mustPanic("duplicate", func() { g.Add(Func("a", nil)) })
+	mustPanic("unknown dep", func() { g.Add(Func("b", nil), "nope") })
+}
+
+func TestCacheHitSkipsRun(t *testing.T) {
+	cache := artifact.NewCache(0, 0)
+	base := artifact.Hash([]byte("netlist"))
+	st := &countStage{name: "s", fn: func([]Artifact) (Artifact, error) { return "out", nil }}
+
+	run := func() *Result {
+		g := NewGraph()
+		g.Add(st)
+		res, err := g.Run(context.Background(), &Env{Cache: cache, BaseFP: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if res := run(); len(res.Cached) != 0 {
+		t.Fatalf("cold run reported cached stages %v", res.Cached)
+	}
+	res := run()
+	if st.runs != 1 {
+		t.Fatalf("stage ran %d times, want 1 (warm run must hit the cache)", st.runs)
+	}
+	if got := res.Output("s"); got != "out" {
+		t.Fatalf("warm output = %v", got)
+	}
+	if len(res.Cached) != 1 || res.Cached[0] != "s" {
+		t.Fatalf("Cached = %v, want [s]", res.Cached)
+	}
+}
+
+func TestCacheHitRecordsNoSpanButEmitsEvent(t *testing.T) {
+	cache := artifact.NewCache(0, 0)
+	base := artifact.Hash([]byte("netlist"))
+	st := &countStage{name: "s", fn: func([]Artifact) (Artifact, error) { return "out", nil }}
+
+	run := func() (*obs.Span, []obs.Event) {
+		var events []obs.Event
+		sink := obs.FuncSink(func(e obs.Event) { events = append(events, e) })
+		trace := obs.NewTrace()
+		root := trace.Start("root")
+		g := NewGraph()
+		g.Add(st)
+		if _, err := g.Run(context.Background(), &Env{Sink: sink, Trace: trace, Root: root, Cache: cache, BaseFP: base}); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		return root, events
+	}
+	root, _ := run()
+	if n := len(root.Children()); n != 1 {
+		t.Fatalf("cold run recorded %d stage spans, want 1", n)
+	}
+	root, events := run()
+	if n := len(root.Children()); n != 0 { // the hit is silent
+		t.Fatalf("warm run recorded %d stage spans, want 0", n)
+	}
+	var cached int
+	for _, e := range events {
+		if e.Kind == obs.StageCached && e.Stage == "s" {
+			cached++
+		}
+		if e.Kind == obs.StageStart {
+			t.Error("warm run emitted StageStart")
+		}
+	}
+	if cached != 1 {
+		t.Fatalf("warm run emitted %d StageCached events, want 1", cached)
+	}
+}
+
+func TestDegradedStageTaintsDownstreamCache(t *testing.T) {
+	cache := artifact.NewCache(0, 0)
+	base := artifact.Hash([]byte("netlist"))
+	softErr := errors.New("interrupted")
+
+	up := &countStage{
+		name:    "up",
+		fn:      func([]Artifact) (Artifact, error) { return "partial", softErr },
+		salvage: func(out Artifact) (int, int, string, bool) { return 1, 2, "half done", true },
+	}
+	down := &countStage{name: "down", fn: func(in []Artifact) (Artifact, error) {
+		return in[0].(string) + "+down", nil
+	}}
+	g := NewGraph()
+	g.Add(up)
+	g.Add(down, "up")
+	res, err := g.Run(context.Background(), &Env{Cache: cache, BaseFP: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degraded) != 1 || res.Degraded[0].Stage != "up" || !errors.Is(res.Degraded[0].Err, softErr) {
+		t.Fatalf("Degraded = %+v", res.Degraded)
+	}
+	if d := res.Degraded[0]; d.Done != 1 || d.Total != 2 || d.Detail != "half done" {
+		t.Fatalf("Degradation fields = %+v", d)
+	}
+	if got := res.Output("down"); got != "partial+down" {
+		t.Fatalf("down output = %v", got)
+	}
+	// Nothing may have been stored: partial results never land under
+	// full-run fingerprints, for the degraded stage or anything below it.
+	if cache.Len() != 0 {
+		t.Fatalf("cache holds %d entries after a degraded run", cache.Len())
+	}
+}
+
+func TestUnsalvageableSoftErrorFails(t *testing.T) {
+	softErr := errors.New("broken")
+	st := &countStage{name: "s", fn: func([]Artifact) (Artifact, error) { return nil, softErr }}
+	g := NewGraph()
+	g.Add(st)
+	_, err := g.Run(context.Background(), nil)
+	if !errors.Is(err, softErr) {
+		t.Fatalf("err = %v", err)
+	}
+	se, ok := obs.AsStageError(err)
+	if !ok || se.Stage != "s" {
+		t.Fatalf("no stage attribution: %v", err)
+	}
+	if se.Trace == nil {
+		t.Error("partial trace not attached")
+	}
+}
+
+func TestValidatorFailureFailsRun(t *testing.T) {
+	st := &countStage{
+		name:     "s",
+		fn:       func([]Artifact) (Artifact, error) { return "empty", nil },
+		validate: func(out Artifact) error { return fmt.Errorf("nothing usable in %v", out) },
+	}
+	g := NewGraph()
+	g.Add(st)
+	_, err := g.Run(context.Background(), nil)
+	if err == nil {
+		t.Fatal("validator failure did not fail the run")
+	}
+	se, ok := obs.AsStageError(err)
+	if !ok || se.Stage != "s" {
+		t.Fatalf("no stage attribution: %v", err)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := &countStage{name: "s", fn: func([]Artifact) (Artifact, error) { return "out", nil }}
+	g := NewGraph()
+	g.Add(st)
+	_, err := g.Run(ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.runs != 0 {
+		t.Error("stage ran under a pre-cancelled context")
+	}
+}
+
+func TestPanicIsHardStop(t *testing.T) {
+	st := &countStage{
+		name:    "s",
+		fn:      func([]Artifact) (Artifact, error) { panic("boom") },
+		salvage: func(out Artifact) (int, int, string, bool) { return 1, 1, "", true },
+	}
+	g := NewGraph()
+	g.Add(st)
+	_, err := g.Run(context.Background(), nil)
+	if err == nil {
+		t.Fatal("panic did not fail the run")
+	}
+	se, ok := obs.AsStageError(err)
+	if !ok || se.PanicValue == nil {
+		t.Fatalf("panic not surfaced as StageError: %v", err)
+	}
+	// Salvage must not have been consulted: panics never degrade.
+}
+
+// decodeFailStage rejects every cache entry, forcing recomputation.
+type decodeFailStage struct{ countStage }
+
+func (s *decodeFailStage) Decode(data []byte) (Artifact, error) {
+	return nil, errors.New("undecodable")
+}
+
+func TestUndecodableEntryFallsThrough(t *testing.T) {
+	cache := artifact.NewCache(0, 0)
+	base := artifact.Hash([]byte("netlist"))
+	st := &decodeFailStage{countStage{name: "s", fn: func([]Artifact) (Artifact, error) { return "fresh", nil }}}
+	fp := artifact.Derive("s", st.CacheConfig(), base)
+	cache.Put(fp, []byte("stale"))
+
+	g := NewGraph()
+	g.Add(st)
+	res, err := g.Run(context.Background(), &Env{Cache: cache, BaseFP: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.runs != 1 {
+		t.Fatal("undecodable entry was trusted instead of recomputed")
+	}
+	if got := res.Output("s"); got != "fresh" {
+		t.Fatalf("output = %v", got)
+	}
+	if len(res.Cached) != 0 {
+		t.Fatalf("Cached = %v after a decode failure", res.Cached)
+	}
+}
+
+func TestTransparentStagePassesFingerprintThrough(t *testing.T) {
+	cache := artifact.NewCache(0, 0)
+	base := artifact.Hash([]byte("netlist"))
+	st := &countStage{name: "real", fn: func(in []Artifact) (Artifact, error) { return "out", nil }}
+
+	g := NewGraph()
+	g.Add(TransparentFunc("prep", func(ctx context.Context, env *Env, in []Artifact) (Artifact, error) {
+		return "prepped", nil
+	}))
+	g.Add(st, "prep")
+	if _, err := g.Run(context.Background(), &Env{Cache: cache, BaseFP: base}); err != nil {
+		t.Fatal(err)
+	}
+	// The entry must be keyed as if "real" consumed the base fingerprint
+	// directly — the contract standalone cached helpers rely on.
+	fp := artifact.Derive("real", st.CacheConfig(), base)
+	if _, ok := cache.Get(fp); !ok {
+		t.Fatal("transparent stage altered the downstream fingerprint chain")
+	}
+}

@@ -1,0 +1,101 @@
+package rare
+
+import (
+	"fmt"
+
+	"cghti/internal/artifact"
+	"cghti/internal/netlist"
+)
+
+// setCodecVersion guards the encoding layout: bumping it invalidates
+// every cached rare set (the version participates in the bytes, so old
+// entries simply fail to decode and are recomputed).
+const setCodecVersion = 1
+
+// EncodeSet serializes s to the canonical binary artifact form.
+func EncodeSet(s *Set) []byte {
+	e := artifact.NewEnc()
+	e.Uvarint(setCodecVersion)
+	e.Int(s.Vectors)
+	e.Varint(s.Threshold)
+	e.Int(s.TotalNodes)
+	EncodeNodes(e, s.RN1)
+	EncodeNodes(e, s.RN0)
+	e.Int(len(s.Ones))
+	for _, v := range s.Ones {
+		e.Varint(v)
+	}
+	return e.Finish()
+}
+
+// DecodeSet reverses EncodeSet. Any structural mismatch — version skew,
+// truncation, trailing bytes — is an error, never a partial set.
+func DecodeSet(data []byte) (*Set, error) {
+	d := artifact.NewDec(data)
+	if v := d.Uvarint(); v != setCodecVersion {
+		return nil, fmt.Errorf("rare: set codec version %d, want %d", v, setCodecVersion)
+	}
+	s := &Set{
+		Vectors:    d.Int(),
+		Threshold:  d.Varint(),
+		TotalNodes: d.Int(),
+	}
+	var err error
+	if s.RN1, err = DecodeNodes(d); err != nil {
+		return nil, err
+	}
+	if s.RN0, err = DecodeNodes(d); err != nil {
+		return nil, err
+	}
+	nOnes := d.Int()
+	if d.Err() == nil && (nOnes < 0 || nOnes > len(data)) {
+		return nil, fmt.Errorf("rare: set encoding claims %d ones counts", nOnes)
+	}
+	if d.Err() == nil && nOnes > 0 {
+		s.Ones = make([]int64, nOnes)
+		for i := range s.Ones {
+			s.Ones[i] = d.Varint()
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeNodes appends a rare-node list; shared with the compatibility
+// graph codec, whose vertices are rare nodes.
+func EncodeNodes(e *artifact.Enc, nodes []Node) {
+	e.Int(len(nodes))
+	for _, n := range nodes {
+		e.Varint(int64(n.ID))
+		e.U8(n.RareValue)
+		e.Varint(n.Count)
+		e.F64(n.Prob)
+	}
+}
+
+// DecodeNodes reverses EncodeNodes.
+func DecodeNodes(d *artifact.Dec) ([]Node, error) {
+	n := d.Int()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("rare: node list length %d", n)
+	}
+	out := make([]Node, 0, min(n, 1<<16))
+	for i := 0; i < n; i++ {
+		node := Node{
+			ID:        netlist.GateID(d.Varint()),
+			RareValue: d.U8(),
+			Count:     d.Varint(),
+			Prob:      d.F64(),
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, node)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package rare
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testSet() *Set {
+	return &Set{
+		RN1: []Node{
+			{ID: 3, RareValue: 1, Count: 12, Prob: 0.012},
+			{ID: 9, RareValue: 1, Count: 40, Prob: 0.04},
+		},
+		RN0: []Node{
+			{ID: 5, RareValue: 0, Count: 7, Prob: 0.007},
+		},
+		Vectors:    1000,
+		Threshold:  200,
+		TotalNodes: 42,
+		Ones:       []int64{0, 999, 12, 40, 7, 500},
+	}
+}
+
+func TestSetCodecRoundTrip(t *testing.T) {
+	s := testSet()
+	enc := EncodeSet(s)
+	got, err := DecodeSet(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encode-decode-encode must reproduce the exact bytes: the encoding
+	// is the content identity BuildCached hashes, so any instability
+	// would silently split cache entries.
+	if !bytes.Equal(EncodeSet(got), enc) {
+		t.Fatal("re-encoding a decoded set changed the bytes")
+	}
+	if got.Len() != s.Len() || got.Vectors != s.Vectors || got.Threshold != s.Threshold ||
+		got.TotalNodes != s.TotalNodes || len(got.Ones) != len(s.Ones) {
+		t.Fatalf("decoded set = %+v", got)
+	}
+	for i, n := range got.RN1 {
+		if n != s.RN1[i] {
+			t.Fatalf("RN1[%d] = %+v, want %+v", i, n, s.RN1[i])
+		}
+	}
+	for i, n := range got.RN0 {
+		if n != s.RN0[i] {
+			t.Fatalf("RN0[%d] = %+v, want %+v", i, n, s.RN0[i])
+		}
+	}
+}
+
+func TestSetCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSet([]byte{0xFF, 0x01, 0x02}); err == nil {
+		t.Error("garbage decoded without error")
+	}
+	enc := EncodeSet(testSet())
+	if _, err := DecodeSet(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated encoding decoded without error")
+	}
+	if _, err := DecodeSet(append(append([]byte{}, enc...), 0x00)); err == nil {
+		t.Error("trailing bytes decoded without error")
+	}
+}
