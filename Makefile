@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race fuzz modcheck bench benchall
+.PHONY: ci build vet fmt test race fuzz modcheck smoke bench benchall
 
-ci: build vet fmt modcheck race fuzz
+ci: build vet fmt modcheck race fuzz smoke
 
 build:
 	$(GO) build ./...
@@ -35,13 +35,19 @@ modcheck:
 # cache.
 race:
 	$(GO) test -race -timeout 5m ./...
-	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact
+	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact ./internal/serve ./internal/obs
 
 # Short fuzz smoke: each native fuzz target runs briefly so a parser
 # regression that panics or hangs on malformed input fails the gate.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/bench
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/vparse
+
+# End-to-end daemon check: build the real htserved binary, run a c17
+# generation job over HTTP, SIGTERM, and require a clean drain. Always
+# -count=1 so the process-lifecycle path is actually executed.
+smoke:
+	$(GO) test -run '^TestSmoke$$' -count=1 -timeout 5m ./cmd/htserved
 
 # Simulation/pipeline benchmarks, recorded as BENCH_sim.json so runs
 # can be committed and diffed (see cmd/benchjson). The artifact-cache

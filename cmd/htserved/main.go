@@ -1,0 +1,108 @@
+// Command htserved is the long-running job daemon: it accepts .bench
+// trojan-generation and detection jobs over HTTP and runs them on a
+// bounded worker pool sharing one artifact cache.
+//
+// Usage:
+//
+//	htserved -addr :8080 -workers 4 -queue 16 -cache-dir /var/cache/cghti
+//
+// Endpoints:
+//
+//	POST /v1/generate   submit a generation job (JSON body; 202 + job id)
+//	POST /v1/detect     submit a detection job
+//	GET  /v1/jobs/{id}  poll a job's status, result and per-job report
+//	GET  /healthz       200 while serving, 503 while draining
+//	GET  /metrics       process-wide counters/gauges + queue occupancy
+//
+// A full queue rejects submits with 429 and a Retry-After header. On
+// SIGINT/SIGTERM the daemon stops accepting work, gives in-flight jobs
+// -drain-grace to finish (then cancels them), and writes a final run
+// report to -report (or stderr).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cghti/internal/artifact"
+	"cghti/internal/cli"
+	"cghti/internal/serve"
+)
+
+const tool = "htserved"
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = flag.Int("workers", serve.DefaultWorkers, "job worker-pool size (max concurrent jobs)")
+		queue      = flag.Int("queue", serve.DefaultQueueDepth, "accepted-but-not-started job backlog; beyond it submits get 429")
+		jobTimeout = flag.Duration("job-timeout", serve.DefaultJobTimeout, "per-job deadline cap (requests may ask for less)")
+		jobWorkers = flag.Int("job-workers", 1, "per-job simulation/ATPG goroutine budget")
+		cacheDir   = flag.String("cache-dir", "", "persist the shared artifact cache here (memory-only if empty)")
+		report     = flag.String("report", "", "write the final drain report to this file (stderr if empty)")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long in-flight jobs may keep running after SIGTERM before being canceled")
+	)
+	flag.Parse()
+
+	var cache *artifact.Cache
+	if *cacheDir != "" {
+		c, err := artifact.DirCache(*cacheDir)
+		if err != nil {
+			cli.Fatal(tool, err)
+		}
+		cache = c
+	}
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		JobWorkers: *jobWorkers,
+		Cache:      cache,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "%s: listening on %s (%d workers, queue %d)\n", tool, *addr, *workers, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		cli.Fatal(tool, err)
+	case <-sigCtx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "%s: draining (grace %v)\n", tool, *drainGrace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	rep := srv.Drain(drainCtx)
+
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "%s: shutdown: %v\n", tool, err)
+	}
+
+	if rep != nil {
+		if *report != "" {
+			if err := rep.WriteFile(*report); err != nil {
+				cli.Fatal(tool, err)
+			}
+			fmt.Fprintf(os.Stderr, "%s: drain report written to %s\n", tool, *report)
+		} else if err := rep.WriteJSON(os.Stderr); err != nil {
+			cli.Fatal(tool, err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: drained cleanly\n", tool)
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cghti"
+)
+
+// TestSmoke is the end-to-end daemon check `make smoke` runs: build
+// the real binary, start it, submit a c17 generation job over HTTP,
+// poll it to completion, SIGTERM the process, and require a clean
+// drain (exit 0 with a final report on stderr).
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "htserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Pick a free port, then hand it to the daemon.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	reportPath := filepath.Join(dir, "report.json")
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-workers", "2",
+		"-queue", "4",
+		"-cache-dir", filepath.Join(dir, "cache"),
+		"-report", reportPath,
+		"-drain-grace", "20s",
+	)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	n, err := cghti.Circuit("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := cghti.WriteBench(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"bench":             sb.String(),
+		"name":              "c17",
+		"seed":              1,
+		"instances":         1,
+		"min_trigger_nodes": 2,
+		"rare_vectors":      200,
+		"rare_threshold":    0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202 (stderr: %s)", resp.StatusCode, stderr.String())
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	status := pollSmokeJob(t, base, sub.ID)
+	if status != "done" {
+		t.Fatalf("job status = %q, want done (stderr: %s)", status, stderr.String())
+	}
+
+	// SIGTERM must drain cleanly: exit 0 and a final report on disk.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit within 30s of SIGTERM\n%s", stderr.String())
+	}
+	rep, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("final report missing: %v", err)
+	}
+	var repJSON map[string]any
+	if err := json.Unmarshal(rep, &repJSON); err != nil {
+		t.Fatalf("final report is not JSON: %v", err)
+	}
+	if repJSON["tool"] != "htserved" {
+		t.Fatalf("report tool = %v, want htserved", repJSON["tool"])
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+func pollSmokeJob(t *testing.T, base, id string) string {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch view.Status {
+		case "done", "failed", "canceled":
+			if view.Error != "" {
+				return fmt.Sprintf("%s (%s)", view.Status, view.Error)
+			}
+			return view.Status
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return ""
+}

@@ -1,0 +1,185 @@
+package cghti
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cghti/internal/obs"
+)
+
+// benchStrings serializes a result's infected netlists so runs can be
+// compared byte-for-byte.
+func benchStrings(t *testing.T, res *Result) []string {
+	t.Helper()
+	out := make([]string, 0, len(res.Benchmarks))
+	for _, b := range res.Benchmarks {
+		var sb strings.Builder
+		if err := WriteBench(&sb, b.Netlist); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+// TestConcurrentGenerateIsolation runs four GenerateContext jobs at
+// once over one shared artifact cache, each with its own per-run
+// metrics registry, and checks the two properties the daemon depends
+// on: every run's report accounts for exactly its own work (no
+// bleed-through from concurrent runs), and concurrent results are
+// byte-identical to the same seeds run serially. Run under -race this
+// also exercises the scoped-registry and cache write paths for data
+// races.
+func TestConcurrentGenerateIsolation(t *testing.T) {
+	n := robustCircuit(t)
+	const runs = 4
+
+	// Serial baseline: each seed on its own cold cache.
+	want := make([][]string, runs)
+	for i := 0; i < runs; i++ {
+		cfg := smallConfig(int64(i + 1))
+		cfg.Cache = NewCache(0, 0)
+		res, err := GenerateContext(context.Background(), n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = benchStrings(t, res)
+	}
+
+	// Concurrent pass: one shared cache, one registry per run.
+	shared := NewCache(0, 0)
+	regs := make([]*Metrics, runs)
+	got := make([][]string, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		regs[i] = NewRunMetrics()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := smallConfig(int64(i + 1))
+			cfg.Cache = shared
+			cfg.Metrics = regs[i]
+			res, err := GenerateContext(context.Background(), n, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = benchStrings(t, res)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+
+	for i := 0; i < runs; i++ {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("run %d emitted %d benchmarks concurrently, %d serially", i, len(got[i]), len(want[i]))
+		}
+		for k := range got[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("run %d benchmark %d differs between serial and concurrent execution", i, k)
+			}
+		}
+	}
+
+	// Per-run registries hold exactly their own run's work: one rare
+	// extraction each, exactly Instances insertions each — not 4x.
+	for i, reg := range regs {
+		snap := reg.Snapshot()
+		if v := snap.Counters["rare.extractions"]; v != 1 {
+			t.Fatalf("run %d rare.extractions = %d, want 1 (concurrent bleed?)", i, v)
+		}
+		instances := int64(smallConfig(0).Instances)
+		if v := snap.Counters["trojan.instances_inserted"]; v != instances {
+			t.Fatalf("run %d trojan.instances_inserted = %d, want %d", i, v, instances)
+		}
+		if v := snap.Counters["rare.vectors_simulated"]; v <= 0 {
+			t.Fatalf("run %d rare.vectors_simulated = %d, want > 0", i, v)
+		}
+	}
+}
+
+// TestConcurrentSharedCacheReuse pins the warm-cache path under
+// concurrency: identical jobs racing on one cache must all succeed and
+// later runs see cached stages, with per-run registries still isolated.
+func TestConcurrentSharedCacheReuse(t *testing.T) {
+	n := robustCircuit(t)
+	shared := NewCache(0, 0)
+
+	// Warm the cache with one serial run.
+	cfg := smallConfig(7)
+	cfg.Cache = shared
+	warm, err := GenerateContext(context.Background(), n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := benchStrings(t, warm)
+
+	const runs = 4
+	var wg sync.WaitGroup
+	errs := make([]error, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := smallConfig(7)
+			cfg.Cache = shared
+			cfg.Metrics = NewRunMetrics()
+			res, err := GenerateContext(context.Background(), n, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(res.CachedStages) == 0 {
+				errs[i] = fmt.Errorf("run %d: no stages served from the warm cache", i)
+				return
+			}
+			bs := benchStrings(t, res)
+			for k := range bs {
+				if bs[k] != base[k] {
+					errs[i] = fmt.Errorf("run %d: benchmark %d differs from the warm run", i, k)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunMetricsMirrorIntoDefault pins the dual-write: a per-run
+// registry's increments also land in the process default registry, so
+// daemon-style whole-process totals stay complete.
+func TestRunMetricsMirrorIntoDefault(t *testing.T) {
+	n := robustCircuit(t)
+	snap0 := obs.Default().Snapshot()
+
+	cfg := smallConfig(11)
+	cfg.Metrics = NewRunMetrics()
+	if _, err := GenerateContext(context.Background(), n, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	run := cfg.Metrics.Snapshot()
+	delta := obs.Default().Snapshot().Delta(snap0)
+	for _, name := range []string{"rare.extractions", "trojan.instances_inserted", "rare.vectors_simulated"} {
+		if run.Counters[name] <= 0 {
+			t.Fatalf("per-run counter %s did not move", name)
+		}
+		if delta.Counters[name] < run.Counters[name] {
+			t.Fatalf("default registry %s = %d, want >= per-run %d (mirror broken)",
+				name, delta.Counters[name], run.Counters[name])
+		}
+	}
+}

@@ -76,6 +76,17 @@ func NewCache(maxEntries int, maxBytes int64) *ArtifactCache {
 // across processes hit disk.
 func DirCache(dir string) (*ArtifactCache, error) { return artifact.DirCache(dir) }
 
+// Metrics is a named-counter/gauge registry a run records its work
+// into. Give each concurrent Generate its own (Config.Metrics) to get
+// an exact per-run account — see NewRunMetrics.
+type Metrics = obs.Registry
+
+// NewRunMetrics returns a fresh per-run metrics registry whose updates
+// also mirror into the process-wide registry, so process totals (e.g. a
+// daemon's /metrics endpoint) stay complete while the returned registry
+// holds exactly one run's work.
+func NewRunMetrics() *Metrics { return obs.NewScoped(nil) }
+
 // Config holds the user-defined properties of the paper's framework: the
 // rare-node hyperparameters (θ_RN, |V|), the trigger-node count q, the
 // instance count N, and the trojan shape.
@@ -121,6 +132,15 @@ type Config struct {
 	// Generate creates a fresh trace. Either way the trace is exposed
 	// as Result.Trace.
 	Trace *obs.Trace
+	// Metrics, if non-nil, receives this run's counter and gauge
+	// updates: every instrumented hot loop the pipeline enters records
+	// into it instead of (only) the process-wide registry, so a process
+	// running several generations concurrently gets an exact per-run
+	// account — Metrics.Snapshot() after the run needs no delta. Use
+	// NewRunMetrics for a registry that also mirrors into the
+	// process-wide totals. Nil keeps the previous behavior: everything
+	// goes to the process default registry.
+	Metrics *Metrics
 	// Deadline bounds the whole pipeline: GenerateContext runs under a
 	// context.WithTimeout(ctx, Deadline) and a run that exceeds it
 	// fails with a *StageError wrapping context.DeadlineExceeded,
@@ -353,6 +373,9 @@ func GenerateContext(ctx context.Context, n *Netlist, cfg Config) (*Result, erro
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Metrics != nil {
+		ctx = obs.WithRegistry(ctx, cfg.Metrics)
+	}
 	if cfg.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)

@@ -1,0 +1,185 @@
+package artifact
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cghti/internal/obs"
+)
+
+func fpN(i int) Fingerprint { return Hash([]byte(fmt.Sprintf("entry-%d", i))) }
+
+func diskFiles(t *testing.T, dir string) int {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range des {
+		if !de.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDiskEntryCap pins oldest-first eviction on the entry-count bound:
+// the disk tier never exceeds its cap, the survivors are the most
+// recently written entries, and each eviction is counted.
+func TestDiskEntryCap(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(0, 0)
+	c.SetDiskLimits(4, 0)
+	if err := c.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	for i := 0; i < 10; i++ {
+		c.PutCtx(ctx, fpN(i), []byte(fmt.Sprintf("payload-%d", i)))
+	}
+	if got := c.DiskLen(); got != 4 {
+		t.Fatalf("disk entries = %d, want 4", got)
+	}
+	if got := diskFiles(t, dir); got != 4 {
+		t.Fatalf("files on disk = %d, want 4", got)
+	}
+	// Oldest-first: entries 0..5 evicted, 6..9 survive.
+	for i := 0; i < 6; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fpN(i).String())); !os.IsNotExist(err) {
+			t.Fatalf("entry %d should have been evicted", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fpN(i).String())); err != nil {
+			t.Fatalf("entry %d should have survived: %v", i, err)
+		}
+	}
+	if got := reg.Counter("artifact.disk_evictions").Value(); got != 6 {
+		t.Fatalf("disk_evictions = %d, want 6", got)
+	}
+}
+
+// TestDiskByteCap pins eviction on the byte bound, and that the most
+// recent entry always survives even when it alone exceeds the bound.
+func TestDiskByteCap(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(0, 0)
+	c.SetDiskLimits(0, 256)
+	if err := c.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xA5}, 1024)
+	c.Put(fpN(0), big)
+	c.Put(fpN(1), big)
+	if got := c.DiskLen(); got != 1 {
+		t.Fatalf("disk entries = %d, want 1 (most recent oversized entry kept)", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fpN(1).String())); err != nil {
+		t.Fatalf("newest entry should survive: %v", err)
+	}
+	if got, want := c.DiskBytes(), int64(len(big)+36); got != want {
+		t.Fatalf("DiskBytes = %d, want %d", got, want)
+	}
+}
+
+// TestAttachDirIndexesExisting pins that AttachDir picks up entries a
+// previous process left behind — oldest-modified-first — and enforces
+// the bounds immediately.
+func TestAttachDirIndexesExisting(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewCache(0, 0)
+	if err := seed.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	for i := 0; i < 6; i++ {
+		seed.Put(fpN(i), []byte(fmt.Sprintf("old-%d", i)))
+		// Spread mtimes so the scan's age ordering is deterministic.
+		older := now.Add(time.Duration(i-10) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, fpN(i).String()), older, older); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c := NewCache(0, 0)
+	c.SetDiskLimits(3, 0)
+	if err := c.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DiskLen(); got != 3 {
+		t.Fatalf("disk entries after attach = %d, want 3", got)
+	}
+	// The three most recently modified (3, 4, 5) survive.
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fpN(i).String())); !os.IsNotExist(err) {
+			t.Fatalf("stale entry %d should have been evicted on attach", i)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if data, ok := c.Get(fpN(i)); !ok || string(data) != fmt.Sprintf("old-%d", i) {
+			t.Fatalf("surviving entry %d unreadable after attach", i)
+		}
+	}
+}
+
+// TestCorruptEntryDropsFromIndex pins that a corrupt disk read removes
+// the entry from the index (so its size stops counting toward the
+// bound) as well as from disk.
+func TestCorruptEntryDropsFromIndex(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(0, 0)
+	if err := c.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.Put(fpN(0), []byte("payload"))
+	before := c.DiskLen()
+	if err := os.WriteFile(filepath.Join(dir, fpN(0).String()), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh cache over the same dir so the memory tier cannot answer.
+	c2 := NewCache(0, 0)
+	if err := c2.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	if _, ok := c2.GetCtx(ctx, fpN(0)); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if got := reg.Counter("artifact.disk_corrupt").Value(); got != 1 {
+		t.Fatalf("disk_corrupt = %d, want 1", got)
+	}
+	if got := c2.DiskLen(); got != 0 {
+		t.Fatalf("disk index len = %d, want 0 after corrupt drop", got)
+	}
+	if before != 1 {
+		t.Fatalf("setup: disk index len = %d, want 1", before)
+	}
+}
+
+// TestSetDiskLimitsEnforcesRetroactively pins that tightening the
+// bounds after entries exist evicts immediately.
+func TestSetDiskLimitsEnforcesRetroactively(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(0, 0)
+	if err := c.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c.Put(fpN(i), []byte(fmt.Sprintf("payload-%d", i)))
+	}
+	c.SetDiskLimits(2, 0)
+	if got := c.DiskLen(); got != 2 {
+		t.Fatalf("disk entries = %d, want 2 after tightening", got)
+	}
+	if got := diskFiles(t, dir); got != 2 {
+		t.Fatalf("files on disk = %d, want 2 after tightening", got)
+	}
+}

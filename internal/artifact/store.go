@@ -2,23 +2,53 @@ package artifact
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"cghti/internal/obs"
 )
 
-// Observability counters (process-wide; run reports record deltas).
-var (
-	cntHits      = obs.NewCounter("artifact.cache_hits")
-	cntMisses    = obs.NewCounter("artifact.cache_misses")
-	cntDiskHits  = obs.NewCounter("artifact.disk_hits")
-	cntPuts      = obs.NewCounter("artifact.cache_puts")
-	cntEvictions = obs.NewCounter("artifact.cache_evictions")
-	cntCorrupt   = obs.NewCounter("artifact.disk_corrupt")
-)
+// meters holds the cache's metric handles, resolved per call from the
+// context registry (GetCtx/PutCtx) so concurrent runs sharing one cache
+// attribute their own hits and misses; the ctx-less Get/Put record into
+// the process default.
+type meters struct {
+	hits          *obs.Counter
+	misses        *obs.Counter
+	diskHits      *obs.Counter
+	puts          *obs.Counter
+	evictions     *obs.Counter
+	corrupt       *obs.Counter
+	diskEvictions *obs.Counter
+}
+
+func metersFor(r *obs.Registry) *meters {
+	if r == nil || r == obs.Default() {
+		return defaultMeters
+	}
+	return newMeters(r)
+}
+
+func metersCtx(ctx context.Context) *meters { return metersFor(obs.FromContext(ctx)) }
+
+func newMeters(r *obs.Registry) *meters {
+	return &meters{
+		hits:          r.Counter("artifact.cache_hits"),
+		misses:        r.Counter("artifact.cache_misses"),
+		diskHits:      r.Counter("artifact.disk_hits"),
+		puts:          r.Counter("artifact.cache_puts"),
+		evictions:     r.Counter("artifact.cache_evictions"),
+		corrupt:       r.Counter("artifact.disk_corrupt"),
+		diskEvictions: r.Counter("artifact.disk_evictions"),
+	}
+}
+
+var defaultMeters = newMeters(obs.Default())
 
 // Default memory-tier bounds applied when NewCache is given
 // non-positive limits.
@@ -27,12 +57,22 @@ const (
 	DefaultMaxBytes   = 256 << 20
 )
 
+// Default disk-tier bounds applied when AttachDir is called without a
+// preceding SetDiskLimits. Unlike the memory tier, the disk tier
+// outlives the process, so an unbounded tier grows monotonically across
+// runs until the filesystem fills.
+const (
+	DefaultDiskMaxEntries = 4096
+	DefaultDiskMaxBytes   = 1 << 30
+)
+
 // Cache is a two-tier content-addressed artifact store. The memory tier
 // is a bounded LRU (entry count and total payload bytes); the optional
-// disk tier (AttachDir) persists entries across processes. Disk entries
-// carry a payload hash that is verified on every read: a corrupted or
-// tampered entry is deleted and reported as a miss, never trusted.
-// All methods are safe for concurrent use.
+// disk tier (AttachDir) persists entries across processes and is itself
+// bounded (entry count and total file bytes) with oldest-written-first
+// eviction. Disk entries carry a payload hash that is verified on every
+// read: a corrupted or tampered entry is deleted and reported as a
+// miss, never trusted. All methods are safe for concurrent use.
 type Cache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -40,12 +80,23 @@ type Cache struct {
 	bytes      int64
 	lru        *list.List // front = most recently used
 	entries    map[Fingerprint]*list.Element
-	dir        string
+
+	dir            string
+	diskMaxEntries int
+	diskMaxBytes   int64
+	diskBytes      int64
+	diskOrder      *list.List // front = newest write, back = oldest
+	diskIndex      map[Fingerprint]*list.Element
 }
 
 type cacheEntry struct {
 	fp   Fingerprint
 	data []byte
+}
+
+type diskEntry struct {
+	fp   Fingerprint
+	size int64 // on-disk file size (header + payload)
 }
 
 // NewCache returns a memory-only cache bounded by maxEntries entries
@@ -59,22 +110,166 @@ func NewCache(maxEntries int, maxBytes int64) *Cache {
 		maxBytes = DefaultMaxBytes
 	}
 	return &Cache{
-		maxEntries: maxEntries,
-		maxBytes:   maxBytes,
-		lru:        list.New(),
-		entries:    make(map[Fingerprint]*list.Element),
+		maxEntries:     maxEntries,
+		maxBytes:       maxBytes,
+		lru:            list.New(),
+		entries:        make(map[Fingerprint]*list.Element),
+		diskMaxEntries: DefaultDiskMaxEntries,
+		diskMaxBytes:   DefaultDiskMaxBytes,
 	}
 }
 
+// SetDiskLimits bounds the disk tier to maxEntries entries and maxBytes
+// total file bytes (non-positive values restore the defaults). When
+// called after AttachDir the new bounds are enforced immediately.
+func (c *Cache) SetDiskLimits(maxEntries int, maxBytes int64) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultDiskMaxEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultDiskMaxBytes
+	}
+	c.mu.Lock()
+	c.diskMaxEntries = maxEntries
+	c.diskMaxBytes = maxBytes
+	doomed := c.evictDiskLocked(defaultMeters)
+	dir := c.dir
+	c.mu.Unlock()
+	removeEntries(dir, doomed)
+}
+
 // AttachDir adds the on-disk tier rooted at dir, creating it if needed.
+// Pre-existing entries are indexed oldest-modified-first so eviction
+// age carries across processes; entries beyond the disk bounds are
+// evicted immediately.
 func (c *Cache) AttachDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	entries, err := scanDir(dir)
+	if err != nil {
+		return err
+	}
 	c.mu.Lock()
 	c.dir = dir
+	c.diskOrder = list.New()
+	c.diskIndex = make(map[Fingerprint]*list.Element, len(entries))
+	c.diskBytes = 0
+	for _, e := range entries { // oldest first, so the back stays oldest
+		c.diskOrder.PushFront(&diskEntry{fp: e.fp, size: e.size})
+		c.diskIndex[e.fp] = c.diskOrder.Front()
+		c.diskBytes += e.size
+	}
+	doomed := c.evictDiskLocked(defaultMeters)
 	c.mu.Unlock()
+	removeEntries(dir, doomed)
 	return nil
+}
+
+// scanDir lists dir's valid-looking entry files sorted by ascending
+// modification time. Files whose names do not parse as fingerprints
+// (including leftover .tmp files) are ignored.
+func scanDir(dir string) ([]diskEntry, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type aged struct {
+		diskEntry
+		mtime int64
+	}
+	found := make([]aged, 0, len(des))
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		raw, err := hex.DecodeString(de.Name())
+		if err != nil || len(raw) != len(Fingerprint{}) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		var fp Fingerprint
+		copy(fp[:], raw)
+		found = append(found, aged{diskEntry{fp: fp, size: info.Size()}, info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(a, b int) bool { return found[a].mtime < found[b].mtime })
+	out := make([]diskEntry, len(found))
+	for i, f := range found {
+		out[i] = f.diskEntry
+	}
+	return out, nil
+}
+
+// evictDiskLocked trims the disk index to the configured bounds,
+// oldest-written entries first, and returns the fingerprints whose
+// files the caller must unlink after releasing the mutex (filesystem
+// I/O never happens under the lock). Like the memory tier, the most
+// recent entry always survives so one oversized artifact still caches.
+func (c *Cache) evictDiskLocked(met *meters) []Fingerprint {
+	if c.diskOrder == nil {
+		return nil
+	}
+	var doomed []Fingerprint
+	for (c.diskOrder.Len() > c.diskMaxEntries || c.diskBytes > c.diskMaxBytes) && c.diskOrder.Len() > 1 {
+		el := c.diskOrder.Back()
+		ent := el.Value.(*diskEntry)
+		c.diskOrder.Remove(el)
+		delete(c.diskIndex, ent.fp)
+		c.diskBytes -= ent.size
+		doomed = append(doomed, ent.fp)
+		met.diskEvictions.Inc()
+	}
+	return doomed
+}
+
+// removeEntries unlinks evicted entry files (best effort).
+func removeEntries(dir string, fps []Fingerprint) {
+	if dir == "" {
+		return
+	}
+	for _, fp := range fps {
+		os.Remove(filepath.Join(dir, fp.String()))
+	}
+}
+
+// noteDiskWrite records a freshly written entry in the disk index and
+// returns any entries evicted to make room.
+func (c *Cache) noteDiskWrite(fp Fingerprint, size int64, met *meters) {
+	c.mu.Lock()
+	if c.diskOrder == nil {
+		c.mu.Unlock()
+		return
+	}
+	if el, ok := c.diskIndex[fp]; ok {
+		ent := el.Value.(*diskEntry)
+		c.diskBytes += size - ent.size
+		ent.size = size
+		c.diskOrder.MoveToFront(el)
+	} else {
+		c.diskOrder.PushFront(&diskEntry{fp: fp, size: size})
+		c.diskIndex[fp] = c.diskOrder.Front()
+		c.diskBytes += size
+	}
+	doomed := c.evictDiskLocked(met)
+	dir := c.dir
+	c.mu.Unlock()
+	removeEntries(dir, doomed)
+}
+
+// dropDiskEntry removes fp from the disk index after a corrupt read
+// deleted its file.
+func (c *Cache) dropDiskEntry(fp Fingerprint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.diskIndex[fp]; ok {
+		ent := el.Value.(*diskEntry)
+		c.diskOrder.Remove(el)
+		delete(c.diskIndex, fp)
+		c.diskBytes -= ent.size
+	}
 }
 
 // Dir returns the attached disk directory ("" when memory-only).
@@ -91,50 +286,97 @@ func (c *Cache) Len() int {
 	return c.lru.Len()
 }
 
+// DiskLen reports the number of entries in the disk-tier index (0 when
+// memory-only).
+func (c *Cache) DiskLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.diskOrder == nil {
+		return 0
+	}
+	return c.diskOrder.Len()
+}
+
+// DiskBytes reports the total file bytes tracked in the disk tier.
+func (c *Cache) DiskBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskBytes
+}
+
 // Get returns the payload stored under fp, consulting the memory tier
 // first and falling back to the disk tier (promoting a verified disk
-// entry into memory).
+// entry into memory). Metrics go to the process default registry; use
+// GetCtx inside a per-run scope.
 func (c *Cache) Get(fp Fingerprint) ([]byte, bool) {
+	return c.get(fp, defaultMeters)
+}
+
+// GetCtx is Get attributing its hit/miss metrics to the registry
+// carried by ctx (per-run scoping). The lookup itself is identical.
+func (c *Cache) GetCtx(ctx context.Context, fp Fingerprint) ([]byte, bool) {
+	return c.get(fp, metersCtx(ctx))
+}
+
+func (c *Cache) get(fp Fingerprint, met *meters) ([]byte, bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[fp]; ok {
 		c.lru.MoveToFront(el)
 		data := el.Value.(*cacheEntry).data
 		c.mu.Unlock()
-		cntHits.Inc()
+		met.hits.Inc()
 		return data, true
 	}
 	dir := c.dir
 	c.mu.Unlock()
 	if dir != "" {
-		if data, ok := readEntry(filepath.Join(dir, fp.String())); ok {
-			c.install(fp, data)
-			cntHits.Inc()
-			cntDiskHits.Inc()
+		data, ok, corrupt := readEntry(filepath.Join(dir, fp.String()))
+		if corrupt {
+			met.corrupt.Inc()
+			c.dropDiskEntry(fp)
+		}
+		if ok {
+			c.install(fp, data, met)
+			met.hits.Inc()
+			met.diskHits.Inc()
 			return data, true
 		}
 	}
-	cntMisses.Inc()
+	met.misses.Inc()
 	return nil, false
 }
 
 // Put stores data under fp in the memory tier and, when a disk tier is
 // attached, on disk. The zero fingerprint is rejected (it carries no
-// identity). The caller must not mutate data afterwards.
+// identity). The caller must not mutate data afterwards. Metrics go to
+// the process default registry; use PutCtx inside a per-run scope.
 func (c *Cache) Put(fp Fingerprint, data []byte) {
+	c.put(fp, data, defaultMeters)
+}
+
+// PutCtx is Put attributing its metrics to the registry carried by ctx
+// (per-run scoping). The store itself is identical.
+func (c *Cache) PutCtx(ctx context.Context, fp Fingerprint, data []byte) {
+	c.put(fp, data, metersCtx(ctx))
+}
+
+func (c *Cache) put(fp Fingerprint, data []byte, met *meters) {
 	if fp.IsZero() {
 		return
 	}
-	cntPuts.Inc()
-	c.install(fp, data)
+	met.puts.Inc()
+	c.install(fp, data, met)
 	c.mu.Lock()
 	dir := c.dir
 	c.mu.Unlock()
 	if dir != "" {
-		writeEntry(filepath.Join(dir, fp.String()), data)
+		if size, ok := writeEntry(filepath.Join(dir, fp.String()), data); ok {
+			c.noteDiskWrite(fp, size, met)
+		}
 	}
 }
 
-func (c *Cache) install(fp Fingerprint, data []byte) {
+func (c *Cache) install(fp Fingerprint, data []byte, met *meters) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[fp]; ok {
@@ -154,7 +396,7 @@ func (c *Cache) install(fp Fingerprint, data []byte) {
 		c.lru.Remove(el)
 		delete(c.entries, ent.fp)
 		c.bytes -= int64(len(ent.data))
-		cntEvictions.Inc()
+		met.evictions.Inc()
 	}
 }
 
@@ -164,45 +406,47 @@ func (c *Cache) install(fp Fingerprint, data []byte) {
 // artifact bytes themselves survived the round trip.
 var diskMagic = [4]byte{'C', 'G', 'A', '1'}
 
-func writeEntry(path string, data []byte) {
+// writeEntry persists one entry, returning its file size. Write-then-
+// rename so readers never observe a half-written entry. Failures are
+// silent: the disk tier is an optimization, and a missing entry just
+// means recomputation.
+func writeEntry(path string, data []byte) (int64, bool) {
 	sum := sha256.Sum256(data)
 	buf := make([]byte, 0, len(diskMagic)+len(sum)+len(data))
 	buf = append(buf, diskMagic[:]...)
 	buf = append(buf, sum[:]...)
 	buf = append(buf, data...)
-	// Write-then-rename so readers never observe a half-written entry.
-	// Failures are silent: the disk tier is an optimization, and a
-	// missing entry just means recomputation.
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return
+		return 0, false
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
+		return 0, false
 	}
+	return int64(len(buf)), true
 }
 
 // readEntry loads and verifies one on-disk entry. A missing file is a
 // plain miss; a short, mislabeled, or hash-mismatched file counts as
-// corruption — deleted (best effort) and reported as a miss.
-func readEntry(path string) ([]byte, bool) {
+// corruption — deleted (best effort) and reported via the corrupt
+// return so the caller can count it and drop its index entry.
+func readEntry(path string) (data []byte, ok, corrupt bool) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		return nil, false, false
 	}
 	const header = 4 + sha256.Size
 	if len(raw) < header || [4]byte(raw[:4]) != diskMagic {
-		cntCorrupt.Inc()
 		os.Remove(path)
-		return nil, false
+		return nil, false, true
 	}
 	payload := raw[header:]
 	if sha256.Sum256(payload) != [sha256.Size]byte(raw[4:header]) {
-		cntCorrupt.Inc()
 		os.Remove(path)
-		return nil, false
+		return nil, false, true
 	}
-	return payload, true
+	return payload, true, false
 }
 
 // dirCaches deduplicates Cache instances per absolute directory, so

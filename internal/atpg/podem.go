@@ -9,16 +9,37 @@ import (
 	"cghti/internal/sim"
 )
 
-// Observability counters. Engine.Stats remains the per-engine view;
-// these aggregate across all engines (including worker-pool engines)
-// so run reports see the whole process.
-var (
-	cntCalls      = obs.NewCounter("atpg.podem_calls")
-	cntBacktracks = obs.NewCounter("atpg.podem_backtracks")
-	cntAborts     = obs.NewCounter("atpg.podem_aborts")
-	cntUntestable = obs.NewCounter("atpg.podem_untestable")
-	cntImplies    = obs.NewCounter("atpg.podem_implications")
-)
+// meters holds the package's metric handles. Engine.Stats remains the
+// per-engine view; these aggregate across all engines (including
+// worker-pool engines) registered against the same registry — the
+// process default, or a per-run scoped registry (Engine.SetRegistry),
+// so concurrent runs attribute PODEM work to their own reports.
+type meters struct {
+	calls      *obs.Counter
+	backtracks *obs.Counter
+	aborts     *obs.Counter
+	untestable *obs.Counter
+	implies    *obs.Counter
+}
+
+func metersFor(r *obs.Registry) *meters {
+	if r == nil || r == obs.Default() {
+		return defaultMeters
+	}
+	return newMeters(r)
+}
+
+func newMeters(r *obs.Registry) *meters {
+	return &meters{
+		calls:      r.Counter("atpg.podem_calls"),
+		backtracks: r.Counter("atpg.podem_backtracks"),
+		aborts:     r.Counter("atpg.podem_aborts"),
+		untestable: r.Counter("atpg.podem_untestable"),
+		implies:    r.Counter("atpg.podem_implications"),
+	}
+}
+
+var defaultMeters = newMeters(obs.Default())
 
 // Result classifies the outcome of a PODEM run.
 type Result int
@@ -79,6 +100,8 @@ type Engine struct {
 
 	// Stats accumulates counters across calls.
 	Stats Stats
+
+	met *meters
 }
 
 // Stats counts PODEM work, for the time-complexity analysis benches.
@@ -113,10 +136,16 @@ func NewEngine(n *netlist.Netlist) (*Engine, error) {
 		good:          make([]sim.V3, len(n.Gates)),
 		faulty:        make([]sim.V3, len(n.Gates)),
 		assign:        make([]sim.V3, len(inputs)),
+		met:           defaultMeters,
 	}
 	e.computeObsDist()
 	return e, nil
 }
+
+// SetRegistry points the engine's PODEM counters at r, so a per-run
+// scoped registry attributes the engine's work to that run (nil or
+// obs.Default() restores the process-wide handles).
+func (e *Engine) SetRegistry(r *obs.Registry) { e.met = metersFor(r) }
 
 // InputIDs returns the ordered combinational input list cubes are
 // expressed over.
@@ -181,7 +210,7 @@ func (e *Engine) Detect(site netlist.GateID, stuckAt uint8) (Cube, Result) {
 
 func (e *Engine) run(target netlist.GateID, want uint8, propagate bool) (Cube, Result) {
 	e.Stats.Calls++
-	cntCalls.Inc()
+	e.met.calls.Inc()
 	for i := range e.assign {
 		e.assign[i] = sim.V3X
 	}
@@ -238,16 +267,16 @@ func (e *Engine) run(target netlist.GateID, want uint8, propagate bool) (Cube, R
 		// Dead end: flip the deepest unflipped decision.
 		for {
 			if len(stack) == 0 {
-				cntUntestable.Inc()
+				e.met.untestable.Inc()
 				return Cube{}, Untestable
 			}
 			top := &stack[len(stack)-1]
 			if !top.flipped {
 				backtracks++
 				e.Stats.Backtracks++
-				cntBacktracks.Inc()
+				e.met.backtracks.Inc()
 				if backtracks > maxBT {
-					cntAborts.Inc()
+					e.met.aborts.Inc()
 					return Cube{}, Abort
 				}
 				top.flipped = true
@@ -265,7 +294,7 @@ func (e *Engine) run(target netlist.GateID, want uint8, propagate bool) (Cube, R
 // current input assignment.
 func (e *Engine) imply(site netlist.GateID, stuck sim.V3, propagate bool) {
 	e.Stats.Implies++
-	cntImplies.Inc()
+	e.met.implies.Inc()
 	e.evalPlane(e.good, netlist.InvalidGate, sim.V3X)
 	if propagate {
 		e.evalPlane(e.faulty, site, stuck)

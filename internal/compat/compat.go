@@ -24,19 +24,47 @@ import (
 	"cghti/internal/stage"
 )
 
-// Observability counters/gauges (process-wide; run reports record
-// deltas). Hot loops add in bulk — e.g. the O(V²) pairwise edge test
-// counts once per Build, not per pair.
-var (
-	cntCubeSuccess    = obs.NewCounter("compat.cubes_generated")
-	cntCubeDropped    = obs.NewCounter("compat.cubes_dropped")
-	cntPairChecks     = obs.NewCounter("compat.pair_checks")
-	cntWorkerBatches  = obs.NewCounter("compat.worker_batches")
-	cntCliqueAttempts = obs.NewCounter("compat.clique_attempts")
-	cntCliquesFound   = obs.NewCounter("compat.cliques_found")
-	gaugeVertices     = obs.NewGauge("compat.graph_vertices")
-	gaugeEdges        = obs.NewGauge("compat.graph_edges")
-)
+// meters holds the package's metric handles, resolved per operation
+// from the context registry (obs.FromContext) so concurrent runs under
+// scoped registries attribute work to their own reports. Hot loops add
+// in bulk — e.g. the O(V²) pairwise edge test counts once per Build,
+// not per pair.
+type meters struct {
+	cubeSuccess    *obs.Counter
+	cubeDropped    *obs.Counter
+	pairChecks     *obs.Counter
+	workerBatches  *obs.Counter
+	cliqueAttempts *obs.Counter
+	cliquesFound   *obs.Counter
+	cliqueSatExits *obs.Counter
+	vertices       *obs.Gauge
+	edges          *obs.Gauge
+}
+
+func metersFor(r *obs.Registry) *meters {
+	if r == nil || r == obs.Default() {
+		return defaultMeters
+	}
+	return newMeters(r)
+}
+
+func metersCtx(ctx context.Context) *meters { return metersFor(obs.FromContext(ctx)) }
+
+func newMeters(r *obs.Registry) *meters {
+	return &meters{
+		cubeSuccess:    r.Counter("compat.cubes_generated"),
+		cubeDropped:    r.Counter("compat.cubes_dropped"),
+		pairChecks:     r.Counter("compat.pair_checks"),
+		workerBatches:  r.Counter("compat.worker_batches"),
+		cliqueAttempts: r.Counter("compat.clique_attempts"),
+		cliquesFound:   r.Counter("compat.cliques_found"),
+		cliqueSatExits: r.Counter("compat.clique_saturation_exits"),
+		vertices:       r.Gauge("compat.graph_vertices"),
+		edges:          r.Gauge("compat.graph_edges"),
+	}
+}
+
+var defaultMeters = newMeters(obs.Default())
 
 // BuildConfig parameterizes graph construction.
 type BuildConfig struct {
@@ -119,6 +147,7 @@ func BuildCubes(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg Build
 	if err != nil {
 		return nil, err
 	}
+	eng.SetRegistry(obs.FromContext(ctx))
 	if cfg.MaxBacktracks > 0 {
 		eng.MaxBacktracks = cfg.MaxBacktracks
 	}
@@ -169,8 +198,9 @@ func BuildCubes(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg Build
 		runErr = g.buildCubesParallel(ctx, n, candidates, cfg, workers)
 	}
 	g.CubeTime = time.Since(t0)
-	cntCubeSuccess.Add(int64(len(g.Nodes)))
-	cntCubeDropped.Add(int64(g.Dropped))
+	met := metersCtx(ctx)
+	met.cubeSuccess.Add(int64(len(g.Nodes)))
+	met.cubeDropped.Add(int64(g.Dropped))
 	return g, runErr
 }
 
@@ -222,9 +252,10 @@ func (g *Graph) ConnectEdges(ctx context.Context, cfg BuildConfig) error {
 		runErr = g.buildEdgesParallel(ctx, workers)
 	}
 	g.EdgeTime = time.Since(t1)
-	cntPairChecks.Add(int64(v) * int64(v-1) / 2)
-	gaugeVertices.Set(int64(v))
-	gaugeEdges.Set(int64(g.NumEdges()))
+	met := metersCtx(ctx)
+	met.pairChecks.Add(int64(v) * int64(v-1) / 2)
+	met.vertices.Set(int64(v))
+	met.edges.Set(int64(g.NumEdges()))
 	return runErr
 }
 
@@ -315,9 +346,23 @@ type MineConfig struct {
 	MaxCliques int
 	// Attempts bounds greedy restarts (0 = 40 × MaxCliques).
 	Attempts int
+	// MaxDupStreak stops mining after this many consecutive attempts
+	// that rediscovered an already-seen clique (0 = DefaultMaxDupStreak,
+	// negative = never stop early). On small or dense graphs the miner
+	// saturates long before the Attempts budget — every restart lands on
+	// a clique it already has — and without this exit it burns the full
+	// 40×MaxCliques attempts re-proving that. A long duplicate streak is
+	// strong statistical evidence the reachable clique set is exhausted.
+	// Attempts that produce an undersized clique (< MinSize) neither
+	// extend nor reset the streak: they say nothing about saturation.
+	MaxDupStreak int
 	// Seed drives the randomized expansion order.
 	Seed int64
 }
+
+// DefaultMaxDupStreak is the duplicate-streak cutoff used when
+// MineConfig.MaxDupStreak is 0.
+const DefaultMaxDupStreak = 256
 
 // FindCliques mines up to cfg.MaxCliques distinct maximal cliques of
 // size >= cfg.MinSize using greedy randomized expansion over the bitset
@@ -345,16 +390,21 @@ func (g *Graph) FindCliquesContext(ctx context.Context, cfg MineConfig) (out []C
 	if cfg.Attempts <= 0 {
 		cfg.Attempts = 40 * cfg.MaxCliques
 	}
+	if cfg.MaxDupStreak == 0 {
+		cfg.MaxDupStreak = DefaultMaxDupStreak
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	v := g.NumVertices()
 	if v == 0 {
 		return nil, nil
 	}
 
-	defer func() { cntCliquesFound.Add(int64(len(out))) }()
+	met := metersCtx(ctx)
+	defer func() { met.cliquesFound.Add(int64(len(out))) }()
 	seen := make(map[string]bool)
 	cand := make([]uint64, g.words)
 	ctxDone := ctx.Done()
+	dupStreak := 0
 
 	for attempt := 0; attempt < cfg.Attempts && len(out) < cfg.MaxCliques; attempt++ {
 		select {
@@ -365,7 +415,7 @@ func (g *Graph) FindCliquesContext(ctx context.Context, cfg MineConfig) (out []C
 		if err := chaos.Hit(stage.CliqueMine, 0); err != nil {
 			return out, err
 		}
-		cntCliqueAttempts.Inc()
+		met.cliqueAttempts.Inc()
 		start := rng.Intn(v)
 		clique := []int{start}
 		copy(cand, g.adj[start])
@@ -383,8 +433,17 @@ func (g *Graph) FindCliquesContext(ctx context.Context, cfg MineConfig) (out []C
 		sort.Ints(clique)
 		key := cliqueKey(clique)
 		if seen[key] {
+			// Saturation exit: once every restart lands on a clique we
+			// already have, more attempts only rediscover them. Without
+			// this, a saturated graph burns the whole Attempts budget.
+			dupStreak++
+			if cfg.MaxDupStreak > 0 && dupStreak >= cfg.MaxDupStreak {
+				met.cliqueSatExits.Inc()
+				return out, nil
+			}
 			continue
 		}
+		dupStreak = 0
 		seen[key] = true
 		out = append(out, Clique{Vertices: clique, Cube: g.MergedCube(clique)})
 	}

@@ -1,0 +1,86 @@
+package compat
+
+import (
+	"context"
+	"testing"
+
+	"cghti/internal/obs"
+)
+
+// TestDupStreakEarlyExit pins the clique miner's saturation exit: on a
+// small graph whose reachable clique set is exhausted almost
+// immediately, the miner must stop after the duplicate streak instead
+// of burning the whole 40×MaxCliques attempt budget.
+func TestDupStreakEarlyExit(t *testing.T) {
+	_, _, g := buildGraph(t, rareCircuit, 0.2)
+	if g.NumVertices() < 2 {
+		t.Fatal("graph too small to mine")
+	}
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	cfg := MineConfig{MinSize: 2, MaxCliques: 100000, Attempts: 4000000, MaxDupStreak: 64, Seed: 7}
+	out, err := g.FindCliquesContext(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no cliques mined")
+	}
+	attempts := reg.Counter("compat.clique_attempts").Value()
+	// The tiny graph has only a handful of distinct maximal cliques, so
+	// the exit must trigger long before the 4M attempt budget.
+	if budget := int64(cfg.Attempts); attempts >= budget {
+		t.Fatalf("miner burned the full attempt budget (%d)", attempts)
+	}
+	if max := int64(len(out)+1) * int64(cfg.MaxDupStreak+1); attempts > max {
+		t.Fatalf("attempts = %d, want <= %d (cliques %d, streak %d)",
+			attempts, max, len(out), cfg.MaxDupStreak)
+	}
+	if got := reg.Counter("compat.clique_saturation_exits").Value(); got != 1 {
+		t.Fatalf("saturation exits = %d, want 1", got)
+	}
+}
+
+// TestDupStreakFindsSameCliques verifies the early exit loses nothing:
+// a bounded-streak run finds the same clique set as a disabled-streak
+// run over the same seed, because the streak only fires after the
+// reachable set is exhausted.
+func TestDupStreakFindsSameCliques(t *testing.T) {
+	_, _, g := buildGraph(t, rareCircuit, 0.2)
+	base := MineConfig{MinSize: 2, MaxCliques: 1000, Attempts: 100000, Seed: 3}
+
+	unbounded := base
+	unbounded.MaxDupStreak = -1
+	want := g.FindCliques(unbounded)
+
+	bounded := base
+	bounded.MaxDupStreak = DefaultMaxDupStreak
+	got := g.FindCliques(bounded)
+
+	if len(got) != len(want) {
+		t.Fatalf("bounded run found %d cliques, unbounded %d", len(got), len(want))
+	}
+	for i := range got {
+		if cliqueKey(got[i].Vertices) != cliqueKey(want[i].Vertices) {
+			t.Fatalf("clique %d differs between bounded and unbounded runs", i)
+		}
+	}
+}
+
+// TestDupStreakDisabled pins that a negative MaxDupStreak never exits
+// early — the attempt budget is consumed in full.
+func TestDupStreakDisabled(t *testing.T) {
+	_, _, g := buildGraph(t, rareCircuit, 0.2)
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	cfg := MineConfig{MinSize: 2, MaxCliques: 100000, Attempts: 5000, MaxDupStreak: -1, Seed: 7}
+	if _, err := g.FindCliquesContext(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("compat.clique_attempts").Value(); got != int64(cfg.Attempts) {
+		t.Fatalf("attempts = %d, want the full budget %d", got, cfg.Attempts)
+	}
+	if got := reg.Counter("compat.clique_saturation_exits").Value(); got != 0 {
+		t.Fatalf("saturation exits = %d, want 0", got)
+	}
+}

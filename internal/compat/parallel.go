@@ -41,6 +41,7 @@ func (g *Graph) buildCubesParallel(ctx context.Context, n *netlist.Netlist, cand
 		return nil
 	}
 
+	met := metersCtx(ctx)
 	var runErr error
 	var errOnce sync.Once
 	setErr := func(err error) {
@@ -78,6 +79,7 @@ func (g *Graph) buildCubesParallel(ctx context.Context, n *netlist.Netlist, cand
 					if err != nil {
 						return err
 					}
+					eng.SetRegistry(obs.FromContext(ctx))
 					if cfg.MaxBacktracks > 0 {
 						eng.MaxBacktracks = cfg.MaxBacktracks
 					}
@@ -107,7 +109,7 @@ func (g *Graph) buildCubesParallel(ctx context.Context, n *netlist.Netlist, cand
 			break
 		}
 		processed = hi
-		cntWorkerBatches.Inc()
+		met.workerBatches.Inc()
 		if cfg.Progress != nil {
 			cfg.Progress(processed, len(candidates))
 		}

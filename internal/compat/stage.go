@@ -188,11 +188,15 @@ func (s *MineStage) CacheConfig() []byte {
 	if cfg.Attempts <= 0 {
 		cfg.Attempts = 40 * cfg.MaxCliques
 	}
+	if cfg.MaxDupStreak == 0 {
+		cfg.MaxDupStreak = DefaultMaxDupStreak
+	}
 	e := artifact.NewEnc()
-	e.String("compat.mine.v1")
+	e.String("compat.mine.v2")
 	e.Int(cfg.MinSize)
 	e.Int(cfg.MaxCliques)
 	e.Int(cfg.Attempts)
+	e.Int(cfg.MaxDupStreak)
 	e.Varint(cfg.Seed)
 	return e.Finish()
 }
@@ -227,14 +231,14 @@ func BuildCached(ctx context.Context, c *artifact.Cache, n *netlist.Netlist, rs 
 	rsFP := artifact.Hash(rare.EncodeSet(rs))
 	cubeFP := artifact.Derive(stage.CubeGen, cubeStage.CacheConfig(), base, rsFP)
 	edgeFP := artifact.Derive(stage.GraphEdges, edgeStage.CacheConfig(), cubeFP)
-	if data, ok := c.Get(edgeFP); ok {
+	if data, ok := c.GetCtx(ctx, edgeFP); ok {
 		if g, err := DecodeGraph(data); err == nil {
 			return g, nil
 		}
 	}
 	g, err := BuildContext(ctx, n, rs, cfg)
 	if err == nil && g != nil {
-		c.Put(edgeFP, EncodeGraph(g))
+		c.PutCtx(ctx, edgeFP, EncodeGraph(g))
 	}
 	return g, err
 }

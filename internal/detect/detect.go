@@ -17,14 +17,37 @@ import (
 	"cghti/internal/stage"
 )
 
-// Observability counters for the detection schemes' pattern budgets.
-var (
-	cntRandomVectors   = obs.NewCounter("detect.random_vectors")
-	cntMEROPoolVectors = obs.NewCounter("detect.mero_pool_vectors")
-	cntMEROVectors     = obs.NewCounter("detect.mero_vectors")
-	cntNDATPGVectors   = obs.NewCounter("detect.ndatpg_vectors")
-	cntEvaluations     = obs.NewCounter("detect.evaluations")
-)
+// meters holds the detection schemes' metric handles, resolved per
+// operation from the context registry (obs.FromContext) so concurrent
+// runs under scoped registries attribute work to their own reports.
+type meters struct {
+	randomVectors   *obs.Counter
+	meroPoolVectors *obs.Counter
+	meroVectors     *obs.Counter
+	ndatpgVectors   *obs.Counter
+	evaluations     *obs.Counter
+}
+
+func metersFor(r *obs.Registry) *meters {
+	if r == nil || r == obs.Default() {
+		return defaultMeters
+	}
+	return newMeters(r)
+}
+
+func metersCtx(ctx context.Context) *meters { return metersFor(obs.FromContext(ctx)) }
+
+func newMeters(r *obs.Registry) *meters {
+	return &meters{
+		randomVectors:   r.Counter("detect.random_vectors"),
+		meroPoolVectors: r.Counter("detect.mero_pool_vectors"),
+		meroVectors:     r.Counter("detect.mero_vectors"),
+		ndatpgVectors:   r.Counter("detect.ndatpg_vectors"),
+		evaluations:     r.Counter("detect.evaluations"),
+	}
+}
+
+var defaultMeters = newMeters(obs.Default())
 
 // TestSet is an ordered list of fully specified test vectors over a
 // circuit's combinational inputs (CombInputs order).
@@ -46,6 +69,13 @@ func (ts *TestSet) Add(v []bool) {
 // RandomTestSet draws count uniform vectors — the paper's "Random"
 // detection scheme.
 func RandomTestSet(n *netlist.Netlist, count int, seed int64) *TestSet {
+	return RandomTestSetContext(context.Background(), n, count, seed)
+}
+
+// RandomTestSetContext is RandomTestSet attributing its vector count to
+// the registry carried by ctx (per-run scoping); the draw itself is
+// pure and uninterruptible.
+func RandomTestSetContext(ctx context.Context, n *netlist.Netlist, count int, seed int64) *TestSet {
 	rng := rand.New(rand.NewSource(seed))
 	inputs := n.CombInputs()
 	ts := &TestSet{Inputs: inputs}
@@ -56,7 +86,7 @@ func RandomTestSet(n *netlist.Netlist, count int, seed int64) *TestSet {
 		}
 		ts.Vectors = append(ts.Vectors, v)
 	}
-	cntRandomVectors.Add(int64(count))
+	metersCtx(ctx).randomVectors.Add(int64(count))
 	return ts
 }
 
@@ -119,7 +149,8 @@ func EvaluateConfig(tgt Target, ts *TestSet, cfg EvalConfig) (Outcome, error) {
 // reflects the vectors evaluated so far (a vector that already
 // triggered or detected stays recorded) and ctx's error is returned.
 func EvaluateContext(ctx context.Context, tgt Target, ts *TestSet, cfg EvalConfig) (Outcome, error) {
-	cntEvaluations.Inc()
+	reg := obs.FromContext(ctx)
+	metersFor(reg).evaluations.Inc()
 	out := Outcome{FirstTrigger: -1, FirstDetect: -1}
 	if len(ts.Vectors) == 0 {
 		return out, nil
@@ -140,6 +171,8 @@ func EvaluateContext(ctx context.Context, tgt Target, ts *TestSet, cfg EvalConfi
 	defer sim.ReleasePacked(ip)
 	gp.SetWorkers(cfg.Workers)
 	ip.SetWorkers(cfg.Workers)
+	gp.SetRegistry(reg)
+	ip.SetRegistry(reg)
 	goldenOuts := tgt.Golden.CombOutputs()
 	infectedOuts := tgt.Infected.CombOutputs()
 	nOuts := len(goldenOuts)

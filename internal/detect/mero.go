@@ -8,6 +8,7 @@ import (
 
 	"cghti/internal/chaos"
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 	"cghti/internal/rare"
 	"cghti/internal/sim"
 	"cghti/internal/stage"
@@ -72,10 +73,12 @@ func MEROContext(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg MERO
 		return ts, nil
 	}
 
+	met := metersCtx(ctx)
 	ev, err := sim.NewEvent(n)
 	if err != nil {
 		return nil, err
 	}
+	ev.SetRegistry(obs.FromContext(ctx))
 
 	// Rare-hit bookkeeping is incremental: after each Propagate only the
 	// changed gates are re-examined, which turns the per-bit-flip cost
@@ -133,7 +136,7 @@ func MEROContext(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg MERO
 		v    []bool
 		hits int
 	}
-	cntMEROPoolVectors.Add(int64(cfg.RandomVectors))
+	met.meroPoolVectors.Add(int64(cfg.RandomVectors))
 	vecs := make([][]bool, cfg.RandomVectors)
 	for i := range vecs {
 		v := make([]bool, len(inputs))
@@ -215,7 +218,7 @@ func MEROContext(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg MERO
 		}
 		ts.Add(v)
 	}
-	cntMEROVectors.Add(int64(ts.Len()))
+	met.meroVectors.Add(int64(ts.Len()))
 	return ts, nil
 }
 
@@ -235,6 +238,7 @@ func scorePool(ctx context.Context, n *netlist.Netlist, nodes []rare.Node, input
 	}
 	defer sim.ReleasePacked(p)
 	p.SetWorkers(workers)
+	p.SetRegistry(obs.FromContext(ctx))
 	batch := p.Patterns()
 	ctxDone := ctx.Done()
 	for base := 0; base < len(vecs); base += batch {

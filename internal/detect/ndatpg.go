@@ -105,7 +105,7 @@ func NDATPGContext(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg ND
 			}
 		}
 	}
-	cntNDATPGVectors.Add(int64(ts.Len()))
+	metersCtx(ctx).ndatpgVectors.Add(int64(ts.Len()))
 	return ts, nil
 }
 
@@ -145,6 +145,7 @@ func ndatpgCubes(ctx context.Context, n *netlist.Netlist, events []rare.Node, cf
 				if err != nil {
 					return err
 				}
+				eng.SetRegistry(obs.FromContext(ctx))
 				if cfg.MaxBacktracks > 0 {
 					eng.MaxBacktracks = cfg.MaxBacktracks
 				}

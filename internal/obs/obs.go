@@ -8,32 +8,49 @@
 // progress events go through a nil-safe Emit that costs a branch when
 // no sink is installed. Instrumented packages declare their counters as
 // package-level vars (obs.NewCounter registers in the process-wide
-// default registry); run reports snapshot the registry before and after
-// a run and record the delta.
+// default registry); one-shot run reports snapshot the registry before
+// and after a run and record the delta.
+//
+// Per-run scoping: a process that executes several runs concurrently (a
+// job-serving daemon) cannot attribute work by snapshot deltas of the
+// shared registry — concurrent runs would bleed increments into each
+// other's reports. Such callers give each run its own NewScoped
+// registry, carried to the instrumented hot loops via WithRegistry /
+// FromContext. Scoped metrics mirror every increment into the parent,
+// so the process-wide registry still reports whole-process totals while
+// each run's registry holds exactly that run's work.
 package obs
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
 )
 
 // Counter is a monotonically increasing metric, safe for concurrent
-// use from hot paths (one atomic add per Inc).
+// use from hot paths (one atomic add per Inc, plus one per ancestor
+// registry when the counter is scoped).
 type Counter struct {
-	name string
-	v    atomic.Int64
+	name   string
+	v      atomic.Int64
+	mirror *Counter // same-named counter in the parent registry, if scoped
 }
 
 // Name returns the counter's registered name.
 func (c *Counter) Name() string { return c.name }
 
 // Inc adds 1.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n. Bulk-adding once per batch is the preferred pattern for
 // very hot loops (e.g. one Add per simulation run, not per vector).
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) {
+	c.v.Add(n)
+	if c.mirror != nil {
+		c.mirror.Add(n)
+	}
+}
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
@@ -41,15 +58,23 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Gauge is a last-value-wins metric (e.g. graph vertex count), safe
 // for concurrent use.
 type Gauge struct {
-	name string
-	v    atomic.Int64
+	name   string
+	v      atomic.Int64
+	mirror *Gauge // same-named gauge in the parent registry, if scoped
 }
 
 // Name returns the gauge's registered name.
 func (g *Gauge) Name() string { return g.name }
 
-// Set records the value.
-func (g *Gauge) Set(v int64) { g.v.Store(v) }
+// Set records the value. A scoped gauge also sets the parent's gauge;
+// concurrent runs racing on a shared parent gauge are last-write-wins,
+// which is the gauge contract — each run's own registry stays exact.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	if g.mirror != nil {
+		g.mirror.Set(v)
+	}
+}
 
 // Value returns the last value set.
 func (g *Gauge) Value() int64 { return g.v.Load() }
@@ -61,6 +86,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	parent   *Registry
 }
 
 // NewRegistry returns an empty registry.
@@ -71,6 +97,21 @@ func NewRegistry() *Registry {
 	}
 }
 
+// NewScoped returns an empty registry whose metrics mirror into parent:
+// every Counter.Add (and Gauge.Set) applies to both the scoped metric
+// and the same-named metric in parent. A run given its own scoped
+// registry therefore produces an isolated, exact account of its work —
+// Snapshot needs no delta — while the parent keeps whole-process
+// totals. A nil parent mirrors into the default registry.
+func NewScoped(parent *Registry) *Registry {
+	if parent == nil {
+		parent = defaultRegistry
+	}
+	r := NewRegistry()
+	r.parent = parent
+	return r
+}
+
 // Counter returns the counter registered under name, creating it if
 // needed.
 func (r *Registry) Counter(name string) *Counter {
@@ -79,6 +120,9 @@ func (r *Registry) Counter(name string) *Counter {
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{name: name}
+		if r.parent != nil {
+			c.mirror = r.parent.Counter(name)
+		}
 		r.counters[name] = c
 	}
 	return c
@@ -91,6 +135,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{name: name}
+		if r.parent != nil {
+			g.mirror = r.parent.Gauge(name)
+		}
 		r.gauges[name] = g
 	}
 	return g
@@ -163,3 +210,27 @@ func NewCounter(name string) *Counter { return defaultRegistry.Counter(name) }
 
 // NewGauge registers (or finds) a gauge in the default registry.
 func NewGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// registryKey carries the per-run registry through a context.
+type registryKey struct{}
+
+// WithRegistry returns a context that carries r to the instrumented hot
+// loops downstream: code that resolves its metric handles through
+// FromContext records work in r (and, for a scoped registry, mirrored
+// into its parent) instead of the process-wide default. A nil r returns
+// ctx unchanged.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// FromContext returns the registry carried by ctx, or the default
+// registry when none is installed — callers never need a nil check.
+func FromContext(ctx context.Context) *Registry {
+	if r, ok := ctx.Value(registryKey{}).(*Registry); ok && r != nil {
+		return r
+	}
+	return defaultRegistry
+}

@@ -269,7 +269,7 @@ func (g *Graph) Run(ctx context.Context, env *Env) (*Result, error) {
 		// StageCached event tells progress listeners why it is silent.
 		// An undecodable entry falls through to recomputation.
 		if caching && canCache && !taint {
-			if data, ok := env.Cache.Get(fps[idx]); ok {
+			if data, ok := env.Cache.GetCtx(ctx, fps[idx]); ok {
 				if out, err := cacheable.Decode(data); err == nil {
 					outputs[idx] = out
 					res.outputs[name] = out
@@ -342,7 +342,7 @@ func (g *Graph) Run(ctx context.Context, env *Env) (*Result, error) {
 		// Only clean, validated, untainted outputs are stored.
 		if caching && canCache && runErr == nil && !tainted[idx] {
 			if data, err := cacheable.Encode(out); err == nil {
-				env.Cache.Put(fps[idx], data)
+				env.Cache.PutCtx(ctx, fps[idx], data)
 			}
 		}
 	}

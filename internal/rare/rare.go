@@ -18,12 +18,31 @@ import (
 	"cghti/internal/stage"
 )
 
-// Observability counters (process-wide; run reports record deltas).
-var (
-	cntExtractions = obs.NewCounter("rare.extractions")
-	cntVectors     = obs.NewCounter("rare.vectors_simulated")
-	gaugeRareNodes = obs.NewGauge("rare.nodes")
-)
+// meters holds the package's metric handles, resolved per extraction
+// from the context registry (obs.FromContext) so concurrent runs under
+// scoped registries attribute work to their own reports.
+type meters struct {
+	extractions *obs.Counter
+	vectors     *obs.Counter
+	rareNodes   *obs.Gauge
+}
+
+func metersFor(r *obs.Registry) *meters {
+	if r == nil || r == obs.Default() {
+		return defaultMeters
+	}
+	return newMeters(r)
+}
+
+func newMeters(r *obs.Registry) *meters {
+	return &meters{
+		extractions: r.Counter("rare.extractions"),
+		vectors:     r.Counter("rare.vectors_simulated"),
+		rareNodes:   r.Gauge("rare.nodes"),
+	}
+}
+
+var defaultMeters = newMeters(obs.Default())
 
 // DefaultVectors is the paper's chosen |V| (Figure 3 shows the rare-node
 // count is stable from 10,000 vectors on).
@@ -144,7 +163,10 @@ func ExtractContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Set, 
 	}
 	defer sim.ReleasePacked(p)
 	p.SetWorkers(cfg.Workers)
-	cntExtractions.Inc()
+	reg := obs.FromContext(ctx)
+	p.SetRegistry(reg)
+	met := metersFor(reg)
+	met.extractions.Inc()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ones := make([]int64, n.NumGates())
 	done := ctx.Done()
@@ -152,11 +174,11 @@ func ExtractContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Set, 
 	for remaining > 0 {
 		select {
 		case <-done:
-			return partialSet(n, cfg, ones, cfg.Vectors-remaining), ctx.Err()
+			return partialSet(n, cfg, ones, cfg.Vectors-remaining, met), ctx.Err()
 		default:
 		}
 		if err := chaos.Hit(stage.RareExtract, 0); err != nil {
-			return partialSet(n, cfg, ones, cfg.Vectors-remaining), err
+			return partialSet(n, cfg, ones, cfg.Vectors-remaining, met), err
 		}
 		batch := p.Patterns()
 		if batch > remaining {
@@ -166,25 +188,25 @@ func ExtractContext(ctx context.Context, n *netlist.Netlist, cfg Config) (*Set, 
 		p.Run()
 		p.CountOnes(ones, batch)
 		remaining -= batch
-		cntVectors.Add(int64(batch))
+		met.vectors.Add(int64(batch))
 		if cfg.Progress != nil {
 			cfg.Progress(cfg.Vectors-remaining, cfg.Vectors)
 		}
 	}
 	s := buildSet(n, cfg, ones)
-	gaugeRareNodes.Set(int64(s.Len()))
+	met.rareNodes.Set(int64(s.Len()))
 	return s, nil
 }
 
 // partialSet thresholds an interrupted extraction over the vectors
 // actually simulated; nil when no batch completed.
-func partialSet(n *netlist.Netlist, cfg Config, ones []int64, vectorsDone int) *Set {
+func partialSet(n *netlist.Netlist, cfg Config, ones []int64, vectorsDone int, met *meters) *Set {
 	if vectorsDone <= 0 {
 		return nil
 	}
 	cfg.Vectors = vectorsDone
 	s := buildSet(n, cfg, ones)
-	gaugeRareNodes.Set(int64(s.Len()))
+	met.rareNodes.Set(int64(s.Len()))
 	return s
 }
 

@@ -98,14 +98,14 @@ func ExtractCached(ctx context.Context, c *artifact.Cache, n *netlist.Netlist, c
 		return ExtractContext(ctx, n, cfg)
 	}
 	fp := artifact.Derive(stage.RareExtract, st.CacheConfig(), base)
-	if data, ok := c.Get(fp); ok {
+	if data, ok := c.GetCtx(ctx, fp); ok {
 		if rs, err := DecodeSet(data); err == nil {
 			return rs, nil
 		}
 	}
 	rs, err := ExtractContext(ctx, n, st.Cfg)
 	if err == nil && rs != nil {
-		c.Put(fp, EncodeSet(rs))
+		c.PutCtx(ctx, fp, EncodeSet(rs))
 	}
 	return rs, err
 }

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"cghti/internal/obs"
+)
+
+// routes wires the daemon's endpoints. Method-qualified patterns and
+// PathValue need go1.22's ServeMux, which the module already requires.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// maxRequestBytes bounds request bodies (netlists are text; the largest
+// paper circuit is well under 1 MiB).
+const maxRequestBytes = 16 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// submitResponse acknowledges an accepted job.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+}
+
+// decodeRequest parses a JSON request body into v.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// respondSubmit maps submit outcomes to HTTP: accepted jobs get 202, a
+// full queue gets 429 with Retry-After (backpressure — the client
+// should resubmit, nothing was registered), and a draining server gets
+// 503 (terminal for this process — resubmitting here won't help).
+func respondSubmit(w http.ResponseWriter, j *Job, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	default:
+		// Report the status as of submit time: a worker may already be
+		// flipping the job to running, and j.Status is mutex-guarded.
+		writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, Status: StatusQueued})
+	}
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	// Parse at submit so a malformed netlist is the client's 400, not a
+	// failed job discovered by polling.
+	run, err := s.generateJob(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	j, err := s.submit("generate", run)
+	respondSubmit(w, j, err)
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req DetectRequest
+	if !decodeRequest(w, r, &req) {
+		return
+	}
+	run, err := s.detectJob(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	j, err := s.submit("detect", run)
+	respondSubmit(w, j, err)
+}
+
+// jobView is the wire form of a job's state.
+type jobView struct {
+	ID        string      `json:"id"`
+	Kind      string      `json:"kind"`
+	Status    Status      `json:"status"`
+	Submitted string      `json:"submitted"`
+	Started   string      `json:"started,omitempty"`
+	Finished  string      `json:"finished,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	Result    any         `json:"result,omitempty"`
+	Report    *obs.Report `json:"report,omitempty"`
+}
+
+const timeLayout = "2006-01-02T15:04:05.000Z07:00"
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var view jobView
+	if ok {
+		view = jobView{
+			ID:        j.ID,
+			Kind:      j.Kind,
+			Status:    j.Status,
+			Submitted: j.Submitted.Format(timeLayout),
+			Error:     j.Err,
+			Result:    j.Result,
+			Report:    j.Report,
+		}
+		if !j.Started.IsZero() {
+			view.Started = j.Started.Format(timeLayout)
+		}
+		if !j.Finished.IsZero() {
+			view.Finished = j.Finished.Format(timeLayout)
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics reports the process-wide registry (scoped per-job
+// registries mirror into it, so these are complete totals) plus queue
+// occupancy.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Default().Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"counters": snap.Counters,
+		"gauges":   snap.Gauges,
+		"queue": map[string]int{
+			"depth":    len(s.queue),
+			"capacity": cap(s.queue),
+		},
+	})
+}

@@ -1,0 +1,371 @@
+// Package serve is the long-running job daemon behind cmd/htserved: it
+// accepts .bench generation and detection jobs over HTTP, runs them on
+// a bounded worker pool with a backpressure-limited queue, and reports
+// per-job results and metrics.
+//
+// Concurrency model: every job runs under its own scoped metrics
+// registry (obs.NewScoped), so each job's report is an exact account of
+// its own work even while other jobs run concurrently — the scoped
+// registries mirror into the process default, which keeps /metrics
+// whole-process totals intact. All jobs share one artifact cache, so a
+// job resubmitting a netlist another job already processed hits warm
+// artifacts.
+//
+// Lifecycle: Start launches the workers; Drain stops intake (submits
+// get 503, /healthz flips to 503), lets running jobs finish until the
+// drain context expires (then cancels them), marks still-queued jobs
+// canceled, and returns a final whole-process report.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cghti/internal/artifact"
+	"cghti/internal/obs"
+)
+
+// Server metrics live in the process default registry: the daemon's own
+// bookkeeping is whole-process state, not per-job work.
+var (
+	cntAccepted  = obs.NewCounter("serve.jobs_accepted")
+	cntRejected  = obs.NewCounter("serve.jobs_rejected")
+	cntCompleted = obs.NewCounter("serve.jobs_completed")
+	cntFailed    = obs.NewCounter("serve.jobs_failed")
+	cntCanceled  = obs.NewCounter("serve.jobs_canceled")
+	gaugeQueued  = obs.NewGauge("serve.queue_depth")
+	gaugeRunning = obs.NewGauge("serve.jobs_running")
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	DefaultWorkers    = 2
+	DefaultQueueDepth = 8
+	DefaultJobTimeout = 2 * time.Minute
+	DefaultRetainJobs = 256
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Workers is the job worker-pool size (DefaultWorkers if 0): at
+	// most this many jobs run concurrently.
+	Workers int
+	// QueueDepth bounds the backlog of accepted-but-not-started jobs
+	// (DefaultQueueDepth if 0). A submit that finds the queue full is
+	// rejected with 429 and a Retry-After header — backpressure instead
+	// of unbounded memory growth.
+	QueueDepth int
+	// JobTimeout caps each job's run time (DefaultJobTimeout if 0). A
+	// request may ask for less via timeout_ms but never more.
+	JobTimeout time.Duration
+	// JobWorkers is the per-job simulation/ATPG goroutine budget
+	// (1 if 0). Kept small by default: the pool's concurrency comes
+	// from running jobs in parallel, not from fanning out inside one.
+	JobWorkers int
+	// Cache is the artifact store shared by every job (a fresh
+	// memory-only cache if nil).
+	Cache *artifact.Cache
+	// RetainJobs bounds how many finished jobs stay queryable
+	// (DefaultRetainJobs if 0); the oldest finished jobs are forgotten
+	// first.
+	RetainJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = DefaultJobTimeout
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 1
+	}
+	if c.Cache == nil {
+		c.Cache = artifact.NewCache(0, 0)
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = DefaultRetainJobs
+	}
+	return c
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Job is one unit of accepted work. Fields are guarded by the server
+// mutex; handlers read them only through snapshotLocked.
+type Job struct {
+	ID        string
+	Kind      string // "generate" | "detect"
+	Status    Status
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	Err       string
+	// Result is the kind-specific outcome (GenerateResult or
+	// DetectResult), set on StatusDone.
+	Result any
+	// Report is the job's observability record: its span trace plus the
+	// exact metric account of its own work (scoped registry snapshot,
+	// no delta against other jobs' concurrent increments).
+	Report *obs.Report
+
+	run    func(ctx context.Context, reg *obs.Registry, trace *obs.Trace) (any, error)
+	cancel context.CancelFunc
+}
+
+// Server is the job daemon. Construct with New, wire Handler into an
+// http.Server, call Start, and Drain on shutdown.
+type Server struct {
+	cfg      Config
+	queue    chan *Job
+	drainCh  chan struct{}
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // finished job IDs, oldest first, for retention
+
+	nextID  atomic.Int64
+	started time.Time
+	snap0   obs.Snapshot
+}
+
+// New builds a Server; no goroutines run until Start.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		drainCh: make(chan struct{}),
+		jobs:    make(map[string]*Job),
+		started: time.Now(),
+		snap0:   obs.Default().Snapshot(),
+	}
+}
+
+// Cache returns the artifact store shared by every job.
+func (s *Server) Cache() *artifact.Cache { return s.cfg.Cache }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Priority check so a worker that becomes free during a drain
+		// does not pick up more queued work.
+		select {
+		case <-s.drainCh:
+			return
+		default:
+		}
+		select {
+		case <-s.drainCh:
+			return
+		case j := <-s.queue:
+			gaugeQueued.Set(int64(len(s.queue)))
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job under its own scoped registry, trace, and
+// deadline. The job's report snapshots the scoped registry — an exact
+// per-job account even with other jobs running concurrently.
+func (s *Server) runJob(j *Job) {
+	reg := obs.NewScoped(nil)
+	trace := obs.NewTrace()
+	ctx, cancel := context.WithCancel(context.Background())
+	ctx = obs.WithRegistry(ctx, reg)
+
+	s.mu.Lock()
+	if j.Status != StatusQueued { // canceled while queued
+		s.mu.Unlock()
+		cancel()
+		return
+	}
+	j.Status = StatusRunning
+	j.Started = time.Now()
+	j.cancel = cancel
+	running := s.countRunningLocked()
+	s.mu.Unlock()
+	gaugeRunning.Set(running)
+	defer cancel()
+
+	result, err := j.run(ctx, reg, trace)
+
+	rep := obs.NewReport("htserved."+j.Kind, trace, reg.Snapshot())
+	rep.Extra = map[string]any{"job_id": j.ID}
+
+	s.mu.Lock()
+	j.Finished = time.Now()
+	j.Report = rep
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.Status = StatusDone
+		j.Result = result
+		cntCompleted.Inc()
+	case context.Cause(ctx) == context.Canceled && s.draining.Load():
+		j.Status = StatusCanceled
+		j.Err = "canceled: server draining"
+		cntCanceled.Inc()
+	default:
+		j.Status = StatusFailed
+		j.Err = err.Error()
+		cntFailed.Inc()
+	}
+	s.noteFinishedLocked(j)
+	running = s.countRunningLocked()
+	s.mu.Unlock()
+	gaugeRunning.Set(running)
+}
+
+func (s *Server) countRunningLocked() int64 {
+	var n int64
+	for _, j := range s.jobs {
+		if j.Status == StatusRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// noteFinishedLocked records a finished job for retention trimming and
+// forgets the oldest finished jobs beyond the cap.
+func (s *Server) noteFinishedLocked(j *Job) {
+	s.finished = append(s.finished, j.ID)
+	for len(s.finished) > s.cfg.RetainJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// submit registers and enqueues a job, or rejects it when the daemon is
+// draining (ErrDraining) or the queue is full (ErrQueueFull).
+func (s *Server) submit(kind string, run func(ctx context.Context, reg *obs.Registry, trace *obs.Trace) (any, error)) (*Job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		Kind:      kind,
+		Status:    StatusQueued,
+		Submitted: time.Now(),
+		run:       run,
+	}
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	select {
+	case s.queue <- j:
+		cntAccepted.Inc()
+		gaugeQueued.Set(int64(len(s.queue)))
+		return j, nil
+	default:
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		cntRejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Sentinel submit failures, mapped to HTTP statuses by the handlers.
+var (
+	ErrQueueFull = fmt.Errorf("serve: job queue full")
+	ErrDraining  = fmt.Errorf("serve: server draining")
+)
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the pool down: intake stops immediately
+// (submits and /healthz return 503), running jobs keep going until ctx
+// expires (then their contexts are canceled), never-started jobs are
+// marked canceled, and the returned report records the whole process's
+// work since New. Safe to call once; subsequent calls return nil.
+func (s *Server) Drain(ctx context.Context) *obs.Report {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.drainCh)
+
+	// Wait for in-flight jobs; cancel them if the drain budget expires.
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			if j.Status == StatusRunning && j.cancel != nil {
+				j.cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	// No worker is pulling anymore; everything left in the queue never
+	// started.
+	for {
+		select {
+		case j := <-s.queue:
+			s.mu.Lock()
+			j.Status = StatusCanceled
+			j.Err = "canceled: server draining"
+			j.Finished = time.Now()
+			s.noteFinishedLocked(j)
+			s.mu.Unlock()
+			cntCanceled.Inc()
+		default:
+			gaugeQueued.Set(0)
+			gaugeRunning.Set(0)
+			rep := obs.NewReport("htserved", nil, obs.Default().Snapshot().Delta(s.snap0))
+			rep.Extra = map[string]any{
+				"uptime":         time.Since(s.started).String(),
+				"jobs_accepted":  cntAccepted.Value(),
+				"jobs_completed": cntCompleted.Value(),
+				"jobs_failed":    cntFailed.Value(),
+				"jobs_canceled":  cntCanceled.Value(),
+				"jobs_rejected":  cntRejected.Value(),
+			}
+			return rep
+		}
+	}
+}
+
+// Handler returns the daemon's HTTP mux (see http.go for the routes).
+func (s *Server) Handler() http.Handler { return s.routes() }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"cghti/internal/netlist"
+	"cghti/internal/obs"
 )
 
 // Event is an event-driven two-valued simulator. It keeps the full value
@@ -23,6 +24,7 @@ type Event struct {
 	// rare-hit counts incrementally instead of rescanning every node.
 	changed       []netlist.GateID
 	pendingInputs []netlist.GateID
+	met           *meters
 }
 
 // NewEvent builds an event-driven simulator; all values start at 0 and
@@ -36,11 +38,16 @@ func NewEvent(n *netlist.Netlist) (*Event, error) {
 		vals:     make([]uint8, len(n.Gates)),
 		dirty:    make([]bool, len(n.Gates)),
 		maxLevel: n.MaxLevel(),
+		met:      defaultMeters,
 	}
 	e.byLevel = make([][]netlist.GateID, e.maxLevel+1)
 	e.FullEval()
 	return e, nil
 }
+
+// SetRegistry points the simulator's counters at r (see
+// Packed.SetRegistry).
+func (e *Event) SetRegistry(r *obs.Registry) { e.met = metersFor(r) }
 
 // Val returns the current value of gate id.
 func (e *Event) Val(id netlist.GateID) uint8 { return e.vals[id] }
@@ -76,7 +83,7 @@ func (e *Event) scheduleFanout(id netlist.GateID) {
 // Propagate settles all scheduled events and returns the number of gates
 // whose value changed. Changed (inputs plus gates) lists them afterwards.
 func (e *Event) Propagate() int {
-	cntEventProps.Inc()
+	e.met.eventProps.Inc()
 	e.changed = append(e.changed[:0], e.pendingInputs...)
 	e.pendingInputs = e.pendingInputs[:0]
 	changed := 0

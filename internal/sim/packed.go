@@ -31,14 +31,33 @@ import (
 	"cghti/internal/obs"
 )
 
-// Observability counters, bulk-added once per simulation call so the
-// per-gate inner loops stay untouched.
-var (
-	cntPackedRuns    = obs.NewCounter("sim.packed_runs")
-	cntPackedVectors = obs.NewCounter("sim.packed_vectors")
-	cntPackedShards  = obs.NewCounter("sim.packed_shards")
-	cntEventProps    = obs.NewCounter("sim.event_propagations")
-)
+// meters holds the package's metric handles, resolved once per engine
+// against a registry (the process default, or a per-run scoped registry
+// — see obs.NewScoped) so the per-Run bulk adds stay one atomic each.
+type meters struct {
+	packedRuns    *obs.Counter
+	packedVectors *obs.Counter
+	packedShards  *obs.Counter
+	eventProps    *obs.Counter
+}
+
+func metersFor(r *obs.Registry) *meters {
+	if r == nil || r == obs.Default() {
+		return defaultMeters
+	}
+	return newMeters(r)
+}
+
+func newMeters(r *obs.Registry) *meters {
+	return &meters{
+		packedRuns:    r.Counter("sim.packed_runs"),
+		packedVectors: r.Counter("sim.packed_vectors"),
+		packedShards:  r.Counter("sim.packed_shards"),
+		eventProps:    r.Counter("sim.event_propagations"),
+	}
+}
+
+var defaultMeters = newMeters(obs.Default())
 
 // minShardWords is the smallest word block worth handing to a
 // goroutine: below this the fork/join overhead dominates the kernel
@@ -59,6 +78,7 @@ type Packed struct {
 	prog    []op
 	words   int
 	workers int
+	met     *meters
 	vals    []uint64 // gate g, word w -> vals[int(g)*words+w]
 }
 
@@ -86,6 +106,7 @@ func NewPackedWorkers(n *netlist.Netlist, words, workers int) (*Packed, error) {
 		n:     n,
 		prog:  compileProgram(n, topo),
 		words: words,
+		met:   defaultMeters,
 		vals:  make([]uint64, len(n.Gates)*words),
 	}
 	p.SetWorkers(workers)
@@ -111,6 +132,13 @@ func (p *Packed) SetWorkers(workers int) {
 
 // Workers returns the resolved Run goroutine budget.
 func (p *Packed) Workers() int { return p.workers }
+
+// SetRegistry points the engine's simulation counters at r, so a
+// per-run scoped registry attributes the engine's work to that run
+// (nil or obs.Default() restores the process-wide handles). Pooled
+// engines are reset to the default on AcquirePacked; callers running
+// under a scoped registry re-point them after acquiring.
+func (p *Packed) SetRegistry(r *obs.Registry) { p.met = metersFor(r) }
 
 // SetWord sets the pattern word w of gate id (a PI or DFF).
 func (p *Packed) SetWord(id netlist.GateID, w int, bits uint64) {
@@ -157,14 +185,14 @@ func (p *Packed) Randomize(rng *rand.Rand) {
 // computed by the same compiled kernel sequence either way, so the
 // output is bit-identical for any worker count.
 func (p *Packed) Run() {
-	cntPackedRuns.Inc()
-	cntPackedVectors.Add(int64(64 * p.words))
+	p.met.packedRuns.Inc()
+	p.met.packedVectors.Add(int64(64 * p.words))
 	shards := p.shardCount()
 	if shards <= 1 {
 		runProgram(p.prog, p.vals, p.words, 0, p.words)
 		return
 	}
-	cntPackedShards.Add(int64(shards))
+	p.met.packedShards.Add(int64(shards))
 	// A panic in a shard goroutine would kill the whole process (no
 	// deferred recover can catch a panic on another goroutine), so each
 	// shard captures its panic and the first one is re-raised here on

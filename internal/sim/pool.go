@@ -45,6 +45,9 @@ func AcquirePacked(n *netlist.Netlist, words int) (*Packed, error) {
 		packedPool.free[key] = list[:len(list)-1]
 		packedPool.Unlock()
 		p.SetWorkers(1)
+		// A pooled engine may have been released by a run with a scoped
+		// registry; reset so its counters never leak into another run.
+		p.SetRegistry(nil)
 		return p, nil
 	}
 	packedPool.Unlock()

@@ -15,8 +15,18 @@ import (
 	"cghti/internal/stage"
 )
 
-// cntInstances counts trojan instances spliced process-wide.
-var cntInstances = obs.NewCounter("trojan.instances_inserted")
+// instancesCounter resolves the insertion counter against the registry
+// carried by ctx, so per-run scoped registries attribute each splice to
+// their own run (the process default otherwise).
+func instancesCounter(ctx context.Context) *obs.Counter {
+	r := obs.FromContext(ctx)
+	if r == obs.Default() {
+		return cntInstancesDefault
+	}
+	return r.Counter("trojan.instances_inserted")
+}
+
+var cntInstancesDefault = obs.NewCounter("trojan.instances_inserted")
 
 // PayloadKind selects the trojan's effect once triggered.
 type PayloadKind int
@@ -114,7 +124,7 @@ func InsertInstanceContext(ctx context.Context, n *netlist.Netlist, nodes []rare
 	if len(nodes) == 0 {
 		return nil, nil, fmt.Errorf("trojan: empty trigger-node set")
 	}
-	cntInstances.Inc()
+	instancesCounter(ctx).Inc()
 	tspec := spec.Trigger
 	tspec.Seed = spec.Seed ^ int64(uint64(index)*0x9e3779b97f4a7c15)
 	trig, err := BuildTrigger(nodes, tspec)
