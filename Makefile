@@ -22,11 +22,18 @@ fmt:
 test:
 	$(GO) test ./...
 
-# The module must stay stdlib-only: `go list -m all` reports exactly
-# one module (cghti itself) when no third-party dependency has crept in.
+# The module must stay stdlib-only, two ways: `go list -m all` reports
+# exactly one module (cghti itself) when no third-party dependency has
+# crept into go.mod, and the transitive import graph of every package —
+# including the cmd/ tools like htload — resolves to stdlib or cghti
+# packages only (catches a vendored or replace-directive smuggle that
+# the module count would miss).
 modcheck:
 	@mods=$$($(GO) list -m all | wc -l); if [ "$$mods" -ne 1 ]; then \
 		echo "module is no longer stdlib-only:"; $(GO) list -m all; exit 1; fi
+	@ext=$$($(GO) list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' ./... | grep -v '^cghti' || true); \
+	if [ -n "$$ext" ]; then \
+		echo "non-stdlib imports outside the module:"; echo "$$ext"; exit 1; fi
 
 # The explicit -timeout keeps a hung cancellation path from stalling CI
 # for the 10-minute default. The executor and artifact store are named
@@ -35,7 +42,7 @@ modcheck:
 # cache.
 race:
 	$(GO) test -race -timeout 5m ./...
-	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact ./internal/serve ./internal/obs
+	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact ./internal/serve ./internal/obs ./cmd/htload
 
 # Short fuzz smoke: each native fuzz target runs briefly so a parser
 # regression that panics or hangs on malformed input fails the gate.
@@ -58,6 +65,8 @@ bench:
 	@echo "wrote BENCH_sim.json"
 	$(GO) test -run '^$$' -bench 'PipelineCache' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
+	$(GO) run ./cmd/htload -jobs 120 -concurrency 8 -out BENCH_serve.json
+	@echo "wrote BENCH_serve.json"
 
 benchall:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -1,0 +1,396 @@
+// Command htload is the serving-path load generator: it drives N
+// trojan-generation jobs against an htserved daemon at a fixed
+// concurrency, waits for each job over its SSE event stream, and
+// records client-observed end-to-end latency percentiles plus
+// throughput as BENCH_serve.json — the same committed-and-diffed shape
+// as BENCH_sim.json and BENCH_pipeline.json (see cmd/benchjson).
+//
+// Usage:
+//
+//	htload -jobs 120 -concurrency 8 -out BENCH_serve.json
+//	htload -addr 127.0.0.1:8080 -jobs 500 -concurrency 16
+//
+// With -addr empty (the default) htload self-hosts: it starts an
+// in-process serve.Server on a loopback port, runs the load through
+// real HTTP, and drains it afterwards — so `make bench` needs no
+// daemon orchestration. Point -addr at a running htserved to load-test
+// a real deployment instead.
+//
+// A 429 (queue full) is backpressure, not an error: the submitter backs
+// off and retries, so the daemon's bounded queue shapes the arrival
+// rate exactly as it would for a real client fleet.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cghti/internal/bench"
+	"cghti/internal/cli"
+	"cghti/internal/gen"
+	"cghti/internal/serve"
+)
+
+const tool = "htload"
+
+// loadConfig is one load run's shape.
+type loadConfig struct {
+	Addr        string // daemon address; empty self-hosts
+	Jobs        int
+	Concurrency int
+	Circuit     string
+	Seed        int64
+	Workers     int // self-hosted pool size
+	Queue       int // self-hosted queue depth
+	Timeout     time.Duration
+}
+
+// jsonResult mirrors cmd/benchjson's Result so BENCH_serve.json diffs
+// with the same tooling as the other BENCH files.
+type jsonResult struct {
+	Name    string             `json:"name"`
+	Package string             `json:"package,omitempty"`
+	Iters   int64              `json:"iterations"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// jsonDoc mirrors cmd/benchjson's Doc. Baseline is carried over from an
+// existing output file, never written fresh.
+type jsonDoc struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	NumCPU      int             `json:"num_cpu"`
+	Baseline    json.RawMessage `json:"baseline,omitempty"`
+	Results     []jsonResult    `json:"results"`
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "htserved address (host:port); empty self-hosts an in-process daemon")
+		jobs        = flag.Int("jobs", 120, "total jobs to run")
+		concurrency = flag.Int("concurrency", 8, "concurrent submitters")
+		circuit     = flag.String("circuit", "c17", "catalog circuit for the generate jobs")
+		seed        = flag.Int64("seed", 1, "base seed; job i uses seed+i so runs are deterministic and uncached")
+		workers     = flag.Int("workers", serve.DefaultWorkers, "self-hosted pool size (ignored with -addr)")
+		queue       = flag.Int("queue", serve.DefaultQueueDepth, "self-hosted queue depth (ignored with -addr)")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "whole-run deadline")
+		out         = flag.String("out", "BENCH_serve.json", "output file (stdout if \"-\")")
+	)
+	flag.Parse()
+
+	cfg := loadConfig{
+		Addr: *addr, Jobs: *jobs, Concurrency: *concurrency,
+		Circuit: *circuit, Seed: *seed, Workers: *workers,
+		Queue: *queue, Timeout: *timeout,
+	}
+	doc, err := run(cfg)
+	if err != nil {
+		cli.Fatal(tool, err)
+	}
+	if *out == "-" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			cli.Fatal(tool, err)
+		}
+		return
+	}
+	if err := writeDoc(*out, doc); err != nil {
+		cli.Fatal(tool, err)
+	}
+	r := doc.Results[0]
+	fmt.Fprintf(os.Stderr, "%s: %s: %d jobs, p50 %.1fms p90 %.1fms p99 %.1fms, %.1f jobs/s, %d errors\n",
+		tool, r.Name, r.Iters, r.Metrics["p50_ms"], r.Metrics["p90_ms"], r.Metrics["p99_ms"],
+		r.Metrics["jobs_per_s"], int(r.Metrics["errors"]))
+}
+
+// run executes one load run and builds the result document.
+func run(cfg loadConfig) (*jsonDoc, error) {
+	if cfg.Jobs <= 0 || cfg.Concurrency <= 0 {
+		return nil, fmt.Errorf("need positive -jobs and -concurrency")
+	}
+	n, err := gen.Benchmark(cfg.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	if err := bench.Write(&sb, n); err != nil {
+		return nil, err
+	}
+	benchText := sb.String()
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
+	defer cancel()
+
+	base := cfg.Addr
+	if base == "" {
+		srv, stop, err := selfHost(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		base = srv
+	}
+	base = "http://" + base
+
+	lat := make([]time.Duration, cfg.Jobs)
+	var failures atomic.Int64
+	var retries atomic.Int64
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	client := &http.Client{} // no client timeout: SSE streams outlive any fixed cap; ctx bounds the run
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				d, err := runJob(ctx, client, base, benchText, cfg, i, &retries)
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "%s: job %d: %v\n", tool, i, err)
+					continue
+				}
+				lat[i] = d
+			}
+		}()
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		select {
+		case jobCh <- i:
+		case <-ctx.Done():
+			close(jobCh)
+			wg.Wait()
+			return nil, fmt.Errorf("run deadline hit after %d/%d jobs", i, cfg.Jobs)
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ok := lat[:0:0]
+	for _, d := range lat {
+		if d > 0 {
+			ok = append(ok, d)
+		}
+	}
+	if len(ok) == 0 {
+		return nil, errors.New("every job failed")
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a] < ok[b] })
+	var sum time.Duration
+	for _, d := range ok {
+		sum += d
+	}
+	name := fmt.Sprintf("ServeLoad/%s/jobs=%d/conc=%d", cfg.Circuit, cfg.Jobs, cfg.Concurrency)
+	doc := &jsonDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Results: []jsonResult{{
+			Name:    name,
+			Package: "cghti/cmd/htload",
+			Iters:   int64(len(ok)),
+			NsPerOp: float64(sum.Nanoseconds()) / float64(len(ok)),
+			Metrics: map[string]float64{
+				"p50_ms":      ms(nearestRank(ok, 0.50)),
+				"p90_ms":      ms(nearestRank(ok, 0.90)),
+				"p99_ms":      ms(nearestRank(ok, 0.99)),
+				"jobs_per_s":  float64(len(ok)) / elapsed.Seconds(),
+				"errors":      float64(failures.Load()),
+				"retries_429": float64(retries.Load()),
+			},
+		}},
+	}
+	return doc, nil
+}
+
+// selfHost starts an in-process daemon on a loopback port and returns
+// its address plus a stop function that drains it.
+func selfHost(cfg loadConfig) (addr string, stop func(), err error) {
+	s := serve.New(serve.Config{Workers: cfg.Workers, QueueDepth: cfg.Queue})
+	s.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		s.Drain(ctx)
+	}, nil
+}
+
+// runJob submits one generate job and waits for its terminal status
+// over the SSE event stream. The returned duration is client-observed:
+// from the first submit attempt (including any 429 backoff — queue wait
+// the client experienced) to the result event.
+func runJob(ctx context.Context, client *http.Client, base, benchText string, cfg loadConfig, i int, retries *atomic.Int64) (time.Duration, error) {
+	req := serve.GenerateRequest{
+		Bench:           benchText,
+		Name:            cfg.Circuit,
+		Seed:            cfg.Seed + int64(i), // distinct seeds: real pipeline work per job, no warm-cache shortcut
+		Instances:       1,
+		MinTriggerNodes: 2,
+		RareVectors:     200,
+		RareThreshold:   0.4,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var id string
+	for {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/generate", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hr)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			resp.Body.Close()
+			retries.Add(1)
+			select {
+			case <-time.After(25 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			msg, _ := decodeError(resp)
+			resp.Body.Close()
+			return 0, fmt.Errorf("submit: status %d: %s", resp.StatusCode, msg)
+		}
+		var sub struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		id = sub.ID
+		break
+	}
+
+	status, errMsg, err := awaitResult(ctx, client, base, id)
+	if err != nil {
+		return 0, err
+	}
+	if status != string(serve.StatusDone) {
+		return 0, fmt.Errorf("job %s finished %s: %s", id, status, errMsg)
+	}
+	return time.Since(start), nil
+}
+
+// awaitResult tails the job's SSE stream until the terminal "result"
+// event. The stream replays missed events on connect, so there is no
+// submit/subscribe race to lose the result to.
+func awaitResult(ctx context.Context, client *http.Client, base, id string) (status, errMsg string, err error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return "", "", err
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := decodeError(resp)
+		return "", "", fmt.Errorf("events: status %d: %s", resp.StatusCode, msg)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: ") && event == "result":
+			var res struct {
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &res); err != nil {
+				return "", "", err
+			}
+			return res.Status, res.Error, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", "", err
+	}
+	return "", "", fmt.Errorf("job %s event stream ended without a result", id)
+}
+
+func decodeError(resp *http.Response) (string, error) {
+	var e struct {
+		Error string `json:"error"`
+	}
+	err := json.NewDecoder(resp.Body).Decode(&e)
+	return e.Error, err
+}
+
+// nearestRank is the nearest-rank percentile on a sorted slice.
+func nearestRank(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// writeDoc writes the document, carrying over an existing file's
+// baseline block the way cmd/benchjson does.
+func writeDoc(path string, doc *jsonDoc) error {
+	if prev, err := os.ReadFile(path); err == nil {
+		var old jsonDoc
+		if json.Unmarshal(prev, &old) == nil && len(old.Baseline) > 0 {
+			doc.Baseline = old.Baseline
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestLoadRunEndToEnd drives a small self-hosted load run — real HTTP,
+// real SSE completion — and checks the recorded document: every job
+// succeeded, the percentiles are populated and ordered, and the file
+// written matches the benchjson layout.
+func TestLoadRunEndToEnd(t *testing.T) {
+	cfg := loadConfig{
+		Jobs:        12,
+		Concurrency: 4,
+		Circuit:     "c17",
+		Seed:        100,
+		Workers:     4,
+		Queue:       8,
+		Timeout:     2 * time.Minute,
+	}
+	doc, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Iters != int64(cfg.Jobs) {
+		t.Fatalf("iterations = %d, want %d (some jobs failed)", r.Iters, cfg.Jobs)
+	}
+	if got := r.Metrics["errors"]; got != 0 {
+		t.Fatalf("errors = %v, want 0", got)
+	}
+	p50, p90, p99 := r.Metrics["p50_ms"], r.Metrics["p90_ms"], r.Metrics["p99_ms"]
+	if p50 <= 0 {
+		t.Fatalf("p50 = %v, want > 0", p50)
+	}
+	if p90 < p50 || p99 < p90 {
+		t.Fatalf("percentiles out of order: p50 %v p90 %v p99 %v", p50, p90, p99)
+	}
+	if r.Metrics["jobs_per_s"] <= 0 {
+		t.Fatalf("jobs_per_s = %v, want > 0", r.Metrics["jobs_per_s"])
+	}
+	if r.NsPerOp <= 0 {
+		t.Fatalf("ns_per_op = %v, want > 0", r.NsPerOp)
+	}
+
+	// The written file parses back as the benchjson document shape, and
+	// an existing baseline block survives a rewrite.
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	if err := os.WriteFile(path, []byte(`{"baseline":{"note":"keep"},"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeDoc(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back jsonDoc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 1 || back.Results[0].Name != r.Name {
+		t.Fatalf("written doc round-trip mismatch: %+v", back.Results)
+	}
+	if string(back.Baseline) == "" {
+		t.Fatal("existing baseline block was not carried over")
+	}
+}
+
+// TestNearestRank pins the percentile estimator.
+func TestNearestRank(t *testing.T) {
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := nearestRank(sorted, tc.q); got != tc.want {
+			t.Errorf("nearestRank(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := nearestRank(nil, 0.5); got != 0 {
+		t.Errorf("nearestRank(nil) = %v, want 0", got)
+	}
+}

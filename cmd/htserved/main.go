@@ -8,11 +8,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/generate   submit a generation job (JSON body; 202 + job id)
-//	POST /v1/detect     submit a detection job
-//	GET  /v1/jobs/{id}  poll a job's status, result and per-job report
-//	GET  /healthz       200 while serving, 503 while draining
-//	GET  /metrics       process-wide counters/gauges + queue occupancy
+//	POST /v1/generate          submit a generation job (JSON body; 202 + job id)
+//	POST /v1/detect            submit a detection job
+//	GET  /v1/jobs/{id}         poll a job's status, result and per-job report
+//	GET  /v1/jobs/{id}/events  stream the job's progress as Server-Sent Events
+//	GET  /healthz              200 + queue/worker occupancy, 503 while draining
+//	GET  /metrics              Prometheus text exposition (counters, gauges,
+//	                           latency histograms)
+//	GET  /metrics.json         the pre-Prometheus JSON metrics shape
 //
 // A full queue rejects submits with 429 and a Retry-After header. On
 // SIGINT/SIGTERM the daemon stops accepting work, gives in-flight jobs

@@ -103,6 +103,19 @@ func TestConcurrentGenerateIsolation(t *testing.T) {
 		if v := snap.Counters["rare.vectors_simulated"]; v <= 0 {
 			t.Fatalf("run %d rare.vectors_simulated = %d, want > 0", i, v)
 		}
+		// Latency histograms are isolated the same way: each run's
+		// registry holds exactly one timing per seed-dependent stage
+		// (stages cache-shared across runs would surface as
+		// cache_hit_time instead), not the fleet's combined 4.
+		for _, h := range []string{"pipeline.stage_time.rare_extract", "pipeline.stage_time.insert"} {
+			hs, ok := snap.Histograms[h]
+			if !ok {
+				t.Fatalf("run %d registry has no %s histogram", i, h)
+			}
+			if hs.Count != 1 {
+				t.Fatalf("run %d %s count = %d, want 1 (concurrent bleed?)", i, h, hs.Count)
+			}
+		}
 	}
 }
 
@@ -181,5 +194,16 @@ func TestRunMetricsMirrorIntoDefault(t *testing.T) {
 			t.Fatalf("default registry %s = %d, want >= per-run %d (mirror broken)",
 				name, delta.Counters[name], run.Counters[name])
 		}
+	}
+	// Histograms follow the same dual-write rule as counters.
+	const stageHist = "pipeline.stage_time.rare_extract"
+	rh, ok := run.Histograms[stageHist]
+	if !ok || rh.Count != 1 {
+		t.Fatalf("per-run histogram %s = %+v, want one observation", stageHist, rh)
+	}
+	dh := delta.Histograms[stageHist]
+	if dh.Count < rh.Count {
+		t.Fatalf("default registry %s count = %d, want >= per-run %d (histogram mirror broken)",
+			stageHist, dh.Count, rh.Count)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"cghti/internal/obs"
 )
@@ -25,6 +26,7 @@ type meters struct {
 	evictions     *obs.Counter
 	corrupt       *obs.Counter
 	diskEvictions *obs.Counter
+	getTime       *obs.Histogram
 }
 
 func metersFor(r *obs.Registry) *meters {
@@ -45,6 +47,7 @@ func newMeters(r *obs.Registry) *meters {
 		evictions:     r.Counter("artifact.cache_evictions"),
 		corrupt:       r.Counter("artifact.disk_corrupt"),
 		diskEvictions: r.Counter("artifact.disk_evictions"),
+		getTime:       r.Histogram("artifact.get_time"),
 	}
 }
 
@@ -318,7 +321,12 @@ func (c *Cache) GetCtx(ctx context.Context, fp Fingerprint) ([]byte, bool) {
 	return c.get(fp, metersCtx(ctx))
 }
 
+// get resolves fp across both tiers, timing the whole lookup (memory
+// hit, disk fallback, or miss) into the artifact.get_time histogram so
+// disk-tier stalls are visible as a latency mode, not just a counter.
 func (c *Cache) get(fp Fingerprint, met *meters) ([]byte, bool) {
+	start := time.Now()
+	defer func() { met.getTime.Observe(time.Since(start)) }()
 	c.mu.Lock()
 	if el, ok := c.entries[fp]; ok {
 		c.lru.MoveToFront(el)

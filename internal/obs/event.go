@@ -94,10 +94,10 @@ func (t *textSink) Emit(e Event) {
 		fmt.Fprintf(t.w, "[%s] start\n", e.Stage)
 	case StageProgress:
 		if e.Total > 0 {
-			fmt.Fprintf(t.w, "[%s] %d/%d (%d%%) %v\n",
-				e.Stage, e.Done, e.Total, 100*e.Done/e.Total, e.Elapsed.Round(time.Millisecond))
+			fmt.Fprintf(t.w, "[%s] %d/%d (%d%%) %v%s\n",
+				e.Stage, e.Done, e.Total, 100*e.Done/e.Total, e.Elapsed.Round(time.Millisecond), rateSuffix(e))
 		} else {
-			fmt.Fprintf(t.w, "[%s] %d done %v\n", e.Stage, e.Done, e.Elapsed.Round(time.Millisecond))
+			fmt.Fprintf(t.w, "[%s] %d done %v%s\n", e.Stage, e.Done, e.Elapsed.Round(time.Millisecond), rateSuffix(e))
 		}
 	case StageEnd:
 		fmt.Fprintf(t.w, "[%s] done in %v\n", e.Stage, e.Elapsed.Round(time.Millisecond))
@@ -106,4 +106,19 @@ func (t *textSink) Emit(e Event) {
 	case StageCached:
 		fmt.Fprintf(t.w, "[%s] served from cache\n", e.Stage)
 	}
+}
+
+// rateSuffix renders the items/sec throughput of a progress event
+// (" (1234/s)"), so -v runs on large circuits show whether a stage is
+// crawling or flying; empty when no time has elapsed yet.
+func rateSuffix(e Event) string {
+	secs := e.Elapsed.Seconds()
+	if secs <= 0 || e.Done <= 0 {
+		return ""
+	}
+	rate := float64(e.Done) / secs
+	if rate >= 10 {
+		return fmt.Sprintf(" (%.0f/s)", rate)
+	}
+	return fmt.Sprintf(" (%.1f/s)", rate)
 }

@@ -1,6 +1,7 @@
 // Package obs is the pipeline-wide observability layer: hierarchical
-// timed spans, named counters/gauges cheap enough for hot paths,
-// progress-event sinks, and JSON run reports.
+// timed spans, named counters/gauges/latency-histograms cheap enough
+// for hot paths, progress-event sinks, JSON run reports, and a
+// Prometheus text-exposition writer.
 //
 // The package uses only the standard library, and every primitive is
 // cheap enough to stay compiled in unconditionally: incrementing a
@@ -79,21 +80,23 @@ func (g *Gauge) Set(v int64) {
 // Value returns the last value set.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Registry holds named counters and gauges. Registration is
-// get-or-create by name, so multiple packages (or repeated test runs)
-// asking for the same name share one metric.
+// Registry holds named counters, gauges and histograms. Registration
+// is get-or-create by name, so multiple packages (or repeated test
+// runs) asking for the same name share one metric.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	parent   *Registry
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	parent     *Registry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -143,6 +146,25 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the histogram registered under name, creating it
+// if needed. Scoped registries mirror histograms exactly like counters:
+// every Observe applies to both the scoped histogram and the same-named
+// histogram in the parent, so a per-run registry holds that run's exact
+// latency distribution while the parent keeps whole-process totals.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{name: name}
+		if r.parent != nil {
+			h.mirror = r.parent.Histogram(name)
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Names returns the registered counter names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.Lock()
@@ -160,8 +182,9 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
-		Counters: make(map[string]int64, len(r.counters)),
-		Gauges:   make(map[string]int64, len(r.gauges)),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
@@ -169,22 +192,28 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
 	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
 	return s
 }
 
 // Snapshot is a point-in-time copy of a registry's metric values.
 type Snapshot struct {
-	Counters map[string]int64
-	Gauges   map[string]int64
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
 }
 
-// Delta subtracts base from s counter-wise, dropping counters that did
-// not move, so a run report attributes only the work of that run.
-// Gauges are last-value metrics and are kept as-is.
+// Delta subtracts base from s counter-wise (and bucket-wise for
+// histograms), dropping metrics that did not move, so a run report
+// attributes only the work of that run. Gauges are last-value metrics
+// and are kept as-is.
 func (s Snapshot) Delta(base Snapshot) Snapshot {
 	out := Snapshot{
-		Counters: make(map[string]int64, len(s.Counters)),
-		Gauges:   make(map[string]int64, len(s.Gauges)),
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
 	}
 	for name, v := range s.Counters {
 		if d := v - base.Counters[name]; d != 0 {
@@ -193,6 +222,11 @@ func (s Snapshot) Delta(base Snapshot) Snapshot {
 	}
 	for name, v := range s.Gauges {
 		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		if d, moved := h.Delta(base.Histograms[name]); moved {
+			out.Histograms[name] = d
+		}
 	}
 	return out
 }
@@ -210,6 +244,9 @@ func NewCounter(name string) *Counter { return defaultRegistry.Counter(name) }
 
 // NewGauge registers (or finds) a gauge in the default registry.
 func NewGauge(name string) *Gauge { return defaultRegistry.Gauge(name) }
+
+// NewHistogram registers (or finds) a histogram in the default registry.
+func NewHistogram(name string) *Histogram { return defaultRegistry.Histogram(name) }
 
 // registryKey carries the per-run registry through a context.
 type registryKey struct{}

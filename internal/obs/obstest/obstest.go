@@ -1,0 +1,146 @@
+// Package obstest holds test-only helpers for validating telemetry
+// output. It lives outside the _test.go files so the obs and serve test
+// suites can share one Prometheus text-format checker instead of each
+// pinning a drifting copy of the grammar.
+package obstest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format (0.0.4) line shapes.
+var (
+	helpRE   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	typeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?[0-9.eE+-]+|\+Inf)$`)
+)
+
+// ValidatePrometheusText checks a full exposition body against the
+// text-format grammar plus the histogram invariants a scraper relies
+// on: every sample is preceded by a TYPE for its family, bucket series
+// carry le labels with strictly increasing bounds and non-decreasing
+// cumulative counts, the "+Inf" bucket equals _count, and each
+// histogram has a _sum and a _count. It returns the number of histogram
+// families seen and a list of human-readable problems (empty when the
+// body is valid).
+func ValidatePrometheusText(body string) (histograms int, problems []string) {
+	type family struct {
+		typ        string
+		lastCum    uint64
+		lastLe     float64
+		sawInf     bool
+		infVal     uint64
+		count      uint64
+		sawSum     bool
+		sawCount   bool
+		bucketSeen bool
+	}
+	families := map[string]*family{}
+	errf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	// base maps a histogram series name (_bucket/_sum/_count suffixed)
+	// back to its family name.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suf); trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					return trimmed
+				}
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			if !helpRE.MatchString(line) {
+				errf("line %d: malformed HELP: %q", ln+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE"):
+			m := typeRE.FindStringSubmatch(line)
+			if m == nil {
+				errf("line %d: malformed TYPE: %q", ln+1, line)
+				continue
+			}
+			families[m[1]] = &family{typ: m[2]}
+		default:
+			m := sampleRE.FindStringSubmatch(line)
+			if m == nil {
+				errf("line %d: malformed sample: %q", ln+1, line)
+				continue
+			}
+			fam := families[base(m[1])]
+			if fam == nil {
+				errf("line %d: sample %q has no preceding TYPE", ln+1, m[1])
+				continue
+			}
+			if fam.typ != "histogram" {
+				if m[2] != "" {
+					errf("line %d: le label on non-histogram sample: %q", ln+1, line)
+				}
+				continue
+			}
+			val, verr := strconv.ParseUint(m[4], 10, 64)
+			switch {
+			case strings.HasSuffix(m[1], "_bucket"):
+				if m[2] == "" {
+					errf("line %d: bucket sample without le label: %q", ln+1, line)
+					continue
+				}
+				if verr != nil {
+					errf("line %d: non-integer bucket count: %q", ln+1, line)
+					continue
+				}
+				if m[3] == "+Inf" {
+					fam.sawInf, fam.infVal = true, val
+					continue
+				}
+				le, err := strconv.ParseFloat(m[3], 64)
+				if err != nil {
+					errf("line %d: bad le %q", ln+1, m[3])
+					continue
+				}
+				if fam.bucketSeen && le <= fam.lastLe {
+					errf("line %d: le bounds not increasing (%v after %v)", ln+1, le, fam.lastLe)
+				}
+				if val < fam.lastCum {
+					errf("line %d: bucket counts not cumulative (%d after %d)", ln+1, val, fam.lastCum)
+				}
+				fam.lastLe, fam.lastCum, fam.bucketSeen = le, val, true
+			case strings.HasSuffix(m[1], "_sum"):
+				fam.sawSum = true
+			case strings.HasSuffix(m[1], "_count"):
+				if verr != nil {
+					errf("line %d: non-integer count: %q", ln+1, line)
+					continue
+				}
+				fam.sawCount, fam.count = true, val
+			default:
+				errf("line %d: histogram family sample with unknown suffix: %q", ln+1, line)
+			}
+		}
+	}
+	for name, fam := range families {
+		if fam.typ != "histogram" {
+			continue
+		}
+		histograms++
+		if !fam.sawInf {
+			errf("histogram %s: missing +Inf bucket", name)
+		}
+		if !fam.sawSum || !fam.sawCount {
+			errf("histogram %s: missing _sum or _count", name)
+		}
+		if fam.infVal != fam.count {
+			errf("histogram %s: +Inf bucket %d != _count %d", name, fam.infVal, fam.count)
+		}
+		if fam.lastCum > fam.count {
+			errf("histogram %s: finite bucket %d exceeds _count %d", name, fam.lastCum, fam.count)
+		}
+	}
+	return histograms, problems
+}

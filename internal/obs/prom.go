@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format, version 0.0.4 (the format every Prometheus-family
+// scraper understands; serve it with Content-Type
+// "text/plain; version=0.0.4"). Hand-rolled on the standard library:
+//
+//   - metric names are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]* (the
+//     registry's dotted names map '.' to '_', and the original name is
+//     kept in the HELP line),
+//   - counters and gauges emit one HELP/TYPE pair and one sample,
+//   - histograms emit cumulative le-labeled _bucket series (trailing
+//     all-zero buckets elided, "+Inf" always equal to _count), plus
+//     _sum and _count. Durations are converted to base-unit seconds and
+//     the exposition name gains a _seconds suffix, per Prometheus
+//     naming convention.
+//
+// Metrics of each kind are emitted in sorted name order so the output
+// is deterministic for a given snapshot.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# HELP %s cghti counter %s\n# TYPE %s counter\n%s %d\n",
+			pn, promEscape(name), pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&b, "# HELP %s cghti gauge %s\n# TYPE %s gauge\n%s %d\n",
+			pn, promEscape(name), pn, pn, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name) + "_seconds"
+		fmt.Fprintf(&b, "# HELP %s cghti histogram %s (seconds)\n# TYPE %s histogram\n",
+			pn, promEscape(name), pn)
+		last := -1
+		for i, c := range h.Buckets {
+			if c > 0 {
+				last = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= last && i < NumHistogramBuckets-1; i++ {
+			cum += h.Buckets[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, promSeconds(float64(HistogramBound(i))/1e9), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", pn, promSeconds(h.Sum.Seconds()), pn, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promName sanitizes a registry metric name into the Prometheus metric
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; every invalid byte becomes
+// '_' (so the dotted registry names stay readable and distinct in
+// practice).
+func promName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// promEscape escapes a HELP docstring (backslash and newline, per the
+// exposition format).
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promSeconds formats a seconds value the shortest way that round-trips
+// as a float64 — the form Prometheus uses for both sample values and le
+// labels.
+func promSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,111 @@
+package obs_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cghti/internal/obs"
+	"cghti/internal/obs/obstest"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// promSnapshot builds a deterministic snapshot exercising every metric
+// kind: counters, gauges, and a histogram with observations spread
+// across several buckets (including one in the overflow bucket).
+func promSnapshot() obs.Snapshot {
+	r := obs.NewRegistry()
+	r.Counter("rare.extractions").Add(3)
+	r.Counter("serve.jobs_done").Add(42)
+	r.Gauge("serve.jobs_queued").Set(2)
+	h := r.Histogram("serve.queue_wait")
+	h.Observe(500 * time.Nanosecond)  // bucket 0 (le 1µs)
+	h.Observe(3 * time.Microsecond)   // bucket 2 (le 4µs)
+	h.Observe(3 * time.Microsecond)   // bucket 2 again
+	h.Observe(900 * time.Microsecond) // bucket 10 (le ~1.024ms)
+	h.Observe(100 * time.Hour)        // overflow bucket (+Inf only)
+	return r.Snapshot()
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte. Run with
+// -update to regenerate testdata/prom.golden after a deliberate format
+// change.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := obs.WritePrometheus(&b, promSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusGrammar validates the exposition against the text
+// format grammar and the histogram invariants, and pins a few exact
+// samples: cumulative bucket counts and the overflow observation
+// appearing only in +Inf.
+func TestWritePrometheusGrammar(t *testing.T) {
+	var b strings.Builder
+	if err := obs.WritePrometheus(&b, promSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	histograms, problems := obstest.ValidatePrometheusText(out)
+	for _, p := range problems {
+		t.Error(p)
+	}
+	if histograms != 1 {
+		t.Errorf("histogram families = %d, want 1", histograms)
+	}
+	for _, want := range []string{
+		`serve_queue_wait_seconds_bucket{le="1e-06"} 1`,
+		`serve_queue_wait_seconds_bucket{le="4e-06"} 3`,
+		`serve_queue_wait_seconds_bucket{le="+Inf"} 5`,
+		"serve_queue_wait_seconds_count 5",
+		"# TYPE serve_jobs_done counter",
+		"# TYPE serve_jobs_queued gauge",
+		"serve_jobs_done 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestValidatorRejectsBadExposition makes sure the shared grammar
+// checker actually fails on malformed bodies — a validator that passes
+// everything would make the serve-side /metrics test meaningless.
+func TestValidatorRejectsBadExposition(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_metric 3\n",
+		"broken +Inf invariant": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"non-cumulative buckets": "# HELP h x\n# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"bad metric name": "# HELP 1bad x\n# TYPE 1bad counter\n1bad 1\n",
+	}
+	for name, body := range cases {
+		if _, problems := obstest.ValidatePrometheusText(body); len(problems) == 0 {
+			t.Errorf("%s: validator accepted malformed exposition:\n%s", name, body)
+		}
+	}
+}

@@ -50,18 +50,47 @@ func recordSpans(spans []*Span) []SpanRecord {
 	return out
 }
 
+// HistogramStats is the JSON form of a latency histogram: the exact
+// count/sum plus interpolated percentiles, each duration appearing as
+// integer nanoseconds for machines and a human-readable string (the
+// SpanRecord convention).
+type HistogramStats struct {
+	Count uint64 `json:"count"`
+	SumNS int64  `json:"sum_ns"`
+	Sum   string `json:"sum"`
+	P50NS int64  `json:"p50_ns"`
+	P50   string `json:"p50"`
+	P90NS int64  `json:"p90_ns"`
+	P90   string `json:"p90"`
+	P99NS int64  `json:"p99_ns"`
+	P99   string `json:"p99"`
+}
+
+// Stats summarizes a histogram snapshot for reports.
+func (s HistogramSnapshot) Stats() HistogramStats {
+	p50, p90, p99 := s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99)
+	return HistogramStats{
+		Count: s.Count,
+		SumNS: s.Sum.Nanoseconds(), Sum: s.Sum.String(),
+		P50NS: p50.Nanoseconds(), P50: p50.String(),
+		P90NS: p90.Nanoseconds(), P90: p90.String(),
+		P99NS: p99.Nanoseconds(), P99: p99.String(),
+	}
+}
+
 // Report is one run's serialized observability record: the span tree
 // plus the metric deltas attributed to the run. Extra carries
 // tool-specific summary fields (circuit name, result sizes, ...).
 type Report struct {
-	Tool     string           `json:"tool,omitempty"`
-	Args     []string         `json:"args,omitempty"`
-	Start    time.Time        `json:"start"`
-	End      time.Time        `json:"end"`
-	Spans    []SpanRecord     `json:"spans"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
-	Extra    map[string]any   `json:"extra,omitempty"`
+	Tool       string                    `json:"tool,omitempty"`
+	Args       []string                  `json:"args,omitempty"`
+	Start      time.Time                 `json:"start"`
+	End        time.Time                 `json:"end"`
+	Spans      []SpanRecord              `json:"spans"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]int64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+	Extra      map[string]any            `json:"extra,omitempty"`
 }
 
 // NewReport assembles a report from a trace and a metrics snapshot
@@ -73,6 +102,12 @@ func NewReport(tool string, tr *Trace, metrics Snapshot) *Report {
 		Tool:     tool,
 		Counters: metrics.Counters,
 		Gauges:   metrics.Gauges,
+	}
+	if len(metrics.Histograms) > 0 {
+		rep.Histograms = make(map[string]HistogramStats, len(metrics.Histograms))
+		for name, h := range metrics.Histograms {
+			rep.Histograms[name] = h.Stats()
+		}
 	}
 	if tr != nil {
 		rep.Spans = tr.Records()

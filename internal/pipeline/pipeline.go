@@ -3,7 +3,8 @@
 // executes them in dependency order and owns — once, uniformly — the
 // cross-cutting machinery every stage needs: span start/end/abort,
 // per-stage soft time budgets, panic containment (obs.Guard), progress
-// events, the hard-stop vs graceful-degradation classification, and
+// events, per-stage latency histograms (hit vs miss) in the context
+// registry, the hard-stop vs graceful-degradation classification, and
 // content-addressed artifact caching.
 //
 // Failure semantics (identical to the hand-rolled pipeline this package
@@ -209,6 +210,14 @@ func (g *Graph) Run(ctx context.Context, env *Env) (*Result, error) {
 	fps := make([]artifact.Fingerprint, len(g.nodes))
 	tainted := make([]bool, len(g.nodes))
 
+	// Stage latency lands in the context registry (the per-run scoped
+	// registry under a daemon, the process default otherwise), split by
+	// how the stage was satisfied: pipeline.stage_time.<stage> for
+	// executed stages, pipeline.cache_hit_time.<stage> for cache hits —
+	// the hit-vs-miss wall-time distributions a serving fleet tunes its
+	// cache against.
+	reg := obs.FromContext(ctx)
+
 	// fail converts a stage's terminal error into the pipeline's error:
 	// the root span is aborted and the partial trace attached to the
 	// StageError (the innermost attribution — e.g. the worker that
@@ -269,8 +278,10 @@ func (g *Graph) Run(ctx context.Context, env *Env) (*Result, error) {
 		// StageCached event tells progress listeners why it is silent.
 		// An undecodable entry falls through to recomputation.
 		if caching && canCache && !taint {
+			lookup := time.Now()
 			if data, ok := env.Cache.GetCtx(ctx, fps[idx]); ok {
 				if out, err := cacheable.Decode(data); err == nil {
+					reg.Histogram("pipeline.cache_hit_time." + name).Observe(time.Since(lookup))
 					outputs[idx] = out
 					res.outputs[name] = out
 					res.Cached = append(res.Cached, name)
@@ -323,6 +334,7 @@ func (g *Graph) Run(ctx context.Context, env *Env) (*Result, error) {
 			tainted[idx] = true
 		} else {
 			sp.End()
+			reg.Histogram("pipeline.stage_time." + name).Observe(sp.Duration())
 			obs.Emit(env.Sink, obs.Event{Stage: name, Kind: obs.StageEnd, Elapsed: sp.Duration()})
 		}
 		tainted[idx] = tainted[idx] || taint

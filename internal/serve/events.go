@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"cghti/internal/obs"
+)
+
+// Per-job event-feed bounds. The ring holds the most recent events for
+// replay to late subscribers (a whole-percent-throttled pipeline run
+// emits well under this on the paper circuits); the subscriber buffer
+// is how far a live consumer may lag before events are dropped rather
+// than blocking the worker goroutine that emits them.
+const (
+	feedRingSize = 256
+	subBufSize   = 64
+)
+
+// feedEvent is one entry in a job's event feed and, marshaled as JSON,
+// the SSE data payload. Stage events carry Stage/Done/Total/ElapsedMS;
+// the terminal "result" event carries Status/Error; the synthetic
+// "dropped" event (Seq -1, never stored in the ring) carries Dropped.
+type feedEvent struct {
+	Seq       int64  `json:"seq"`
+	Event     string `json:"event"` // start|progress|end|abort|cached|result|dropped
+	Stage     string `json:"stage,omitempty"`
+	Done      int    `json:"done,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Status    Status `json:"status,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Dropped   int64  `json:"dropped,omitempty"`
+}
+
+// subscriber is one attached SSE consumer: a buffered live channel plus
+// a drop counter. The publisher never blocks on ch — when the buffer is
+// full it counts a drop instead, and the consumer surfaces the count as
+// an explicit "dropped" event once it catches up.
+type subscriber struct {
+	ch      chan feedEvent
+	dropped atomic.Int64
+}
+
+// eventFeed is a job's progress-event hub: it implements obs.Sink (the
+// job's pipeline emits into it from worker goroutines), retains the
+// last feedRingSize events for replay-on-connect, and fans live events
+// out to subscribers without ever blocking the emitting worker. Closing
+// the feed appends the terminal "result" event and closes every
+// subscriber channel, which is what ends the SSE streams.
+type eventFeed struct {
+	mu      sync.Mutex
+	ring    []feedEvent // oldest first, at most feedRingSize
+	nextSeq int64
+	subs    map[*subscriber]struct{}
+	closed  bool
+	final   *feedEvent // the terminal result event, once closed
+}
+
+func newEventFeed() *eventFeed {
+	return &eventFeed{subs: make(map[*subscriber]struct{})}
+}
+
+// Emit implements obs.Sink: stage progress events from the job's run
+// fan into the feed. Safe for concurrent use.
+func (f *eventFeed) Emit(e obs.Event) {
+	f.publish(feedEvent{
+		Event:     e.Kind.String(),
+		Stage:     e.Stage,
+		Done:      e.Done,
+		Total:     e.Total,
+		ElapsedMS: e.Elapsed.Milliseconds(),
+	})
+}
+
+func (f *eventFeed) publish(ev feedEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.append(ev)
+}
+
+// append assigns the next sequence number, stores ev in the ring and
+// offers it to every subscriber. Callers hold f.mu.
+func (f *eventFeed) append(ev feedEvent) {
+	ev.Seq = f.nextSeq
+	f.nextSeq++
+	f.ring = append(f.ring, ev)
+	if len(f.ring) > feedRingSize {
+		f.ring = f.ring[len(f.ring)-feedRingSize:]
+	}
+	for sub := range f.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+}
+
+// closeFinal appends the terminal "result" event and closes the feed:
+// subscriber channels are closed (after a best-effort offer of the
+// final event) and later publishes are no-ops. The SSE writer
+// guarantees final-event delivery even to a consumer whose buffer was
+// full — see streamFeed. Idempotent.
+func (f *eventFeed) closeFinal(status Status, errMsg string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	ev := feedEvent{Event: "result", Status: status, Error: errMsg}
+	f.append(ev)
+	stored := f.ring[len(f.ring)-1] // ev with its assigned Seq
+	f.final = &stored
+	f.closed = true
+	for sub := range f.subs {
+		close(sub.ch)
+	}
+	f.subs = make(map[*subscriber]struct{})
+}
+
+// subscribe returns a copy of the retained events for replay plus a
+// live subscriber registered for everything published afterwards — the
+// two are split atomically, so a consumer replaying then tailing sees
+// every retained event exactly once, in order. On an already-closed
+// feed the replay includes the final event and the channel comes back
+// closed.
+func (f *eventFeed) subscribe() ([]feedEvent, *subscriber) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	replay := append([]feedEvent(nil), f.ring...)
+	sub := &subscriber{ch: make(chan feedEvent, subBufSize)}
+	if f.closed {
+		close(sub.ch)
+	} else {
+		f.subs[sub] = struct{}{}
+	}
+	return replay, sub
+}
+
+func (f *eventFeed) unsubscribe(sub *subscriber) {
+	f.mu.Lock()
+	delete(f.subs, sub)
+	f.mu.Unlock()
+}
+
+func (f *eventFeed) finalEvent() *feedEvent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.final
+}
+
+// handleJobEvents streams a job's event feed as Server-Sent Events:
+// replay of the retained ring first, then the live tail, terminated by
+// the final "result" event when the job completes (or immediately after
+// replay if it already has). A consumer that cannot keep up loses
+// events but is told so with an explicit "dropped" event carrying the
+// count.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, sub := j.feed.subscribe()
+	defer j.feed.unsubscribe(sub)
+	streamFeed(r.Context(), w, fl, j.feed, replay, sub)
+}
+
+// streamFeed writes replayed then live events until the feed closes or
+// the client goes away. The final "result" event is delivered even when
+// the subscriber buffer overflowed before the close: the closed channel
+// is drained first, then the feed's stored final event is emitted if it
+// was never seen.
+func streamFeed(ctx context.Context, w io.Writer, fl http.Flusher, feed *eventFeed, replay []feedEvent, sub *subscriber) {
+	last := int64(-1)
+	for _, ev := range replay {
+		writeSSE(w, ev)
+		last = ev.Seq
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-sub.ch:
+			if !ok {
+				writeDropped(w, sub)
+				if fin := feed.finalEvent(); fin != nil && fin.Seq > last {
+					writeSSE(w, *fin)
+				}
+				fl.Flush()
+				return
+			}
+			writeDropped(w, sub)
+			writeSSE(w, ev)
+			last = ev.Seq
+			fl.Flush()
+			if ev.Event == "result" {
+				return
+			}
+		}
+	}
+}
+
+// writeDropped surfaces accumulated publish-side drops as one explicit
+// event, so a slow consumer knows its view has a gap (and how wide).
+func writeDropped(w io.Writer, sub *subscriber) {
+	if n := sub.dropped.Swap(0); n > 0 {
+		writeSSE(w, feedEvent{Seq: -1, Event: "dropped", Dropped: n})
+	}
+}
+
+// writeSSE renders one event in SSE wire form: the sequence number as
+// the SSE id (omitted for synthetic events), the kind as the event
+// name, and the JSON payload as data.
+func writeSSE(w io.Writer, ev feedEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	if ev.Seq >= 0 {
+		fmt.Fprintf(w, "id: %d\n", ev.Seq)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Event, data)
+}

@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cghti/internal/chaos"
+	"cghti/internal/stage"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	ID    int64 // -1 when the event carried no id line
+	Event string
+	Data  feedEvent
+}
+
+// parseSSE decodes an SSE stream body into events.
+func parseSSE(t *testing.T, body string) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	for _, block := range strings.Split(body, "\n\n") {
+		if strings.TrimSpace(block) == "" {
+			continue
+		}
+		ev := sseEvent{ID: -1}
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				id, err := strconv.ParseInt(line[len("id: "):], 10, 64)
+				if err != nil {
+					t.Fatalf("bad SSE id line %q: %v", line, err)
+				}
+				ev.ID = id
+			case strings.HasPrefix(line, "event: "):
+				ev.Event = line[len("event: "):]
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(line[len("data: "):]), &ev.Data); err != nil {
+					t.Fatalf("bad SSE data line %q: %v", line, err)
+				}
+			default:
+				t.Fatalf("unexpected SSE line %q", line)
+			}
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestSSEReplayAfterCompletion connects to the event stream only after
+// the job has finished: the stream must replay the retained ring —
+// stage events in order — and terminate with the final "result" event.
+func TestSSEReplayAfterCompletion(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := genRequest(7)
+	req.Bench = benchText(t, "c17")
+	resp := postJSON(t, ts, "/v1/generate", req)
+	id := decodeBody[submitResponse](t, resp).ID
+	if view := pollJob(t, ts, id); view.Status != StatusDone {
+		t.Fatalf("job status = %s, want done", view.Status)
+	}
+
+	es, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+	if ct := es.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	raw, err := io.ReadAll(es.Body) // stream terminates itself after "result"
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := parseSSE(t, string(raw))
+	if len(events) < 3 {
+		t.Fatalf("replay too short (%d events):\n%s", len(events), raw)
+	}
+	lastSeq := int64(-1)
+	sawStage := false
+	for _, ev := range events {
+		if ev.ID <= lastSeq {
+			t.Fatalf("sequence ids not increasing: %d after %d", ev.ID, lastSeq)
+		}
+		lastSeq = ev.ID
+		if ev.Data.Stage == stage.RareExtract {
+			sawStage = true
+		}
+	}
+	if !sawStage {
+		t.Errorf("replay has no %s stage event", stage.RareExtract)
+	}
+	final := events[len(events)-1]
+	if final.Event != "result" || final.Data.Status != StatusDone {
+		t.Fatalf("stream did not terminate with a done result: %+v", final)
+	}
+}
+
+// TestSSELiveTail connects while the job is still running (the first
+// pipeline stage is chaos-stalled) and reads the live feed to its
+// terminal event, proving workers publish without waiting for the
+// consumer and the stream ends exactly when the job does.
+func TestSSELiveTail(t *testing.T) {
+	chaos.Install(chaos.Spec{
+		Stage: stage.RareExtract, Worker: chaos.AnyWorker,
+		Kind: chaos.Delay, Delay: 100 * time.Millisecond,
+	})
+	defer chaos.Uninstall()
+
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := genRequest(8)
+	req.Bench = benchText(t, "c17")
+	resp := postJSON(t, ts, "/v1/generate", req)
+	id := decodeBody[submitResponse](t, resp).ID
+
+	es, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Body.Close()
+
+	// Read incrementally: events must arrive while the job is running,
+	// not in one burst after it finishes.
+	sc := bufio.NewScanner(es.Body)
+	var kinds []string
+	var final feedEvent
+	var block []string
+	flush := func() {
+		if len(block) == 0 {
+			return
+		}
+		for _, line := range block {
+			if strings.HasPrefix(line, "event: ") {
+				kinds = append(kinds, line[len("event: "):])
+			}
+			if strings.HasPrefix(line, "data: ") && kinds[len(kinds)-1] == "result" {
+				if err := json.Unmarshal([]byte(line[len("data: "):]), &final); err != nil {
+					t.Errorf("bad result payload: %v", err)
+				}
+			}
+		}
+		block = block[:0]
+	}
+	for sc.Scan() {
+		if sc.Text() == "" {
+			flush()
+			continue
+		}
+		block = append(block, sc.Text())
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) == 0 || kinds[len(kinds)-1] != "result" {
+		t.Fatalf("live tail did not end with result: %v", kinds)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("final status = %s, want done", final.Status)
+	}
+	sawStart := false
+	for _, k := range kinds {
+		if k == "start" {
+			sawStart = true
+		}
+	}
+	if !sawStart {
+		t.Errorf("live tail saw no stage start events: %v", kinds)
+	}
+}
+
+// TestSSEUnknownJob pins the 404 on a bogus id.
+func TestSSEUnknownJob(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSSESlowConsumerDrop drives the stream writer directly against a
+// subscriber whose buffer overflowed: the publisher must never block,
+// the consumer must be told how many events it lost via an explicit
+// "dropped" event, and the final "result" event must still arrive even
+// though the live channel never had room for it.
+func TestSSESlowConsumerDrop(t *testing.T) {
+	feed := newEventFeed()
+	_, sub := feed.subscribe()
+
+	// Overfill: subBufSize live slots, everything after is dropped. The
+	// publisher side must not block regardless.
+	const published = subBufSize + 40
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < published; i++ {
+			feed.publish(feedEvent{Event: "progress", Stage: "mine", Done: i})
+		}
+		feed.closeFinal(StatusDone, "")
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow consumer")
+	}
+
+	rec := httptest.NewRecorder() // implements http.Flusher
+	streamFeed(context.Background(), rec, rec, feed, nil, sub)
+
+	events := parseSSE(t, rec.Body.String())
+	var droppedTotal, delivered int64
+	var final *sseEvent
+	for i := range events {
+		switch events[i].Event {
+		case "dropped":
+			droppedTotal += events[i].Data.Dropped
+			if events[i].ID != -1 {
+				t.Errorf("synthetic dropped event has an id: %+v", events[i])
+			}
+		case "result":
+			final = &events[i]
+		default:
+			delivered++
+		}
+	}
+	if droppedTotal == 0 {
+		t.Fatal("no dropped event despite overflow")
+	}
+	// closeFinal appends the result too; every published event either
+	// arrived or was counted as dropped.
+	if got := delivered + droppedTotal; got != published+1 {
+		t.Fatalf("delivered %d + dropped %d = %d, want %d accounted for",
+			delivered, droppedTotal, delivered+droppedTotal, published+1)
+	}
+	if final == nil || final.Data.Status != StatusDone {
+		t.Fatalf("slow consumer never received the final result event: %+v", final)
+	}
+	if final != &events[len(events)-1] {
+		t.Fatal("result is not the last event in the stream")
+	}
+}
+
+// TestSSEDrainCancelsQueued pins that a queued job flushed by Drain
+// closes its feed with a canceled result, so attached streams end
+// rather than hang.
+func TestSSEDrainCancelsQueued(t *testing.T) {
+	chaos.Install(chaos.Spec{
+		Stage: stage.RareExtract, Worker: chaos.AnyWorker,
+		Kind: chaos.Delay, Delay: 50 * time.Millisecond,
+	})
+	defer chaos.Uninstall()
+
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := genRequest(9)
+	req.Bench = benchText(t, "c17")
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts, "/v1/generate", req)
+		ids = append(ids, decodeBody[submitResponse](t, resp).ID)
+	}
+
+	// Stream the queued job's feed while draining.
+	type result struct {
+		events []sseEvent
+		err    error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		es, err := http.Get(ts.URL + "/v1/jobs/" + ids[1] + "/events")
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer es.Body.Close()
+		raw, err := io.ReadAll(es.Body)
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		ch <- result{events: parseSSE(t, string(raw))}
+	}()
+
+	if rep := s.Drain(context.Background()); rep == nil {
+		t.Fatal("first Drain returned no report")
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if len(res.events) == 0 {
+			t.Fatal("queued job stream ended with no events")
+		}
+		final := res.events[len(res.events)-1]
+		if final.Event != "result" {
+			t.Fatalf("queued job stream did not end with result: %+v", final)
+		}
+		// The queued job either got canceled by the drain or squeezed in
+		// before it; both are legitimate terminal results.
+		if st := final.Data.Status; st != StatusCanceled && st != StatusDone {
+			t.Fatalf("queued job final status = %s, want canceled or done", st)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued job stream never terminated after drain")
+	}
+}

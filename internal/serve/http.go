@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
+	"time"
 
 	"cghti/internal/obs"
 )
@@ -15,9 +17,28 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	return timed(mux)
+}
+
+// timed observes each request's handler wall time into the process-wide
+// serve.handler_time histogram. SSE streams are excluded: their
+// lifetime is the client's choice (or the job's), and folding
+// minutes-long streams into the handler distribution would bury the
+// request-latency signal the histogram exists for.
+func timed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		histHandler.Observe(time.Since(start))
+	})
 }
 
 // maxRequestBytes bounds request bodies (netlists are text; the largest
@@ -146,18 +167,51 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+// handleHealthz distinguishes "idle" from "saturated", not just
+// "up" from "draining": probes get the queue occupancy and busy-worker
+// count alongside the status, so a load balancer can stop preferring a
+// node whose queue is full before it starts returning 429s.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	busy := s.countRunningLocked()
+	s.mu.Unlock()
+	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, code, map[string]any{
+		"status": status,
+		"queue": map[string]int{
+			"depth":    len(s.queue),
+			"capacity": cap(s.queue),
+		},
+		"workers": map[string]int64{
+			"busy":  busy,
+			"total": int64(s.cfg.Workers),
+		},
+	})
 }
 
-// handleMetrics reports the process-wide registry (scoped per-job
-// registries mirror into it, so these are complete totals) plus queue
-// occupancy.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsProm serves the process-wide registry (scoped per-job
+// registries mirror into it, so these are complete totals) in
+// Prometheus text exposition format. The queue gauges are refreshed at
+// scrape time so a scraper sees current occupancy, not the value as of
+// the last submit.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	gaugeQueued.Set(int64(len(s.queue)))
+	s.mu.Lock()
+	busy := s.countRunningLocked()
+	s.mu.Unlock()
+	gaugeRunning.Set(busy)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, obs.Default().Snapshot())
+}
+
+// handleMetricsJSON is the pre-Prometheus JSON metrics body, kept at
+// /metrics.json so consumers of the original /metrics shape keep
+// working (histograms are deliberately absent — this is the legacy
+// shape, verbatim).
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	snap := obs.Default().Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"counters": snap.Counters,

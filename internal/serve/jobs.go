@@ -86,8 +86,9 @@ func parsePayload(s string) (trojan.PayloadKind, error) {
 
 // generateJob validates the request (netlist parse, payload name,
 // config sanity) and returns the run closure; validation errors are the
-// submitter's 400, not a failed job.
-func (s *Server) generateJob(req GenerateRequest) (func(ctx context.Context, reg *obs.Registry, trace *obs.Trace) (any, error), error) {
+// submitter's 400, not a failed job. The sink receives the pipeline's
+// stage progress events — wired to the job's SSE feed by runJob.
+func (s *Server) generateJob(req GenerateRequest) (func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error), error) {
 	name := req.Name
 	if name == "" {
 		name = "job"
@@ -115,10 +116,11 @@ func (s *Server) generateJob(req GenerateRequest) (func(ctx context.Context, reg
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return func(ctx context.Context, reg *obs.Registry, trace *obs.Trace) (any, error) {
+	return func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error) {
 		runCfg := cfg
 		runCfg.Metrics = reg
 		runCfg.Trace = trace
+		runCfg.Progress = sink
 		res, err := cghti.GenerateContext(ctx, n, runCfg)
 		if err != nil {
 			return nil, err
@@ -187,8 +189,12 @@ type DetectResult struct {
 	RareNodes    int    `json:"rare_nodes,omitempty"`
 }
 
-// detectJob validates the request and returns the run closure.
-func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *obs.Registry, trace *obs.Trace) (any, error), error) {
+// detectJob validates the request and returns the run closure. Detect
+// phases are coarser than the generate pipeline's, so the closure emits
+// its own start/end events per phase into the sink (rare extraction,
+// then the scheme run) — the SSE stream shows the same shape either
+// way.
+func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error), error) {
 	golden, err := cghti.ParseBenchString(req.Golden, "golden")
 	if err != nil {
 		return nil, fmt.Errorf("golden: %w", err)
@@ -221,13 +227,14 @@ func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *ob
 	timeout := s.jobTimeout(req.TimeoutMS)
 	tgt := detect.Target{Golden: golden, Infected: infected, TriggerOut: trigID, Activation: activation}
 
-	return func(ctx context.Context, reg *obs.Registry, trace *obs.Trace) (any, error) {
+	return func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error) {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		var rs *rare.Set
 		var err error
 		if scheme == "mero" || scheme == "ndatpg" {
 			sp := trace.Start("rare_extract")
+			obs.Emit(sink, obs.Event{Stage: "rare_extract", Kind: obs.StageStart})
 			rs, err = rare.ExtractCached(ctx, s.cfg.Cache, golden, rare.Config{
 				Vectors:   req.Vectors,
 				Threshold: req.Theta,
@@ -236,11 +243,14 @@ func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *ob
 			})
 			if err != nil {
 				sp.Abort()
+				obs.Emit(sink, obs.Event{Stage: "rare_extract", Kind: obs.StageAbort, Elapsed: sp.Duration()})
 				return nil, err
 			}
 			sp.End()
+			obs.Emit(sink, obs.Event{Stage: "rare_extract", Kind: obs.StageEnd, Elapsed: sp.Duration()})
 		}
 		sp := trace.Start(scheme)
+		obs.Emit(sink, obs.Event{Stage: scheme, Kind: obs.StageStart})
 		var ts *detect.TestSet
 		switch scheme {
 		case "random":
@@ -256,14 +266,17 @@ func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *ob
 		}
 		if err != nil {
 			sp.Abort()
+			obs.Emit(sink, obs.Event{Stage: scheme, Kind: obs.StageAbort, Elapsed: sp.Duration()})
 			return nil, err
 		}
 		out, err := detect.EvaluateContext(ctx, tgt, ts, detect.EvalConfig{Workers: s.cfg.JobWorkers})
 		if err != nil {
 			sp.Abort()
+			obs.Emit(sink, obs.Event{Stage: scheme, Kind: obs.StageAbort, Elapsed: sp.Duration()})
 			return nil, err
 		}
 		sp.End()
+		obs.Emit(sink, obs.Event{Stage: scheme, Kind: obs.StageEnd, Elapsed: sp.Duration()})
 		res := &DetectResult{
 			Scheme:       scheme,
 			Vectors:      ts.Len(),

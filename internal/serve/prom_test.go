@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cghti/internal/obs/obstest"
+)
+
+// TestMetricsPrometheus runs a real job through the daemon, scrapes
+// /metrics, and validates the body against the Prometheus text-format
+// grammar: correct Content-Type, well-formed HELP/TYPE/sample lines,
+// cumulative bucket series, and at least the serving histograms
+// present with observations.
+func TestMetricsPrometheus(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := genRequest(11)
+	req.Bench = benchText(t, "c17")
+	resp := postJSON(t, ts, "/v1/generate", req)
+	id := decodeBody[submitResponse](t, resp).ID
+	if view := pollJob(t, ts, id); view.Status != StatusDone {
+		t.Fatalf("job status = %s, want done", view.Status)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", mr.StatusCode)
+	}
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text/plain; version=0.0.4", ct)
+	}
+	raw, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	histograms, problems := obstest.ValidatePrometheusText(body)
+	for _, p := range problems {
+		t.Error(p)
+	}
+	if histograms < 1 {
+		t.Fatalf("exposition has %d histogram families, want at least 1:\n%s", histograms, body)
+	}
+	// The serving histograms must be present with real observations:
+	// scoped per-job registries mirror into the process default the
+	// exposition is rendered from.
+	for _, want := range []string{
+		`serve_queue_wait_seconds_bucket{le="+Inf"}`,
+		"serve_queue_wait_seconds_count",
+		"serve_job_time_generate_seconds_count",
+		"serve_handler_time_seconds_count",
+		"pipeline_stage_time_rare_extract_seconds_count",
+		"# TYPE serve_jobs_accepted counter",
+		"# TYPE serve_queue_capacity gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// No sample may carry the registry's dotted names un-sanitized.
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if strings.ContainsRune(name, '.') {
+			t.Errorf("sample line leaks a dotted metric name: %q", line)
+		}
+	}
+}

@@ -32,13 +32,15 @@ import (
 // Server metrics live in the process default registry: the daemon's own
 // bookkeeping is whole-process state, not per-job work.
 var (
-	cntAccepted  = obs.NewCounter("serve.jobs_accepted")
-	cntRejected  = obs.NewCounter("serve.jobs_rejected")
-	cntCompleted = obs.NewCounter("serve.jobs_completed")
-	cntFailed    = obs.NewCounter("serve.jobs_failed")
-	cntCanceled  = obs.NewCounter("serve.jobs_canceled")
-	gaugeQueued  = obs.NewGauge("serve.queue_depth")
-	gaugeRunning = obs.NewGauge("serve.jobs_running")
+	cntAccepted   = obs.NewCounter("serve.jobs_accepted")
+	cntRejected   = obs.NewCounter("serve.jobs_rejected")
+	cntCompleted  = obs.NewCounter("serve.jobs_completed")
+	cntFailed     = obs.NewCounter("serve.jobs_failed")
+	cntCanceled   = obs.NewCounter("serve.jobs_canceled")
+	gaugeQueued   = obs.NewGauge("serve.queue_depth")
+	gaugeQueueCap = obs.NewGauge("serve.queue_capacity")
+	gaugeRunning  = obs.NewGauge("serve.jobs_running")
+	histHandler   = obs.NewHistogram("serve.handler_time")
 )
 
 // Defaults applied by Config.withDefaults.
@@ -128,10 +130,18 @@ type Job struct {
 	Result any
 	// Report is the job's observability record: its span trace plus the
 	// exact metric account of its own work (scoped registry snapshot,
-	// no delta against other jobs' concurrent increments).
+	// no delta against other jobs' concurrent increments) — including
+	// this job's per-stage, queue-wait and end-to-end latency
+	// histograms, isolated from concurrent jobs by the same mirroring
+	// rule as the counters.
 	Report *obs.Report
 
-	run    func(ctx context.Context, reg *obs.Registry, trace *obs.Trace) (any, error)
+	// feed is the job's progress-event hub, streamed by
+	// GET /v1/jobs/{id}/events; created at submit so subscribers can
+	// attach while the job is still queued.
+	feed *eventFeed
+
+	run    func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error)
 	cancel context.CancelFunc
 }
 
@@ -156,6 +166,7 @@ type Server struct {
 // New builds a Server; no goroutines run until Start.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	gaugeQueueCap.Set(int64(cfg.QueueDepth))
 	return &Server{
 		cfg:     cfg,
 		queue:   make(chan *Job, cfg.QueueDepth),
@@ -199,7 +210,10 @@ func (s *Server) worker() {
 
 // runJob executes one job under its own scoped registry, trace, and
 // deadline. The job's report snapshots the scoped registry — an exact
-// per-job account even with other jobs running concurrently.
+// per-job account even with other jobs running concurrently — and the
+// queue-wait and submit-to-done latencies are observed into the same
+// scoped registry, so they appear in the per-job report and (via the
+// mirror) in the whole-process histograms.
 func (s *Server) runJob(j *Job) {
 	reg := obs.NewScoped(nil)
 	trace := obs.NewTrace()
@@ -217,16 +231,21 @@ func (s *Server) runJob(j *Job) {
 	j.cancel = cancel
 	running := s.countRunningLocked()
 	s.mu.Unlock()
+	reg.Histogram("serve.queue_wait").Observe(j.Started.Sub(j.Submitted))
 	gaugeRunning.Set(running)
 	defer cancel()
 
-	result, err := j.run(ctx, reg, trace)
+	result, err := j.run(ctx, reg, trace, j.feed)
 
+	// Observe the end-to-end latency before snapshotting, so the job's
+	// own report carries it.
+	finished := time.Now()
+	reg.Histogram("serve.job_time." + j.Kind).Observe(finished.Sub(j.Submitted))
 	rep := obs.NewReport("htserved."+j.Kind, trace, reg.Snapshot())
 	rep.Extra = map[string]any{"job_id": j.ID}
 
 	s.mu.Lock()
-	j.Finished = time.Now()
+	j.Finished = finished
 	j.Report = rep
 	j.cancel = nil
 	switch {
@@ -243,10 +262,13 @@ func (s *Server) runJob(j *Job) {
 		j.Err = err.Error()
 		cntFailed.Inc()
 	}
+	status, errMsg := j.Status, j.Err
 	s.noteFinishedLocked(j)
 	running = s.countRunningLocked()
 	s.mu.Unlock()
 	gaugeRunning.Set(running)
+	// Terminate the job's SSE streams with the final result event.
+	j.feed.closeFinal(status, errMsg)
 }
 
 func (s *Server) countRunningLocked() int64 {
@@ -271,7 +293,7 @@ func (s *Server) noteFinishedLocked(j *Job) {
 
 // submit registers and enqueues a job, or rejects it when the daemon is
 // draining (ErrDraining) or the queue is full (ErrQueueFull).
-func (s *Server) submit(kind string, run func(ctx context.Context, reg *obs.Registry, trace *obs.Trace) (any, error)) (*Job, error) {
+func (s *Server) submit(kind string, run func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error)) (*Job, error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -280,6 +302,7 @@ func (s *Server) submit(kind string, run func(ctx context.Context, reg *obs.Regi
 		Kind:      kind,
 		Status:    StatusQueued,
 		Submitted: time.Now(),
+		feed:      newEventFeed(),
 		run:       run,
 	}
 	s.mu.Lock()
@@ -350,6 +373,7 @@ func (s *Server) Drain(ctx context.Context) *obs.Report {
 			s.noteFinishedLocked(j)
 			s.mu.Unlock()
 			cntCanceled.Inc()
+			j.feed.closeFinal(StatusCanceled, j.Err)
 		default:
 			gaugeQueued.Set(0)
 			gaugeRunning.Set(0)

@@ -123,6 +123,20 @@ func TestGenerateJobLifecycle(t *testing.T) {
 	if v := view.Report.Counters["rare.extractions"]; v != 1 {
 		t.Fatalf("report rare.extractions = %d, want 1", v)
 	}
+	// The per-job report carries this job's latency distributions: one
+	// queue wait, one end-to-end latency, one rare-extract stage run.
+	for _, name := range []string{"serve.queue_wait", "serve.job_time.generate", "pipeline.stage_time.rare_extract"} {
+		h, ok := view.Report.Histograms[name]
+		if !ok {
+			t.Fatalf("report is missing histogram %s", name)
+		}
+		if h.Count != 1 {
+			t.Fatalf("report histogram %s count = %d, want 1", name, h.Count)
+		}
+	}
+	if h := view.Report.Histograms["serve.job_time.generate"]; h.P50NS <= 0 || h.SumNS <= 0 {
+		t.Fatalf("job_time histogram has no mass: %+v", h)
+	}
 
 	// Result round-trips through JSON as a map; re-decode into the
 	// typed form.
@@ -377,16 +391,21 @@ func TestDrainFinishesFastJobs(t *testing.T) {
 	}
 }
 
-// TestMetricsEndpoint pins /metrics shape: process counters plus queue
-// occupancy.
-func TestMetricsEndpoint(t *testing.T) {
+// TestMetricsJSONEndpoint pins the legacy JSON body at /metrics.json:
+// the pre-Prometheus shape (process counters plus queue occupancy),
+// with an explicit JSON Content-Type, so consumers of the original
+// /metrics endpoint keep working after the format switch.
+func TestMetricsJSONEndpoint(t *testing.T) {
 	s := New(Config{QueueDepth: 5})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json Content-Type = %q, want application/json", ct)
 	}
 	m := decodeBody[map[string]any](t, resp)
 	q, ok := m["queue"].(map[string]any)
@@ -398,6 +417,42 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if _, ok := m["counters"]; !ok {
 		t.Fatal("metrics missing counters section")
+	}
+}
+
+// TestHealthzSaturation pins the enriched probe body: queue occupancy
+// and busy workers, so probes can tell "idle" from "saturated". The
+// server is never Started, so queued jobs stay queued deterministically.
+func TestHealthzSaturation(t *testing.T) {
+	s := New(Config{Workers: 3, QueueDepth: 4}) // no Start
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := genRequest(1)
+	body.Bench = benchText(t, "c17")
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts, "/v1/generate", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d status = %d, want 202", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeBody[map[string]any](t, resp)
+	if h["status"] != "ok" {
+		t.Fatalf("healthz status = %v, want ok", h["status"])
+	}
+	q := h["queue"].(map[string]any)
+	if int(q["depth"].(float64)) != 2 || int(q["capacity"].(float64)) != 4 {
+		t.Fatalf("healthz queue = %v, want depth 2 capacity 4", q)
+	}
+	w := h["workers"].(map[string]any)
+	if int(w["busy"].(float64)) != 0 || int(w["total"].(float64)) != 3 {
+		t.Fatalf("healthz workers = %v, want busy 0 total 3", w)
 	}
 }
 
@@ -436,6 +491,45 @@ func TestJobRetention(t *testing.T) {
 		}
 		if resp.StatusCode != want {
 			t.Fatalf("job %d (%s) status = %d, want %d", i, id, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestConcurrentJobHistogramIsolation extends the PR-5 concurrent
+// isolation property to histograms: jobs running at the same time each
+// report exactly their own latency observations — one queue wait, one
+// end-to-end latency, one rare-extract run — with no bleed across the
+// concurrently running jobs' scoped registries. Distinct seeds keep
+// every job's pipeline out of the shared artifact cache, so each runs
+// its stages for real.
+func TestConcurrentJobHistogramIsolation(t *testing.T) {
+	const jobs = 3
+	s := New(Config{Workers: jobs, QueueDepth: jobs})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	bench := benchText(t, "c17")
+	ids := make([]string, jobs)
+	for i := range ids {
+		body := genRequest(int64(100 + i))
+		body.Bench = bench
+		resp := postJSON(t, ts, "/v1/generate", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d status = %d, want 202", i, resp.StatusCode)
+		}
+		ids[i] = decodeBody[submitResponse](t, resp).ID
+	}
+	for i, id := range ids {
+		view := pollJob(t, ts, id)
+		if view.Status != StatusDone {
+			t.Fatalf("job %d status = %s (err %q), want done", i, view.Status, view.Error)
+		}
+		for _, name := range []string{"serve.queue_wait", "serve.job_time.generate", "pipeline.stage_time.rare_extract"} {
+			if h := view.Report.Histograms[name]; h.Count != 1 {
+				t.Fatalf("job %d histogram %s count = %d, want 1 (concurrent bleed?)", i, name, h.Count)
+			}
 		}
 	}
 }

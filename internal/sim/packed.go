@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"cghti/internal/netlist"
 	"cghti/internal/obs"
@@ -39,6 +40,7 @@ type meters struct {
 	packedVectors *obs.Counter
 	packedShards  *obs.Counter
 	eventProps    *obs.Counter
+	runTime       *obs.Histogram
 }
 
 func metersFor(r *obs.Registry) *meters {
@@ -54,6 +56,7 @@ func newMeters(r *obs.Registry) *meters {
 		packedVectors: r.Counter("sim.packed_vectors"),
 		packedShards:  r.Counter("sim.packed_shards"),
 		eventProps:    r.Counter("sim.event_propagations"),
+		runTime:       r.Histogram("sim.packed_run_time"),
 	}
 }
 
@@ -184,7 +187,16 @@ func (p *Packed) Randomize(rng *rand.Rand) {
 // split into contiguous blocks simulated concurrently; every word is
 // computed by the same compiled kernel sequence either way, so the
 // output is bit-identical for any worker count.
+// A Run's wall time also lands in the sim.packed_run_time histogram —
+// one time.Now pair per 64*Words-pattern batch, amortized like the
+// bulk counter adds.
 func (p *Packed) Run() {
+	start := time.Now()
+	p.run()
+	p.met.runTime.Observe(time.Since(start))
+}
+
+func (p *Packed) run() {
 	p.met.packedRuns.Inc()
 	p.met.packedVectors.Add(int64(64 * p.words))
 	shards := p.shardCount()
