@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race fuzz modcheck smoke bench benchall
+.PHONY: ci build vet fmt test race fuzz modcheck smoke scalesmoke bench benchall
 
-ci: build vet fmt modcheck race fuzz smoke
+ci: build vet fmt modcheck race fuzz smoke scalesmoke
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,12 @@ fuzz:
 smoke:
 	$(GO) test -run '^TestSmoke$$' -count=1 -timeout 5m ./cmd/htserved
 
+# Partitioned scale-path smoke: a 10⁴-gate hierarchical SoC through the
+# full pipeline with fanout-cone partitioning on, under the race
+# detector. Always -count=1 so the partition worker pools actually run.
+scalesmoke:
+	$(GO) test -race -run '^TestScaleSmoke$$' -count=1 -timeout 5m .
+
 # Simulation/pipeline benchmarks, recorded as BENCH_sim.json so runs
 # can be committed and diffed (see cmd/benchjson). The artifact-cache
 # benchmark (cold vs warm Generate) lands in its own BENCH_pipeline.json
@@ -67,6 +73,8 @@ bench:
 	@echo "wrote BENCH_pipeline.json"
 	$(GO) run ./cmd/htload -jobs 120 -concurrency 8 -out BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
+	$(GO) test -run '^$$' -bench 'Scale' -benchtime 1x -benchmem -timeout 60m . | $(GO) run ./cmd/benchjson -out BENCH_scale.json
+	@echo "wrote BENCH_scale.json"
 
 benchall:
 	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -68,6 +68,29 @@ func ParseBenchFile(path string) (*Netlist, error) { return bench.ParseFile(path
 // ParseBenchString parses .bench text.
 func ParseBenchString(src, name string) (*Netlist, error) { return bench.ParseString(src, name) }
 
+// CompactNetlist is the arena (CSR) netlist form: typed parallel arrays
+// instead of per-gate structs, with fanin/fanout edges in two shared
+// index arenas. It is what the streaming parser emits and what the
+// scale path (partitioned rare extraction, cube generation, edge
+// construction) consumes directly.
+type CompactNetlist = netlist.Compact
+
+// CompactOf converts a pointer-form netlist to the arena form.
+func CompactOf(n *Netlist) *CompactNetlist { return netlist.CompactOf(n) }
+
+// ParseBenchStream reads .bench input line-by-line into the arena form
+// without materializing the whole file or per-gate structs — the parser
+// for SoC-scale (10⁶–10⁷ gate) netlists. Produces the same circuit as
+// ParseBench followed by CompactOf.
+func ParseBenchStream(r io.Reader, name string) (*CompactNetlist, error) {
+	return bench.ParseStream(r, name)
+}
+
+// ParseBenchFileStream is ParseBenchStream over a file.
+func ParseBenchFileStream(path string) (*CompactNetlist, error) {
+	return bench.ParseFileStream(path)
+}
+
 // WriteBench writes a netlist in .bench format.
 func WriteBench(w io.Writer, n *Netlist) error { return bench.Write(w, n) }
 

@@ -251,3 +251,55 @@ func TestGenerateActiveLow(t *testing.T) {
 		t.Fatalf("active-low activation = %d, want 0", tgt.Activation)
 	}
 }
+
+// TestGeneratePartitionsIdentical is the facade-level scale-path
+// contract: Config.Partitions changes engine layout and adjacency
+// representation, never results. The emitted infected netlists must be
+// byte-identical to the whole-netlist run.
+func TestGeneratePartitionsIdentical(t *testing.T) {
+	n, err := Circuit("soc:4000:13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		RareVectors:   3000,
+		RareThreshold: 0.2,
+		MaxRareNodes:  48,
+		Instances:     2,
+		Seed:          7,
+	}
+	render := func(res *Result) []string {
+		var out []string
+		for _, b := range res.Benchmarks {
+			var sb strings.Builder
+			if err := WriteBench(&sb, b.Netlist); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, sb.String())
+		}
+		return out
+	}
+	ref, err := Generate(n.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := render(ref)
+	for _, parts := range []int{3, 8} {
+		pcfg := cfg
+		pcfg.Partitions = parts
+		pcfg.Workers = 4
+		res, err := Generate(n.Clone(), pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := render(res)
+		if len(got) != len(refOut) {
+			t.Fatalf("partitions=%d: %d benchmarks, want %d", parts, len(got), len(refOut))
+		}
+		for i := range refOut {
+			if got[i] != refOut[i] {
+				t.Fatalf("partitions=%d: benchmark %d differs from unpartitioned run", parts, i)
+			}
+		}
+	}
+}

@@ -24,10 +24,65 @@ import (
 	"cghti"
 	"cghti/internal/cli"
 	"cghti/internal/features"
+	"cghti/internal/netlist"
 	"cghti/internal/rare"
 	"cghti/internal/scoap"
 	"cghti/internal/vparse"
 )
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}
+
+// printLevels renders the per-level gate counts as a compact histogram:
+// one row per level up to 32 levels, then 32 buckets of merged levels.
+func printLevels(hist []int) {
+	if hist == nil {
+		fmt.Println("levels: netlist is cyclic")
+		return
+	}
+	peak := 0
+	for _, c := range hist {
+		if c > peak {
+			peak = c
+		}
+	}
+	buckets := len(hist)
+	per := 1
+	if buckets > 32 {
+		per = (buckets + 31) / 32
+		buckets = (len(hist) + per - 1) / per
+	}
+	fmt.Printf("levels 0..%d (%d gates/row max):\n", len(hist)-1, peak)
+	for b := 0; b < buckets; b++ {
+		total := 0
+		for l := b * per; l < (b+1)*per && l < len(hist); l++ {
+			total += hist[l]
+		}
+		bar := 0
+		if peak > 0 {
+			bar = total * 40 / (peak * per)
+		}
+		lo, hi := b*per, (b+1)*per-1
+		if hi >= len(hist) {
+			hi = len(hist) - 1
+		}
+		label := fmt.Sprintf("%d", lo)
+		if hi > lo {
+			label = fmt.Sprintf("%d-%d", lo, hi)
+		}
+		fmt.Printf("  %8s %8d %s\n", label, total, strings.Repeat("#", bar))
+	}
+}
 
 const tool = "netlistinfo"
 
@@ -50,7 +105,16 @@ type jsonOut struct {
 	Depth    int32          `json:"depth"`
 	MaxFanin int            `json:"max_fanin"`
 	ByType   map[string]int `json:"by_type"`
-	Rare     *struct {
+	// Edges is the fanin connection count (fanout mirrors not
+	// double-counted); the byte figures estimate resident memory of the
+	// pointer form and the CSR arena form.
+	Edges        int   `json:"edges"`
+	PointerBytes int64 `json:"pointer_bytes"`
+	CompactBytes int64 `json:"compact_bytes"`
+	// Levels is the gate count per logic level (index = level),
+	// present with -levels.
+	Levels []int `json:"levels,omitempty"`
+	Rare   *struct {
 		Theta   float64        `json:"theta"`
 		Vectors int            `json:"vectors"`
 		Count   int            `json:"count"`
@@ -70,6 +134,7 @@ func main() {
 		circuit    = flag.String("circuit", "", "built-in benchmark circuit name")
 		benchIn    = flag.String("bench", "", "path to a .bench netlist (overrides -circuit)")
 		showRare   = flag.Bool("rare", false, "extract and summarize rare nodes")
+		showLevels = flag.Bool("levels", false, "print the gate count per logic level")
 		showScoap  = flag.Bool("scoap", false, "compute SCOAP testability ranges")
 		theta      = flag.Float64("theta", 0.20, "rareness threshold")
 		vectors    = flag.Int("vectors", 10000, "rare-node extraction vectors")
@@ -129,8 +194,20 @@ func main() {
 	for gt, count := range stats.ByType {
 		doc.ByType[gt.String()] = count
 	}
+	c := netlist.CompactOf(n)
+	doc.Edges = n.NumEdges()
+	doc.PointerBytes = n.EstimatedBytes()
+	doc.CompactBytes = c.EstimatedBytes()
+	if *showLevels {
+		doc.Levels = c.LevelHistogram()
+	}
 	if !*jsonMode {
 		fmt.Println(stats)
+		fmt.Printf("%d edges; est. memory %s pointer form, %s compact form\n",
+			doc.Edges, fmtBytes(doc.PointerBytes), fmtBytes(doc.CompactBytes))
+		if *showLevels {
+			printLevels(doc.Levels)
+		}
 	}
 
 	if *showRare {

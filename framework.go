@@ -123,6 +123,16 @@ type Config struct {
 	// simulation, PODEM cube generation, pairwise edges). 1 = serial,
 	// 0 = GOMAXPROCS. The pipeline output is identical for any value.
 	Workers int
+	// Partitions splits the netlist into this many fanout-cone
+	// partitions for the scale path: rare extraction, PODEM cube
+	// generation, and compatibility-edge construction run per-partition,
+	// and the graph stores per-partition adjacency blocks plus a sparse
+	// cross-partition conflict list instead of one dense V×V bitset.
+	// 0 or 1 keeps the whole-netlist engines. Like Workers, the pipeline
+	// output is bit-identical for any value — partitioning changes
+	// memory layout and locality, never results. Worth switching on
+	// from ~10⁵ gates.
+	Partitions int
 	// Progress, if non-nil, receives stage-transition and
 	// percent-complete events while Generate runs, so long runs on
 	// large circuits are not silent. The default is no reporting; the
@@ -207,6 +217,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return bad("Workers", "%d is negative; want 1 = serial, n = n goroutines, 0 = GOMAXPROCS", c.Workers)
+	}
+	if c.Partitions < 0 {
+		return bad("Partitions", "%d is negative; want 1 = whole netlist, n = n fanout-cone partitions, 0 = default", c.Partitions)
 	}
 	if c.Deadline < 0 {
 		return bad("Deadline", "%v is negative; want a positive duration (or 0 for none)", c.Deadline)
@@ -411,6 +424,7 @@ func GenerateContext(ctx context.Context, n *Netlist, cfg Config) (*Result, erro
 		MaxBacktracks: cfg.MaxBacktracks,
 		MaxNodes:      cfg.MaxRareNodes,
 		Workers:       cfg.Workers,
+		Partitions:    cfg.Partitions,
 	}
 
 	g := pipeline.NewGraph()
@@ -430,10 +444,11 @@ func GenerateContext(ctx context.Context, n *Netlist, cfg Config) (*Result, erro
 			return n, nil
 		}))
 	g.Add(rare.NewExtractStage(rare.Config{
-		Vectors:   cfg.RareVectors,
-		Threshold: cfg.RareThreshold,
-		Seed:      cfg.Seed,
-		Workers:   cfg.Workers,
+		Vectors:    cfg.RareVectors,
+		Threshold:  cfg.RareThreshold,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		Partitions: cfg.Partitions,
 	}), StageLevelize)
 	g.Add(compat.NewCubeStage(buildCfg), StageLevelize, StageRareExtract)
 	g.Add(compat.NewEdgeStage(buildCfg), StageCubeGen)

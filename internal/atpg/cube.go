@@ -116,6 +116,49 @@ func (c Cube) Clone() Cube {
 	}
 }
 
+// ForEachCare calls f for every care position in ascending order with
+// its assigned value. Word-level iteration: cost scales with the care
+// count, not the input count — the path cube remapping and support
+// analysis take through cubes over SoC-sized input lists.
+func (c Cube) ForEachCare(f func(i int, v sim.V3)) {
+	for w := range c.ones {
+		word := c.ones[w] | c.zeros[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			if c.ones[w]&(1<<uint(b)) != 0 {
+				f(w*64+b, sim.V3One)
+			} else {
+				f(w*64+b, sim.V3Zero)
+			}
+			word &= word - 1
+		}
+	}
+}
+
+// CareBounds returns the first and last care positions, or (-1, -1) for
+// an all-X cube. Two cubes whose [lo, hi] ranges do not overlap cannot
+// conflict — the O(1) support-interval test the partitioned pairwise
+// pass uses to skip cube pairs from unrelated logic cones.
+func (c Cube) CareBounds() (lo, hi int) {
+	lo, hi = -1, -1
+	for w := range c.ones {
+		if word := c.ones[w] | c.zeros[w]; word != 0 {
+			lo = w*64 + bits.TrailingZeros64(word)
+			break
+		}
+	}
+	if lo < 0 {
+		return -1, -1
+	}
+	for w := len(c.ones) - 1; w >= 0; w-- {
+		if word := c.ones[w] | c.zeros[w]; word != 0 {
+			hi = w*64 + 63 - bits.LeadingZeros64(word)
+			break
+		}
+	}
+	return lo, hi
+}
+
 // Equal reports whether two cubes assign identical values everywhere.
 func (c Cube) Equal(o Cube) bool {
 	if c.n != o.n {

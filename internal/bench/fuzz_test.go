@@ -29,14 +29,34 @@ func FuzzParse(f *testing.F) {
 		"a = AND(b)\nb = AND(a)\nOUTPUT(a)\n",  // combinational cycle
 		"INPUT(\n",                             // malformed paren
 		"= AND(a)\n",                           // empty lhs
+		// Streaming-parser differential seed: duplicate OUTPUT decls,
+		// forward references, case-folded ops and a DFF feedback loop
+		// in one circuit.
+		"INPUT(a)\nINPUT(b)\nOUTPUT(q)\nOUTPUT(q)\nOUTPUT(z)\ng = xnor(a, b)\nq = DFF(n)\nn = BUFF(g)\nz = nor(q, g, a)\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		n, err := Parse(strings.NewReader(src), "fuzz")
+		c, serr := ParseStream(strings.NewReader(src), "fuzz")
 		if err != nil {
+			// The streaming parser must reject exactly the inputs the
+			// in-memory parser rejects (messages may differ).
+			if serr == nil {
+				t.Fatalf("Parse rejected (%v) but ParseStream accepted:\n%s", err, src)
+			}
 			return // rejected cleanly; that is the contract
+		}
+		if serr != nil {
+			t.Fatalf("Parse accepted but ParseStream rejected (%v):\n%s", serr, src)
+		}
+		sn, serr := c.ToNetlist()
+		if serr != nil {
+			t.Fatalf("ToNetlist failed on accepted input: %v\n%s", serr, src)
+		}
+		if sout := String(sn); sout != String(n) {
+			t.Fatalf("streaming parse differs from in-memory parse:\n--- in-memory ---\n%s\n--- streaming ---\n%s", String(n), sout)
 		}
 		out := String(n)
 		n2, err := ParseString(out, "fuzz")

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cghti/internal/netlist"
+)
+
+// ParseStream reads a .bench netlist from r in a single pass, producing
+// the arena form (netlist.Compact) directly. Unlike Parse it never
+// retains source lines or builds per-gate slices: memory is
+// O(gates + wires), independent of file size, which is what makes
+// 10⁶-gate SoC dumps parseable (see DESIGN.md, "Streaming parse").
+//
+// The accepted grammar and the resulting gate IDs are identical to
+// Parse: primary inputs take IDs 0..|PI|-1 in declaration order,
+// assignments follow in file order — so a netlist read by either parser
+// is gate-for-gate, edge-for-edge the same, and Write emits
+// byte-identical text for both.
+func ParseStream(r io.Reader, name string) (*netlist.Compact, error) {
+	type assign struct {
+		line int32
+		slot int32
+		typ  netlist.GateType
+		nin  int32 // fanin count; slots are contiguous in fanins
+	}
+	var (
+		slots   = map[string]int32{} // net name -> slot (first-mention order)
+		names   []string
+		defLine []int32 // per slot: line where defined, 0 = only referenced
+		inputs  []int32 // slots declared INPUT, declaration order
+		outputs []int32 // slots named OUTPUT, declaration order
+		assigns []assign
+		fanins  []int32 // flattened fanin slots, assign order then port order
+	)
+	intern := func(s string) int32 {
+		if id, ok := slots[s]; ok {
+			return id
+		}
+		id := int32(len(names))
+		slots[s] = id
+		names = append(names, s)
+		defLine = append(defLine, 0)
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case hasPrefixFold(line, "INPUT"):
+			arg, err := parseParen(line, "INPUT")
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			s := intern(arg)
+			if defLine[s] != 0 {
+				return nil, &ParseError{lineNo, fmt.Sprintf("net %q already defined on line %d", arg, defLine[s])}
+			}
+			defLine[s] = int32(lineNo)
+			inputs = append(inputs, s)
+		case hasPrefixFold(line, "OUTPUT"):
+			arg, err := parseParen(line, "OUTPUT")
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			outputs = append(outputs, intern(arg))
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, &ParseError{lineNo, fmt.Sprintf("expected INPUT/OUTPUT/assignment, got %q", line)}
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			if lhs == "" {
+				return nil, &ParseError{lineNo, "empty left-hand side"}
+			}
+			op, args, err := parseCall(rhs)
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			t, ok := netlist.ParseGateType(op)
+			if !ok {
+				return nil, &ParseError{lineNo, fmt.Sprintf("unknown gate type %q", op)}
+			}
+			if t == netlist.Input {
+				return nil, &ParseError{lineNo, "INPUT cannot appear on the right-hand side"}
+			}
+			switch t {
+			case netlist.Const0, netlist.Const1:
+				if len(args) != 0 {
+					return nil, &ParseError{lineNo, fmt.Sprintf("%s takes no arguments", t)}
+				}
+			case netlist.Buf, netlist.Not, netlist.DFF:
+				if len(args) != 1 {
+					return nil, &ParseError{lineNo, fmt.Sprintf("%s takes exactly 1 argument, got %d", t, len(args))}
+				}
+			default:
+				if len(args) < 1 {
+					return nil, &ParseError{lineNo, fmt.Sprintf("%s needs at least 1 argument", t)}
+				}
+			}
+			s := intern(lhs)
+			if defLine[s] != 0 {
+				return nil, &ParseError{lineNo, fmt.Sprintf("net %q already defined on line %d", lhs, defLine[s])}
+			}
+			defLine[s] = int32(lineNo)
+			for _, in := range args {
+				fanins = append(fanins, intern(in))
+			}
+			assigns = append(assigns, assign{line: int32(lineNo), slot: s, typ: t, nin: int32(len(args))})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: read: %w", err)
+	}
+
+	// Forward references resolve at EOF: every slot must have been
+	// defined by an INPUT declaration or an assignment by now.
+	off := 0
+	for _, a := range assigns {
+		for _, fs := range fanins[off : off+int(a.nin)] {
+			if defLine[fs] == 0 {
+				return nil, &ParseError{int(a.line), fmt.Sprintf("undefined net %q", names[fs])}
+			}
+		}
+		off += int(a.nin)
+	}
+	for _, s := range outputs {
+		if defLine[s] == 0 {
+			return nil, fmt.Errorf("bench: OUTPUT(%s) references an undefined net", names[s])
+		}
+	}
+
+	// Final gate IDs replicate Parse's two-phase AddGate order: inputs
+	// in declaration order first, then assignments in file order.
+	numIn := len(inputs)
+	num := numIn + len(assigns)
+	slotToID := make([]netlist.GateID, len(names))
+	for i, s := range inputs {
+		slotToID[s] = netlist.GateID(i)
+	}
+	for j := range assigns {
+		slotToID[assigns[j].slot] = netlist.GateID(numIn + j)
+	}
+
+	c := &netlist.Compact{
+		Name:       name,
+		Names:      make([]string, num),
+		Types:      make([]netlist.GateType, num),
+		FaninStart: make([]int32, num+1),
+		Level:      make([]int32, num),
+		POMask:     make([]bool, num),
+		PIs:        make([]netlist.GateID, numIn),
+	}
+	for i, s := range inputs {
+		c.Names[i] = names[s]
+		c.Types[i] = netlist.Input
+		c.Level[i] = -1
+		c.PIs[i] = netlist.GateID(i)
+	}
+	var cum int32
+	for j, a := range assigns {
+		id := numIn + j
+		c.Names[id] = names[a.slot]
+		c.Types[id] = a.typ
+		c.Level[id] = -1
+		cum += a.nin
+		c.FaninStart[id+1] = cum
+		if a.typ == netlist.DFF {
+			c.DFFs = append(c.DFFs, netlist.GateID(id))
+		}
+	}
+	// Inputs precede assigns, so FaninStart[0..numIn] stays 0 and the
+	// flattened fanin list is exactly the remapped token stream.
+	c.FaninIdx = make([]netlist.GateID, len(fanins))
+	for k, fs := range fanins {
+		c.FaninIdx[k] = slotToID[fs]
+	}
+
+	// Fanout arena: count, prefix-sum, then fill in ascending consumer
+	// order — the same order Parse's Connect calls append in.
+	outCnt := make([]int32, num)
+	for _, f := range c.FaninIdx {
+		outCnt[f]++
+	}
+	c.FanoutStart = make([]int32, num+1)
+	var tot int32
+	for i := 0; i < num; i++ {
+		c.FanoutStart[i] = tot
+		tot += outCnt[i]
+	}
+	c.FanoutStart[num] = tot
+	c.FanoutIdx = make([]netlist.GateID, tot)
+	cursor := append([]int32(nil), c.FanoutStart[:num]...)
+	for dst := numIn; dst < num; dst++ {
+		for _, src := range c.FaninIdx[c.FaninStart[dst]:c.FaninStart[dst+1]] {
+			c.FanoutIdx[cursor[src]] = netlist.GateID(dst)
+			cursor[src]++
+		}
+	}
+
+	for _, s := range outputs {
+		id := slotToID[s]
+		if !c.POMask[id] {
+			c.POMask[id] = true
+			c.POs = append(c.POs, id)
+		}
+	}
+
+	// Same structural guarantees as Parse: arity (re-checked), at least
+	// one input and one output, acyclic combinational logic; leaves the
+	// netlist levelized.
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseFileStream reads a .bench file from disk with the streaming
+// parser; the circuit name is derived from the file name.
+func ParseFileStream(path string) (*netlist.Compact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(name, ".bench")
+	return ParseStream(f, name)
+}

@@ -1,0 +1,66 @@
+package bench_test
+
+// External test package: the equivalence suite walks the full built-in
+// circuit catalog, and internal/gen imports internal/bench, so these
+// tests cannot live in package bench itself.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cghti/internal/bench"
+	"cghti/internal/gen"
+)
+
+// TestParseStreamEquivalence re-parses every bundled circuit with both
+// parsers and requires identical structure and byte-identical re-emitted
+// text: same gate IDs, names, types, port order, fanout order, PO/DFF
+// lists and topological order.
+func TestParseStreamEquivalence(t *testing.T) {
+	for _, name := range gen.Names() {
+		t.Run(name, func(t *testing.T) {
+			orig, err := gen.Benchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := bench.String(orig)
+
+			want, err := bench.Parse(strings.NewReader(text), name)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			c, err := bench.ParseStream(strings.NewReader(text), name)
+			if err != nil {
+				t.Fatalf("ParseStream: %v", err)
+			}
+			got, err := c.ToNetlist()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(got.Gates, want.Gates) {
+				t.Fatal("gate tables differ between streaming and in-memory parse")
+			}
+			if !reflect.DeepEqual(got.PIs, want.PIs) ||
+				!reflect.DeepEqual(got.POs, want.POs) ||
+				!reflect.DeepEqual(got.DFFs, want.DFFs) {
+				t.Fatal("PI/PO/DFF lists differ between streaming and in-memory parse")
+			}
+			gt, err := got.TopoOrder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wt, err := want.TopoOrder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gt, wt) {
+				t.Fatal("topological order differs between streaming and in-memory parse")
+			}
+			if gotText := bench.String(got); gotText != text {
+				t.Fatalf("re-emitted text not byte-identical:\n--- in-memory ---\n%s\n--- streaming ---\n%s", text, gotText)
+			}
+		})
+	}
+}

@@ -81,6 +81,16 @@ type BuildConfig struct {
 	// rare node's cube is computed independently and results keep
 	// rarity order, and the pairwise compatibility test is pure.
 	Workers int
+	// Partitions splits the netlist into fanout-cone partitions
+	// (part.Build) — the scale path for SoC-sized designs. Cube
+	// generation justifies each rare node inside its owning partition's
+	// TFI-closed sub-netlist, and the adjacency is stored as dense
+	// per-partition blocks plus a sparse cross-partition conflict list
+	// instead of one dense V×V bitset. 0 or 1 keeps the whole-netlist
+	// engine and dense adjacency. Like Workers, the graph — vertices,
+	// cubes, edge set, and everything mined from it — is bit-identical
+	// for any partition count; only the representation changes.
+	Partitions int
 	// Progress, if non-nil, is called with (candidates processed,
 	// total candidates) as cube generation advances — per candidate on
 	// the serial path, per batch on the parallel path. Always invoked
@@ -116,8 +126,17 @@ type Graph struct {
 	// CubeTime and EdgeTime break down construction time.
 	CubeTime, EdgeTime time.Duration
 
-	adj   [][]uint64 // bitset adjacency rows
-	words int
+	adj   [][]uint64 // dense bitset adjacency rows (nil when partitioned)
+	words int        // words per full-width adjacency row
+
+	// vertPart maps each vertex to the netlist partition that owns its
+	// rare node (nil when cubes were built unpartitioned). Recorded by
+	// the partitioned BuildCubes so ConnectEdges can group vertices
+	// whose cubes share input support without re-deriving the plan.
+	vertPart []int32
+	// pa is the partitioned adjacency (nil when dense): dense
+	// per-partition blocks plus a sparse cross-partition conflict list.
+	pa *partAdj
 }
 
 // Build runs PODEM for every rare node and assembles the graph.
@@ -143,6 +162,28 @@ func BuildContext(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg Bui
 // batch (parallel); an interrupted build returns the vertices collected
 // so far together with the interrupting error.
 func BuildCubes(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg BuildConfig) (*Graph, error) {
+	candidates := rs.All()
+	// Rarest first so a MaxNodes cap keeps the best trigger material.
+	// MaxNodes bounds the number of *vertices* (successful cubes), not
+	// candidates: nodes PODEM proves unexcitable or aborts on are
+	// skipped and the walk continues down the rarity order.
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a].Prob < candidates[b].Prob })
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	if cfg.Partitions > 1 {
+		g := &Graph{InputIDs: n.CombInputs(), CubesTotal: len(candidates)}
+		t0 := time.Now()
+		runErr := g.buildCubesPartitioned(ctx, n, candidates, cfg, workers)
+		g.CubeTime = time.Since(t0)
+		met := metersCtx(ctx)
+		met.cubeSuccess.Add(int64(len(g.Nodes)))
+		met.cubeDropped.Add(int64(g.Dropped))
+		return g, runErr
+	}
+
 	eng, err := atpg.NewEngine(n)
 	if err != nil {
 		return nil, err
@@ -151,19 +192,9 @@ func BuildCubes(ctx context.Context, n *netlist.Netlist, rs *rare.Set, cfg Build
 	if cfg.MaxBacktracks > 0 {
 		eng.MaxBacktracks = cfg.MaxBacktracks
 	}
-	candidates := rs.All()
-	// Rarest first so a MaxNodes cap keeps the best trigger material.
-	// MaxNodes bounds the number of *vertices* (successful cubes), not
-	// candidates: nodes PODEM proves unexcitable or aborts on are
-	// skipped and the walk continues down the rarity order.
-	sort.Slice(candidates, func(a, b int) bool { return candidates[a].Prob < candidates[b].Prob })
 
 	g := &Graph{InputIDs: eng.InputIDs(), CubesTotal: len(candidates)}
 	t0 := time.Now()
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	var runErr error
 	if workers == 1 {
 		ctxDone := ctx.Done()
@@ -214,9 +245,13 @@ func (g *Graph) ConnectEdges(ctx context.Context, cfg BuildConfig) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Partitions > 1 && g.vertPart != nil {
+		return g.connectEdgesPartitioned(ctx, workers)
+	}
 	t1 := time.Now()
 	v := len(g.Nodes)
 	g.words = (v + 63) / 64
+	g.pa = nil
 	g.adj = make([][]uint64, v)
 	for i := range g.adj {
 		g.adj[i] = make([]uint64, g.words)
@@ -267,15 +302,38 @@ func (g *Graph) setEdge(i, j int) {
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() int { return len(g.Nodes) }
 
+// row materializes vertex i's full-width adjacency row. The dense form
+// returns its stored row directly (no copy); the partitioned form
+// expands into buf (len g.words) and returns it. Callers must treat
+// the result as read-only and consumed before the next row call on the
+// same buf. Identical row content across representations is what makes
+// mining bit-identical for any partition count.
+func (g *Graph) row(i int, buf []uint64) []uint64 {
+	if g.pa == nil {
+		return g.adj[i]
+	}
+	g.pa.materialize(i, buf)
+	return buf
+}
+
 // Compatible reports whether vertices i and j are adjacent.
 func (g *Graph) Compatible(i, j int) bool {
+	if g.pa != nil {
+		return g.pa.compatible(i, j)
+	}
 	return g.adj[i][j/64]&(1<<uint(j%64)) != 0
 }
 
 // Degree returns the number of neighbours of vertex i.
 func (g *Graph) Degree(i int) int {
+	var row []uint64
+	if g.pa != nil {
+		row = g.row(i, make([]uint64, g.words))
+	} else {
+		row = g.adj[i]
+	}
 	d := 0
-	for _, w := range g.adj[i] {
+	for _, w := range row {
 		d += bits.OnesCount64(w)
 	}
 	return d
@@ -284,8 +342,17 @@ func (g *Graph) Degree(i int) int {
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int {
 	total := 0
-	for i := range g.adj {
-		total += g.Degree(i)
+	if g.pa != nil {
+		buf := make([]uint64, g.words)
+		for i := range g.Nodes {
+			for _, w := range g.row(i, buf) {
+				total += bits.OnesCount64(w)
+			}
+		}
+	} else {
+		for i := range g.adj {
+			total += g.Degree(i)
+		}
 	}
 	return total / 2
 }
@@ -403,6 +470,7 @@ func (g *Graph) FindCliquesContext(ctx context.Context, cfg MineConfig) (out []C
 	defer func() { met.cliquesFound.Add(int64(len(out))) }()
 	seen := make(map[string]bool)
 	cand := make([]uint64, g.words)
+	rowBuf := make([]uint64, g.words) // scratch for partitioned row materialization
 	ctxDone := ctx.Done()
 	dupStreak := 0
 
@@ -418,14 +486,14 @@ func (g *Graph) FindCliquesContext(ctx context.Context, cfg MineConfig) (out []C
 		met.cliqueAttempts.Inc()
 		start := rng.Intn(v)
 		clique := []int{start}
-		copy(cand, g.adj[start])
+		copy(cand, g.row(start, rowBuf))
 		for {
 			pick, ok := randomSetBit(cand, rng)
 			if !ok {
 				break
 			}
 			clique = append(clique, pick)
-			andInto(cand, g.adj[pick])
+			andInto(cand, g.row(pick, rowBuf))
 		}
 		if len(clique) < cfg.MinSize {
 			continue
@@ -460,6 +528,10 @@ func (g *Graph) EnumerateExact(minSize, max int) []Clique {
 	if v == 0 {
 		return nil
 	}
+	// Bron–Kerbosch reads adjacency rows pervasively; densify a
+	// partitioned graph first (exact enumeration is a small-graph tool,
+	// so the dense blow-up is irrelevant).
+	g.densify()
 	r := make([]uint64, g.words)
 	p := make([]uint64, g.words)
 	x := make([]uint64, g.words)

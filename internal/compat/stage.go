@@ -47,16 +47,19 @@ func (s *CubeStage) Salvage(out pipeline.Artifact) (done, total int, detail stri
 		fmt.Sprintf("%d cubes from %d of %d rare-node candidates", len(g.Nodes), g.CubesDone, g.CubesTotal), true
 }
 
-// CacheConfig implements pipeline.Cacheable. Workers is excluded
-// (identical output for any count); the effective PODEM budget is
-// normalized so 0 and the explicit default fingerprint equally.
+// CacheConfig implements pipeline.Cacheable. Workers and Partitions
+// are excluded (identical output for any count — partitioning changes
+// only the adjacency representation, and both representations decode
+// from the v2 codec); the effective PODEM budget is normalized so 0
+// and the explicit default fingerprint equally. The v2 tag reflects
+// the serialized form change (graph codec v2), not a semantic change.
 func (s *CubeStage) CacheConfig() []byte {
 	maxBT := s.Cfg.MaxBacktracks
 	if maxBT <= 0 {
 		maxBT = atpg.DefaultMaxBacktracks
 	}
 	e := artifact.NewEnc()
-	e.String("compat.cubes.v1")
+	e.String("compat.cubes.v2")
 	e.Int(maxBT)
 	e.Int(s.Cfg.MaxNodes)
 	return e.Finish()
@@ -106,10 +109,13 @@ func (s *EdgeStage) Salvage(out pipeline.Artifact) (done, total int, detail stri
 }
 
 // CacheConfig implements pipeline.Cacheable: edge construction reads no
-// configuration beyond its input cubes (Workers is determinism-neutral).
+// configuration beyond its input cubes (Workers and Partitions are both
+// determinism-neutral — a cached dense graph satisfies a partitioned
+// request and vice versa, since mining sees identical rows). The v2 tag
+// tracks the graph codec bump.
 func (s *EdgeStage) CacheConfig() []byte {
 	e := artifact.NewEnc()
-	e.String("compat.edges.v1")
+	e.String("compat.edges.v2")
 	return e.Finish()
 }
 

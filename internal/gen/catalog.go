@@ -19,6 +19,8 @@ package gen
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"cghti/internal/bench"
 	"cghti/internal/netlist"
@@ -129,13 +131,31 @@ func PaperCircuits() []string {
 
 // Benchmark returns the circuit with the given ISCAS name. c17 and s27
 // are exact; c6288 is a real 16×16 array multiplier; all other names are
-// deterministic seeded stand-ins matched to the published shape.
+// deterministic seeded stand-ins matched to the published shape. The
+// pattern "soc:<gates>" (optionally "soc:<gates>:<seed>", seed default
+// 1) builds a hierarchical synthetic SoC of that size — the scale-path
+// test subject, accepted anywhere a circuit name is (htgen -circuit,
+// netlistinfo -circuit).
 func Benchmark(name string) (*netlist.Netlist, error) {
 	switch name {
 	case "c17":
 		return C17(), nil
 	case "s27":
 		return S27(), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "soc:"); ok {
+		gatesStr, seedStr, hasSeed := strings.Cut(rest, ":")
+		gates, err := strconv.Atoi(gatesStr)
+		if err != nil {
+			return nil, fmt.Errorf("gen: bad soc gate count %q (want soc:<gates>[:<seed>])", gatesStr)
+		}
+		seed := int64(1)
+		if hasSeed {
+			if seed, err = strconv.ParseInt(seedStr, 10, 64); err != nil {
+				return nil, fmt.Errorf("gen: bad soc seed %q (want soc:<gates>[:<seed>])", seedStr)
+			}
+		}
+		return SoC(SoCSpec{Name: strings.ReplaceAll(name, ":", "_"), Gates: gates, Seed: seed})
 	}
 	p, ok := catalog[name]
 	if !ok {

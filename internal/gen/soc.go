@@ -1,0 +1,328 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cghti/internal/netlist"
+)
+
+// SoCSpec describes a hierarchical synthetic SoC: a tree of modules
+// whose leaves are cone-structured logic blocks, wired together by
+// parent-level glue logic. This is the 10⁵–10⁷-gate regime of
+// industrial-scale trojan insertion (Popryho et al.), where a design is
+// hundreds of blocks with mostly block-local logic and a thinner
+// cross-block interconnect.
+type SoCSpec struct {
+	// Name names the circuit ("soc1m" etc.).
+	Name string
+	// Gates is the total combinational cell target across all blocks,
+	// including glue logic (DFFs excluded).
+	Gates int
+	// Blocks is the leaf block count (0 = derived from Gates, roughly
+	// one block per 4096 gates, clamped to [2, 4096]).
+	Blocks int
+	// PIs is the top-level primary input count (0 = derived).
+	PIs int
+	// POs is the minimum primary output count (0 = derived). Dangling
+	// nets are always promoted to outputs, so the real count can be
+	// higher.
+	POs int
+	// DFFRatio is the per-block flip-flop count as a fraction of the
+	// block's gate count (default 0.08).
+	DFFRatio float64
+	// MaxFanin bounds gate arity (default 4; minimum 2).
+	MaxFanin int
+	// Seed makes the SoC deterministic: the same spec always produces
+	// the identical netlist, gate for gate.
+	Seed int64
+}
+
+func (s SoCSpec) withDefaults() SoCSpec {
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("soc%d", s.Gates)
+	}
+	if s.Blocks <= 0 {
+		s.Blocks = s.Gates / 4096
+		if s.Blocks < 2 {
+			s.Blocks = 2
+		}
+		if s.Blocks > 4096 {
+			s.Blocks = 4096
+		}
+	}
+	if s.PIs <= 0 {
+		s.PIs = s.Gates / 1024
+		if s.PIs < 16 {
+			s.PIs = 16
+		}
+	}
+	if s.POs <= 0 {
+		s.POs = s.Gates / 2048
+		if s.POs < 8 {
+			s.POs = 8
+		}
+	}
+	if s.DFFRatio <= 0 {
+		s.DFFRatio = 0.08
+	}
+	if s.MaxFanin < 2 {
+		s.MaxFanin = 4
+	}
+	return s
+}
+
+// blockPath renders the leaf's position in the module tree (branching
+// factor 8) as a hierarchical instance path, e.g. block 37 of 244 →
+// "u0_u4_b37". The path is cosmetic — the structural hierarchy is the
+// wiring locality — but it keeps generated names readable and mirrors
+// how a flattened industrial netlist carries its module tree in net
+// names.
+func blockPath(i, total int) string {
+	path := ""
+	for span := total; span > 8; span = (span + 7) / 8 {
+		group := i * 8 / span // this level's branch index, 0..7
+		path += fmt.Sprintf("u%d_", group)
+		// Descend into the group's span.
+		lo := group * span / 8
+		i -= lo
+		span = (group+1)*span/8 - lo
+		if span <= 8 {
+			break
+		}
+	}
+	return path
+}
+
+// SoC generates a hierarchical synthetic SoC netlist. Blocks are
+// generated in order; each draws its external inputs from top-level
+// PIs and the exported ports of earlier (mostly adjacent) blocks, so
+// logic cones are overwhelmingly block-local with a sparse forward
+// interconnect — the structure fanout-cone partitioning exploits.
+// Generation is single-pass and deterministic in Seed.
+func SoC(spec SoCSpec) (*netlist.Netlist, error) {
+	spec = spec.withDefaults()
+	if spec.Gates < 64 {
+		return nil, fmt.Errorf("gen: SoC needs at least 64 gates, got %d", spec.Gates)
+	}
+	if spec.Blocks*8 > spec.Gates {
+		spec.Blocks = spec.Gates / 8
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := netlist.New(spec.Name)
+	// One up-front allocation for the whole design: growing the gate
+	// array incrementally is the dominant cost at 10⁶ gates.
+	n.Grow(spec.PIs + spec.Gates + int(float64(spec.Gates)*spec.DFFRatio) + spec.Blocks*4)
+
+	for i := 0; i < spec.PIs; i++ {
+		n.MustAddGate(fmt.Sprintf("pi%d", i), netlist.Input)
+	}
+
+	// exported collects the nets visible outside their block: top PIs,
+	// block output ports, glue nets. Blocks pick external inputs from
+	// the most recent window, giving the interconnect its locality.
+	exported := make([]netlist.GateID, 0, spec.PIs+spec.Blocks*8)
+	for i := 0; i < spec.PIs; i++ {
+		exported = append(exported, netlist.GateID(i))
+	}
+
+	// Split the gate budget: ~6% goes to parent-level glue logic.
+	glueBudget := spec.Gates * 6 / 100
+	blockBudget := spec.Gates - glueBudget
+	glueEvery := 0
+	if glueBudget > 0 {
+		glueEvery = glueBudget / spec.Blocks
+	}
+
+	pickExported := func() netlist.GateID {
+		// 75%: recent window (the previous ~2 blocks' ports), else any.
+		if w := len(exported); w > 32 && rng.Float64() < 0.75 {
+			return exported[w-1-rng.Intn(32)]
+		}
+		return exported[rng.Intn(len(exported))]
+	}
+
+	for b := 0; b < spec.Blocks; b++ {
+		nGates := blockBudget / spec.Blocks
+		if b < blockBudget%spec.Blocks {
+			nGates++
+		}
+		nDFFs := int(float64(nGates) * spec.DFFRatio)
+		prefix := blockPath(b, spec.Blocks) + fmt.Sprintf("b%d", b)
+
+		// External input ports for this block.
+		nIn := nGates / 16
+		if nIn < 4 {
+			nIn = 4
+		}
+		ext := make([]netlist.GateID, 0, nIn)
+		for len(ext) < nIn {
+			ext = append(ext, pickExported())
+		}
+
+		ports := genBlock(n, rng, prefix, nGates, nDFFs, ext, spec.MaxFanin)
+		exported = append(exported, ports...)
+
+		// Parent glue: combine ports of recent blocks into a few extra
+		// nets, modelling the parent module's arbitration/merge logic.
+		for j := 0; j < glueEvery && len(exported) >= 2; j++ {
+			t, arity := randomGate(rng, spec.MaxFanin)
+			id := n.MustAddGate(fmt.Sprintf("%s_glue%d", prefix, j), t)
+			for k := 0; k < arity; k++ {
+				n.Connect(pickExported(), id)
+			}
+			exported = append(exported, id)
+		}
+	}
+
+	// Outputs: every dangling net becomes a PO (no logic dangles), then
+	// random exported nets are promoted until the minimum is met.
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			continue
+		}
+		if len(g.Fanout) == 0 && !g.IsPO {
+			n.MarkPO(netlist.GateID(i))
+		}
+	}
+	for tries := 0; len(n.POs) < spec.POs && tries < 4*spec.POs; tries++ {
+		id := exported[rng.Intn(len(exported))]
+		if g := &n.Gates[id]; g.Type != netlist.Input && g.Type != netlist.DFF && !g.IsPO {
+			n.MarkPO(id)
+		}
+	}
+
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// genBlock generates one leaf block: ~nGates combinational cells and
+// nDFFs flip-flops under the given name prefix, drawing external
+// signals from ext and keeping ~90% of fanin picks block-local.
+//
+// Block outputs are REGISTERED: the returned ports are DFF nets, so
+// every cross-block path crosses a state element. That bounds
+// combinational depth at the per-block depth (blocks would otherwise
+// chain into multi-thousand-level cones) and — the property fanout-cone
+// partitioning depends on — keeps every combinational cone inside its
+// block plus a thin glue fringe.
+func genBlock(n *netlist.Netlist, rng *rand.Rand, prefix string, nGates, nDFFs int, ext []netlist.GateID, maxFanin int) []netlist.GateID {
+	// Reserve a slice of the budget for the fold-back sinks that soak up
+	// dangling nets at the end.
+	nSink := nGates / 16
+	nGates -= nSink
+	local := make([]netlist.GateID, 0, nDFFs+nGates+nSink)
+	for i := 0; i < nDFFs; i++ {
+		local = append(local, n.MustAddGate(fmt.Sprintf("%s_ff%d", prefix, i), netlist.DFF))
+	}
+	logicStart := len(local)
+
+	pickLocal := func() netlist.GateID {
+		// Bias toward the recent half for depth, and toward unused nets
+		// so little logic dangles — same tuning as Random.
+		switch {
+		case rng.Float64() < 0.40 && len(local) > 8:
+			lo := len(local) / 2
+			return local[lo+rng.Intn(len(local)-lo)]
+		case rng.Float64() < 0.5:
+			cand := local[rng.Intn(len(local))]
+			for tries := 0; tries < 4 && len(n.Gates[cand].Fanout) > 0; tries++ {
+				cand = local[rng.Intn(len(local))]
+			}
+			return cand
+		default:
+			return local[rng.Intn(len(local))]
+		}
+	}
+
+	var picked [8]netlist.GateID
+	for i := 0; i < nGates; i++ {
+		t, arity := randomGate(rng, maxFanin)
+		id := n.MustAddGate(fmt.Sprintf("%s_g%d", prefix, i), t)
+		got := 0
+		for tries := 0; got < arity && tries < 8*arity; tries++ {
+			var cand netlist.GateID
+			if len(local) == 0 || rng.Float64() < 0.10 {
+				cand = ext[rng.Intn(len(ext))]
+			} else {
+				cand = pickLocal()
+			}
+			dup := false
+			for _, p := range picked[:got] {
+				if p == cand {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			picked[got] = cand
+			got++
+		}
+		for _, f := range picked[:got] {
+			n.Connect(f, id)
+		}
+		local = append(local, id)
+	}
+
+	// Dangling nets (fanout-free logic, creation order) feed the DFF
+	// data inputs first — the state registers ARE the consumers of the
+	// block's deepest cones — then fold into XOR reduction sinks
+	// (parity/checksum-style logic). Whatever still dangles afterwards
+	// is promoted to a primary output by the caller.
+	var dangling []netlist.GateID
+	for _, id := range local[logicStart:] {
+		if len(n.Gates[id].Fanout) == 0 {
+			dangling = append(dangling, id)
+		}
+	}
+	di := 0
+	for i := 0; i < nDFFs; i++ {
+		var src netlist.GateID
+		if di < len(dangling) {
+			src = dangling[di]
+			di++
+		} else {
+			src = local[logicStart+rng.Intn(len(local)-logicStart)]
+		}
+		n.Connect(src, local[i])
+	}
+	rem := dangling[di:]
+	for s := 0; s < nSink && len(rem) >= 2; s++ {
+		arity := maxFanin
+		if arity > len(rem) {
+			arity = len(rem)
+		}
+		id := n.MustAddGate(fmt.Sprintf("%s_x%d", prefix, s), netlist.Xor)
+		for _, f := range rem[:arity] {
+			n.Connect(f, id)
+		}
+		rem = append(rem[arity:], id)
+		local = append(local, id)
+	}
+
+	// Registered output ports: a spread of the block's DFFs. Fall back
+	// to logic nets only for blocks too small to carry state.
+	nPorts := nGates / 32
+	if nPorts < 2 {
+		nPorts = 2
+	}
+	if nPorts > nDFFs && nDFFs > 0 {
+		nPorts = nDFFs
+	}
+	ports := make([]netlist.GateID, 0, nPorts)
+	if nDFFs > 0 {
+		for i := 0; i < nPorts; i++ {
+			ports = append(ports, local[i*nDFFs/nPorts])
+		}
+	} else {
+		for len(ports) < nPorts {
+			ports = append(ports, local[logicStart+rng.Intn(len(local)-logicStart)])
+		}
+	}
+	return ports
+}

@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"cghti/internal/netlist"
+)
+
+func TestSoCDeterministic(t *testing.T) {
+	spec := SoCSpec{Gates: 3000, Seed: 11}
+	a, err := SoC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SoC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Gates, b.Gates) {
+		t.Fatal("same spec produced different gate arrays")
+	}
+	if !reflect.DeepEqual(a.PIs, b.PIs) || !reflect.DeepEqual(a.POs, b.POs) || !reflect.DeepEqual(a.DFFs, b.DFFs) {
+		t.Fatal("same spec produced different port lists")
+	}
+
+	c, err := SoC(SoCSpec{Gates: 3000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Gates, c.Gates) {
+		t.Fatal("different seeds produced identical netlists")
+	}
+}
+
+func TestSoCValidAndSized(t *testing.T) {
+	spec := SoCSpec{Gates: 20000, Seed: 5}
+	n, err := SoC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.ComputeStats()
+	// Logic cell target is approximate: the fold-back sink reserve
+	// (1/16 per block) is only spent as needed.
+	logic := s.Cells - s.DFFs
+	if logic < spec.Gates*88/100 || logic > spec.Gates {
+		t.Fatalf("logic cells = %d, want ~%d", logic, spec.Gates)
+	}
+	if s.DFFs == 0 {
+		t.Fatal("SoC has no flip-flops")
+	}
+	if s.POs < 8 {
+		t.Fatalf("only %d POs", s.POs)
+	}
+	// A 20k-gate SoC should split into multiple blocks with real depth.
+	if s.Depth < 10 {
+		t.Fatalf("depth = %d, suspiciously shallow for %d gates", s.Depth, spec.Gates)
+	}
+	// No dangling logic: every fanout-free cell must be a PO.
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Type == netlist.Input || g.Type == netlist.DFF {
+			continue
+		}
+		if len(g.Fanout) == 0 && !g.IsPO {
+			t.Fatalf("gate %s dangles", g.Name)
+		}
+	}
+}
+
+func TestSoCBlockKnobs(t *testing.T) {
+	n, err := SoC(SoCSpec{Gates: 4000, Blocks: 7, PIs: 40, POs: 25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.PIs) != 40 {
+		t.Fatalf("PIs = %d, want 40", len(n.PIs))
+	}
+	if len(n.POs) < 25 {
+		t.Fatalf("POs = %d, want >= 25", len(n.POs))
+	}
+	// Names carry the block hierarchy.
+	if _, ok := n.Lookup("b0_g0"); !ok {
+		t.Fatal("expected block-prefixed gate names: b0_g0 missing")
+	}
+	if _, ok := n.Lookup("b6_g0"); !ok {
+		t.Fatal("expected 7 blocks: b6_g0 missing")
+	}
+}
+
+func TestSoCRejectsTiny(t *testing.T) {
+	if _, err := SoC(SoCSpec{Gates: 10}); err == nil {
+		t.Fatal("expected error for tiny gate budget")
+	}
+}

@@ -25,17 +25,19 @@ func (n *Netlist) Levelize() error {
 		}
 		indeg[i] = int32(len(g.Fanin))
 	}
-	queue := make([]GateID, 0, num)
+	// The topo slice doubles as the FIFO: pushed gates are never
+	// removed, a head index advances instead. The old
+	// `queue = queue[1:]` form kept the whole backing array reachable
+	// while repeatedly shrinking the window — one allocation-free array
+	// serves both roles (see TestLevelizeAllocs).
+	topo := make([]GateID, 0, num)
 	for i := range n.Gates {
 		if indeg[i] == 0 {
-			queue = append(queue, GateID(i))
+			topo = append(topo, GateID(i))
 		}
 	}
-	topo := make([]GateID, 0, num)
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		topo = append(topo, id)
+	for head := 0; head < len(topo); head++ {
+		id := topo[head]
 		g := &n.Gates[id]
 		if g.Type == DFF || g.Type.IsSource() {
 			g.Level = 0
@@ -55,7 +57,7 @@ func (n *Netlist) Levelize() error {
 			}
 			indeg[s]--
 			if indeg[s] == 0 {
-				queue = append(queue, s)
+				topo = append(topo, s)
 			}
 		}
 	}

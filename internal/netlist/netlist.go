@@ -14,6 +14,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 )
 
 // GateID identifies a gate within one Netlist. IDs are dense: valid IDs
@@ -269,6 +270,22 @@ func (n *Netlist) MustAddGate(name string, t GateType) GateID {
 	return id
 }
 
+// Grow preallocates capacity for at least extra additional gates. Bulk
+// constructors (the SoC generator) call it once up front: growing the
+// Gates array incrementally past the 10⁵-gate mark re-zeroes ever-larger
+// backing arrays, which dominates construction time.
+func (n *Netlist) Grow(extra int) {
+	if n.byName == nil {
+		n.byName = make(map[string]GateID, len(n.Gates)+extra)
+	}
+	if cap(n.Gates)-len(n.Gates) >= extra {
+		return
+	}
+	g := make([]Gate, len(n.Gates), len(n.Gates)+extra)
+	copy(g, n.Gates)
+	n.Gates = g
+}
+
 // Connect appends src to dst's fanin (in port order) and dst to src's
 // fanout.
 func (n *Netlist) Connect(src, dst GateID) {
@@ -382,6 +399,26 @@ func (n *Netlist) CombOutputs() []GateID {
 		}
 	}
 	return out
+}
+
+// EstimatedBytes estimates the resident memory of the pointer form:
+// the gate structs, their per-gate fanin/fanout backing arrays, name
+// bytes and the name index. Allocator slack is not counted; the byName
+// entries use a flat per-entry estimate. Compare with
+// Compact.EstimatedBytes to see what the arena form saves.
+func (n *Netlist) EstimatedBytes() int64 {
+	total := int64(unsafe.Sizeof(*n))
+	gateSize := int64(unsafe.Sizeof(Gate{}))
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		total += gateSize + int64(len(g.Name)) + 4*int64(cap(g.Fanin)+cap(g.Fanout))
+		// byName entry: key string header + shared name bytes already
+		// counted; ~48 B covers the header, GateID value and bucket
+		// overhead.
+		total += 48
+	}
+	total += 4 * int64(len(n.PIs)+len(n.POs)+len(n.DFFs)+len(n.topo))
+	return total
 }
 
 // GateIDsByName returns all gate IDs sorted by name; handy for

@@ -159,3 +159,13 @@ func (s Stats) String() string {
 	return fmt.Sprintf("%s: %d gates (%d cells), %d PI, %d PO, %d DFF, depth %d, max fanin %d",
 		s.Name, s.Gates, s.Cells, s.PIs, s.POs, s.DFFs, s.Depth, s.MaxFanin)
 }
+
+// NumEdges returns the total fanin edge count (each connection counted
+// once; the fanout mirror is not double-counted).
+func (n *Netlist) NumEdges() int {
+	total := 0
+	for i := range n.Gates {
+		total += len(n.Gates[i].Fanin)
+	}
+	return total
+}

@@ -1,0 +1,158 @@
+package part
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cghti/internal/gen"
+	"cghti/internal/netlist"
+	"cghti/internal/sim"
+)
+
+func socCompact(t *testing.T, gates int, seed int64) *netlist.Compact {
+	t.Helper()
+	n, err := gen.SoC(gen.SoCSpec{Gates: gates, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return netlist.CompactOf(n)
+}
+
+func TestPlanInvariants(t *testing.T) {
+	c := socCompact(t, 5000, 9)
+	plan, err := Build(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Parts != 4 {
+		t.Fatalf("Parts = %d, want 4", plan.Parts)
+	}
+	totalOwned := 0
+	for _, s := range plan.Subs {
+		totalOwned += s.NumOwned
+	}
+	if totalOwned != c.NumGates() {
+		t.Fatalf("owned gates sum to %d, want %d", totalOwned, c.NumGates())
+	}
+	for g := 0; g < c.NumGates(); g++ {
+		if o := plan.Owner[g]; o < 0 || int(o) >= plan.Parts {
+			t.Fatalf("gate %d owner %d out of range", g, o)
+		}
+	}
+	for _, s := range plan.Subs {
+		for li := 0; li < s.C.NumGates(); li++ {
+			g := s.ToGlobal[li]
+			// Local/global roundtrip and owned-flag consistency.
+			if back, ok := s.Local(g); !ok || back != netlist.GateID(li) {
+				t.Fatalf("part %d: Local(%d) = %d,%v, want %d", s.Index, g, back, ok, li)
+			}
+			if s.Owned[li] != (plan.Owner[g] == int32(s.Index)) {
+				t.Fatalf("part %d gate %d: Owned flag disagrees with plan", s.Index, g)
+			}
+			if s.C.TypeOf(netlist.GateID(li)) != c.TypeOf(g) {
+				t.Fatalf("part %d gate %d: type mismatch", s.Index, g)
+			}
+			// Closure: every non-source member carries its full global
+			// fanin, remapped.
+			if typ := c.TypeOf(g); typ != netlist.Input && typ != netlist.DFF {
+				gf := c.FaninOf(g)
+				lf := s.C.FaninOf(netlist.GateID(li))
+				if len(gf) != len(lf) {
+					t.Fatalf("part %d gate %d: fanin %d, want %d", s.Index, g, len(lf), len(gf))
+				}
+				for k := range gf {
+					if s.ToGlobal[lf[k]] != gf[k] {
+						t.Fatalf("part %d gate %d: fanin %d maps to %d, want %d",
+							s.Index, g, k, s.ToGlobal[lf[k]], gf[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	c := socCompact(t, 3000, 2)
+	a, err := Build(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two builds of the same plan differ")
+	}
+}
+
+func TestPlanClampAndSinglePartition(t *testing.T) {
+	c := netlist.CompactOf(gen.C17())
+	plan, err := Build(c, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Parts > len(c.CombOutputs()) {
+		t.Fatalf("Parts = %d exceeds seed count %d", plan.Parts, len(c.CombOutputs()))
+	}
+
+	one, err := Build(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Parts != 1 || one.Subs[0].C.NumGates() != c.NumGates() {
+		t.Fatalf("single partition should hold the whole netlist: parts=%d gates=%d/%d",
+			one.Parts, one.Subs[0].C.NumGates(), c.NumGates())
+	}
+	for g, o := range one.Owner {
+		if o != 0 {
+			t.Fatalf("gate %d owner %d with parts=1", g, o)
+		}
+	}
+}
+
+// TestPartitionedSimMatchesGlobal is the core soundness check: loading a
+// partition's sub-netlist with the same input words the global engine
+// drew and running it must reproduce the global simulation bit for bit
+// on every member gate — owned and replicated alike.
+func TestPartitionedSimMatchesGlobal(t *testing.T) {
+	c := socCompact(t, 3000, 7)
+	const words = 4
+	global, err := sim.NewPackedCompact(c, words, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global.Randomize(rand.New(rand.NewSource(21)))
+	global.Run()
+
+	for _, parts := range []int{2, 5} {
+		plan, err := Build(c, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range plan.Subs {
+			eng, err := sim.NewPackedCompact(s.C, words, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, li := range s.C.CombInputs() {
+				for w := 0; w < words; w++ {
+					eng.SetWord(li, w, global.Word(s.ToGlobal[li], w))
+				}
+			}
+			eng.Run()
+			for li := 0; li < s.C.NumGates(); li++ {
+				for w := 0; w < words; w++ {
+					if a, b := eng.Word(netlist.GateID(li), w), global.Word(s.ToGlobal[li], w); a != b {
+						t.Fatalf("parts=%d part=%d gate %d word %d: %x vs global %x",
+							parts, s.Index, s.ToGlobal[li], w, a, b)
+					}
+				}
+			}
+		}
+	}
+}

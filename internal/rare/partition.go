@@ -1,0 +1,175 @@
+package rare
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cghti/internal/chaos"
+	"cghti/internal/netlist"
+	"cghti/internal/obs"
+	"cghti/internal/part"
+	"cghti/internal/sim"
+	"cghti/internal/stage"
+)
+
+// extractPartitioned is the Config.Partitions > 1 path of
+// ExtractContext: the netlist is split into fanout-cone partitions and
+// each batch is simulated per-partition on the worker pool.
+//
+// Bit-identity with the single-engine path rests on two invariants:
+//
+//  1. Vector draw. The whole-netlist engine's Randomize fills
+//     CombInputs in order, word-ascending, one rng.Uint64 per word.
+//     Here the same sequence is drawn once into a global buffer per
+//     batch and copied into each partition verbatim, so the vector set
+//     is a function of Seed alone — never of the partition count.
+//  2. Counting. Each gate's one-count is folded from exactly its
+//     owning partition. Replicated fanin context is simulated (it must
+//     be, to make owned values correct) but never counted twice, and a
+//     partition's simulation of its sub-netlist is bit-identical to
+//     the global simulation restricted to its members (the sub-netlist
+//     is TFI-closed).
+//
+// Cancellation is batch-atomic: partitions join between batches, so an
+// interrupt either keeps a batch's counts everywhere or drops them
+// everywhere, and the partial sample stays a valid smaller |V|.
+func extractPartitioned(ctx context.Context, n *netlist.Netlist, cfg Config) (*Set, error) {
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	c := netlist.CompactOf(n)
+	plan, err := part.Build(c, cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.FromContext(ctx)
+	met := metersFor(reg)
+	met.extractions.Inc()
+
+	W := cfg.BatchWords
+	engines := make([]*sim.Packed, plan.Parts)
+	counts := make([][]int64, plan.Parts)
+	for p, s := range plan.Subs {
+		eng, err := sim.NewPackedCompact(s.C, W, 1)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetRegistry(reg)
+		engines[p] = eng
+		counts[p] = make([]int64, s.C.NumGates())
+	}
+
+	// Global input rows: row[g] is gate g's word offset in the per-batch
+	// draw buffer, laid out in CombInputs order.
+	inputs := c.CombInputs()
+	row := make([]int32, c.NumGates())
+	for i := range row {
+		row[i] = -1
+	}
+	for i, id := range inputs {
+		row[id] = int32(i)
+	}
+	buf := make([]uint64, len(inputs)*W)
+
+	// fold collects the per-gate counts from each gate's owning
+	// partition. Called exactly once, when the batch loop ends.
+	fold := func() []int64 {
+		ones := make([]int64, c.NumGates())
+		for p, s := range plan.Subs {
+			cnt := counts[p]
+			for li, g := range s.ToGlobal {
+				if s.Owned[li] {
+					ones[g] += cnt[li]
+				}
+			}
+		}
+		return ones
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > plan.Parts {
+		workers = plan.Parts
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	done := ctx.Done()
+	remaining := cfg.Vectors
+	for remaining > 0 {
+		select {
+		case <-done:
+			return partialSet(n, cfg, fold(), cfg.Vectors-remaining, met), ctx.Err()
+		default:
+		}
+		if err := chaos.Hit(stage.RareExtract, 0); err != nil {
+			return partialSet(n, cfg, fold(), cfg.Vectors-remaining, met), err
+		}
+		batch := 64 * W
+		if batch > remaining {
+			batch = remaining
+		}
+		// Identical draw sequence to Packed.Randomize on the whole
+		// netlist: input-major, word-ascending.
+		for i := 0; i < len(inputs); i++ {
+			for w := 0; w < W; w++ {
+				buf[i*W+w] = rng.Uint64()
+			}
+		}
+		runBatch(plan, engines, counts, buf, row, W, batch, workers)
+		remaining -= batch
+		met.vectors.Add(int64(batch))
+		if cfg.Progress != nil {
+			cfg.Progress(cfg.Vectors-remaining, cfg.Vectors)
+		}
+	}
+	s := buildSet(n, cfg, fold())
+	met.rareNodes.Set(int64(s.Len()))
+	return s, nil
+}
+
+// runBatch simulates one batch in every partition, spreading partitions
+// across the worker goroutines, and joins before returning. A panic in
+// a partition goroutine is re-raised on the caller's goroutine, where
+// stage-level containment can demote it to an error.
+func runBatch(plan *part.Plan, engines []*sim.Packed, counts [][]int64, buf []uint64, row []int32, W, batch, workers int) {
+	var next int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			for {
+				p := int(atomic.AddInt64(&next, 1)) - 1
+				if p >= plan.Parts {
+					return
+				}
+				s := plan.Subs[p]
+				eng := engines[p]
+				for _, li := range s.C.CombInputs() {
+					base := int(row[s.ToGlobal[li]]) * W
+					for w := 0; w < W; w++ {
+						eng.SetWord(li, w, buf[base+w])
+					}
+				}
+				eng.Run()
+				eng.CountOnes(counts[p], batch)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

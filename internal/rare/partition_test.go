@@ -1,0 +1,90 @@
+package rare
+
+import (
+	"testing"
+
+	"cghti/internal/gen"
+	"cghti/internal/netlist"
+)
+
+// TestExtractPartitionsIdentical is the determinism contract for the
+// partitioned scale path: the extracted rare-node set (membership, rare
+// values, probabilities, raw one-counts) is identical for any partition
+// count, on both benchmark circuits and a hierarchical SoC with state.
+func TestExtractPartitionsIdentical(t *testing.T) {
+	circuits := map[string]*netlist.Netlist{}
+	for _, name := range []string{"c432", "c880"} {
+		n, err := gen.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits[name] = n
+	}
+	soc, err := gen.SoC(gen.SoCSpec{Gates: 4000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits["soc4000"] = soc
+
+	for name, n := range circuits {
+		base := Config{Vectors: 4000, Threshold: 0.2, Seed: 11, Workers: 1}
+		ref, err := Extract(n, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, parts := range []int{2, 7} {
+			cfg := base
+			cfg.Partitions = parts
+			cfg.Workers = 4
+			got, err := Extract(n, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refNodes, gotNodes := ref.All(), got.All()
+			if len(gotNodes) != len(refNodes) {
+				t.Fatalf("%s partitions=%d: %d rare nodes, want %d", name, parts, len(gotNodes), len(refNodes))
+			}
+			for i := range refNodes {
+				if gotNodes[i] != refNodes[i] {
+					t.Fatalf("%s partitions=%d: node %d = %+v, want %+v",
+						name, parts, i, gotNodes[i], refNodes[i])
+				}
+			}
+			for i := range ref.Ones {
+				if got.Ones[i] != ref.Ones[i] {
+					t.Fatalf("%s partitions=%d: ones[%d] = %d, want %d",
+						name, parts, i, got.Ones[i], ref.Ones[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExtractPartitionsIncludeInputs pins the fold path for source
+// nodes: PIs and DFFs are members of several partitions but owned by
+// exactly one, so their counts must not double.
+func TestExtractPartitionsIncludeInputs(t *testing.T) {
+	n, err := gen.SoC(gen.SoCSpec{Gates: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Vectors: 2000, Threshold: 0.2, Seed: 5, IncludeInputs: true}
+	ref, err := Extract(n, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Partitions = 5
+	got, err := Extract(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalNodes != ref.TotalNodes || got.Len() != ref.Len() {
+		t.Fatalf("partitioned: %d/%d nodes, want %d/%d", got.Len(), got.TotalNodes, ref.Len(), ref.TotalNodes)
+	}
+	for i := range ref.Ones {
+		if got.Ones[i] != ref.Ones[i] {
+			t.Fatalf("ones[%d] = %d, want %d", i, got.Ones[i], ref.Ones[i])
+		}
+	}
+}

@@ -38,13 +38,25 @@ func sat(a, b int64) int64 {
 }
 
 // Compute calculates SCOAP measures for the combinational (full-scan)
-// view of n.
+// view of n. The computation itself runs over the arena form — see
+// ComputeCompact, which callers holding a netlist.Compact should use
+// directly to skip the conversion.
 func Compute(n *netlist.Netlist) (*Measures, error) {
-	topo, err := n.TopoOrder()
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	return ComputeCompact(netlist.CompactOf(n))
+}
+
+// ComputeCompact calculates SCOAP measures over the arena form. Both
+// passes stream through the flat type and fanin arrays, which is what
+// keeps the measure computation cache-friendly at SoC scale.
+func ComputeCompact(c *netlist.Compact) (*Measures, error) {
+	topo, err := c.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
-	num := len(n.Gates)
+	num := c.NumGates()
 	m := &Measures{
 		CC0: make([]int64, num),
 		CC1: make([]int64, num),
@@ -53,8 +65,9 @@ func Compute(n *netlist.Netlist) (*Measures, error) {
 
 	// Controllability: forward pass.
 	for _, id := range topo {
-		g := &n.Gates[id]
-		switch g.Type {
+		typ := c.TypeOf(id)
+		fanin := c.FaninOf(id)
+		switch typ {
 		case netlist.Input, netlist.DFF:
 			m.CC0[id], m.CC1[id] = 1, 1
 		case netlist.Const0:
@@ -62,28 +75,28 @@ func Compute(n *netlist.Netlist) (*Measures, error) {
 		case netlist.Const1:
 			m.CC0[id], m.CC1[id] = Inf, 0
 		case netlist.Buf:
-			f := g.Fanin[0]
+			f := fanin[0]
 			m.CC0[id] = sat(m.CC0[f], 1)
 			m.CC1[id] = sat(m.CC1[f], 1)
 		case netlist.Not:
-			f := g.Fanin[0]
+			f := fanin[0]
 			m.CC0[id] = sat(m.CC1[f], 1)
 			m.CC1[id] = sat(m.CC0[f], 1)
 		case netlist.And:
-			m.CC1[id] = sat(sumCC(m.CC1, g.Fanin), 1)
-			m.CC0[id] = sat(minCC(m.CC0, g.Fanin), 1)
+			m.CC1[id] = sat(sumCC(m.CC1, fanin), 1)
+			m.CC0[id] = sat(minCC(m.CC0, fanin), 1)
 		case netlist.Nand:
-			m.CC0[id] = sat(sumCC(m.CC1, g.Fanin), 1)
-			m.CC1[id] = sat(minCC(m.CC0, g.Fanin), 1)
+			m.CC0[id] = sat(sumCC(m.CC1, fanin), 1)
+			m.CC1[id] = sat(minCC(m.CC0, fanin), 1)
 		case netlist.Or:
-			m.CC0[id] = sat(sumCC(m.CC0, g.Fanin), 1)
-			m.CC1[id] = sat(minCC(m.CC1, g.Fanin), 1)
+			m.CC0[id] = sat(sumCC(m.CC0, fanin), 1)
+			m.CC1[id] = sat(minCC(m.CC1, fanin), 1)
 		case netlist.Nor:
-			m.CC1[id] = sat(sumCC(m.CC0, g.Fanin), 1)
-			m.CC0[id] = sat(minCC(m.CC1, g.Fanin), 1)
+			m.CC1[id] = sat(sumCC(m.CC0, fanin), 1)
+			m.CC0[id] = sat(minCC(m.CC1, fanin), 1)
 		case netlist.Xor, netlist.Xnor:
-			even, odd := parityCosts(m, g.Fanin)
-			if g.Type == netlist.Xor {
+			even, odd := parityCosts(m, fanin)
+			if typ == netlist.Xor {
 				m.CC0[id] = sat(even, 1)
 				m.CC1[id] = sat(odd, 1)
 			} else {
@@ -91,7 +104,7 @@ func Compute(n *netlist.Netlist) (*Measures, error) {
 				m.CC1[id] = sat(even, 1)
 			}
 		default:
-			return nil, fmt.Errorf("scoap: unsupported gate type %v", g.Type)
+			return nil, fmt.Errorf("scoap: unsupported gate type %v", typ)
 		}
 	}
 
@@ -100,36 +113,36 @@ func Compute(n *netlist.Netlist) (*Measures, error) {
 	for i := range m.CO {
 		m.CO[i] = Inf
 	}
-	for _, id := range n.POs {
+	for _, id := range c.POs {
 		m.CO[id] = 0
 	}
-	for _, d := range n.DFFs {
-		for _, f := range n.Gates[d].Fanin {
+	for _, d := range c.DFFs {
+		for _, f := range c.FaninOf(d) {
 			m.CO[f] = 0
 		}
 	}
 	for i := len(topo) - 1; i >= 0; i-- {
 		id := topo[i]
-		g := &n.Gates[id]
 		co := m.CO[id]
 		if co == Inf {
 			continue
 		}
-		switch g.Type {
+		fanin := c.FaninOf(id)
+		switch c.TypeOf(id) {
 		case netlist.Buf, netlist.Not:
-			relax(m, g.Fanin[0], sat(co, 1))
+			relax(m, fanin[0], sat(co, 1))
 		case netlist.And, netlist.Nand:
-			for j, f := range g.Fanin {
-				relax(m, f, sat(co, sat(sumExcept(m.CC1, g.Fanin, j), 1)))
+			for j, f := range fanin {
+				relax(m, f, sat(co, sat(sumExcept(m.CC1, fanin, j), 1)))
 			}
 		case netlist.Or, netlist.Nor:
-			for j, f := range g.Fanin {
-				relax(m, f, sat(co, sat(sumExcept(m.CC0, g.Fanin, j), 1)))
+			for j, f := range fanin {
+				relax(m, f, sat(co, sat(sumExcept(m.CC0, fanin, j), 1)))
 			}
 		case netlist.Xor, netlist.Xnor:
-			for j, f := range g.Fanin {
+			for j, f := range fanin {
 				var others int64
-				for k, o := range g.Fanin {
+				for k, o := range fanin {
 					if k != j {
 						others = sat(others, min64(m.CC0[o], m.CC1[o]))
 					}

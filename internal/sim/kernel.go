@@ -12,6 +12,11 @@ import (
 // writes whole word ranges, so the same program runs serially or
 // sharded across goroutines over disjoint word blocks (distinct
 // pattern words are fully independent).
+//
+// The compiler consumes the arena form (netlist.Compact): the per-gate
+// type and fanin lookups stream through two flat arrays instead of
+// chasing per-gate slice headers, which is what keeps compile time and
+// peak memory sane on million-gate SoC netlists.
 
 type opKind uint8
 
@@ -53,12 +58,13 @@ func pick(two bool, k2, kN opKind) opKind {
 
 // compileProgram lowers the topo order into the op list. Inputs and
 // DFFs are state (set by the caller) and compile to nothing.
-func compileProgram(n *netlist.Netlist, topo []netlist.GateID) []op {
+func compileProgram(c *netlist.Compact, topo []netlist.GateID) []op {
 	prog := make([]op, 0, len(topo))
 	for _, id := range topo {
-		g := &n.Gates[id]
+		typ := c.TypeOf(id)
+		fanin := c.FaninOf(id)
 		o := op{out: int32(id)}
-		switch g.Type {
+		switch typ {
 		case netlist.Input, netlist.DFF:
 			continue
 		case netlist.Const0:
@@ -67,13 +73,13 @@ func compileProgram(n *netlist.Netlist, topo []netlist.GateID) []op {
 			o.kind = opConst1
 		case netlist.Buf:
 			o.kind = opBuf
-			o.a = int32(g.Fanin[0])
+			o.a = int32(fanin[0])
 		case netlist.Not:
 			o.kind = opNot
-			o.a = int32(g.Fanin[0])
+			o.a = int32(fanin[0])
 		case netlist.And, netlist.Nand, netlist.Or, netlist.Nor, netlist.Xor, netlist.Xnor:
-			two := len(g.Fanin) == 2
-			switch g.Type {
+			two := len(fanin) == 2
+			switch typ {
 			case netlist.And:
 				o.kind = pick(two, opAnd2, opAndN)
 			case netlist.Nand:
@@ -88,10 +94,10 @@ func compileProgram(n *netlist.Netlist, topo []netlist.GateID) []op {
 				o.kind = pick(two, opXnor2, opXnorN)
 			}
 			if two {
-				o.a, o.b = int32(g.Fanin[0]), int32(g.Fanin[1])
+				o.a, o.b = int32(fanin[0]), int32(fanin[1])
 			} else {
-				o.fanin = make([]int32, len(g.Fanin))
-				for i, f := range g.Fanin {
+				o.fanin = make([]int32, len(fanin))
+				for i, f := range fanin {
 					o.fanin[i] = int32(f)
 				}
 			}

@@ -77,12 +77,16 @@ const minShardWords = 8
 // rare-node work) or latched from their data input by Step (sequential
 // view).
 type Packed struct {
-	n       *netlist.Netlist
-	prog    []op
-	words   int
-	workers int
-	met     *meters
-	vals    []uint64 // gate g, word w -> vals[int(g)*words+w]
+	n        *netlist.Netlist // pooling identity; nil for Compact-built engines
+	prog     []op
+	words    int
+	workers  int
+	met      *meters
+	vals     []uint64 // gate g, word w -> vals[int(g)*words+w]
+	numGates int
+	inputs   []netlist.GateID // CombInputs order, captured once at build
+	dffs     []netlist.GateID
+	dffSrc   []netlist.GateID // data driver per DFF; InvalidGate if absent
 }
 
 // NewPacked builds a serial simulator for n with the given number of
@@ -98,19 +102,46 @@ func NewPacked(n *netlist.Netlist, words int) (*Packed, error) {
 // independent, and each word is computed by exactly the same kernel
 // sequence regardless of which shard owns it.
 func NewPackedWorkers(n *netlist.Netlist, words, workers int) (*Packed, error) {
+	if err := n.Levelize(); err != nil {
+		return nil, err
+	}
+	// The kernel compiler consumes the arena form; the conversion is a
+	// one-time O(gates+wires) flattening, amortized by engine pooling.
+	p, err := NewPackedCompact(netlist.CompactOf(n), words, workers)
+	if err != nil {
+		return nil, err
+	}
+	p.n = n
+	return p, nil
+}
+
+// NewPackedCompact builds a simulator directly from the arena form —
+// the construction path for streamed million-gate netlists, which never
+// materialize a pointer-form Netlist. Engines built this way are not
+// recycled by AcquirePacked (pool identity is the *Netlist).
+func NewPackedCompact(c *netlist.Compact, words, workers int) (*Packed, error) {
 	if words < 1 {
 		return nil, fmt.Errorf("sim: words must be >= 1, got %d", words)
 	}
-	topo, err := n.TopoOrder()
+	topo, err := c.TopoOrder()
 	if err != nil {
 		return nil, err
 	}
 	p := &Packed{
-		n:     n,
-		prog:  compileProgram(n, topo),
-		words: words,
-		met:   defaultMeters,
-		vals:  make([]uint64, len(n.Gates)*words),
+		prog:     compileProgram(c, topo),
+		words:    words,
+		met:      defaultMeters,
+		vals:     make([]uint64, c.NumGates()*words),
+		numGates: c.NumGates(),
+		inputs:   c.CombInputs(),
+		dffs:     append([]netlist.GateID(nil), c.DFFs...),
+	}
+	p.dffSrc = make([]netlist.GateID, len(p.dffs))
+	for i, d := range p.dffs {
+		p.dffSrc[i] = netlist.InvalidGate
+		if fanin := c.FaninOf(d); len(fanin) > 0 {
+			p.dffSrc[i] = fanin[0]
+		}
 	}
 	p.SetWorkers(workers)
 	return p, nil
@@ -122,7 +153,8 @@ func (p *Packed) Words() int { return p.words }
 // Patterns returns the number of patterns simulated per Run (64 * Words).
 func (p *Packed) Patterns() int { return 64 * p.words }
 
-// Netlist returns the netlist the engine was compiled for.
+// Netlist returns the netlist the engine was compiled for; nil when the
+// engine was built from the arena form via NewPackedCompact.
 func (p *Packed) Netlist() *netlist.Netlist { return p.n }
 
 // SetWorkers sets the Run goroutine budget (1 = serial, 0 = GOMAXPROCS).
@@ -174,7 +206,7 @@ func (p *Packed) Bit(id netlist.GateID, pat int) bool {
 // (CombInputs order, word-ascending) so the drawn pattern set depends
 // only on the rng state, never on the worker count.
 func (p *Packed) Randomize(rng *rand.Rand) {
-	for _, id := range p.n.CombInputs() {
+	for _, id := range p.inputs {
 		base := int(id) * p.words
 		for w := 0; w < p.words; w++ {
 			p.vals[base+w] = rng.Uint64()
@@ -252,8 +284,11 @@ func (p *Packed) shardCount() int {
 func (p *Packed) Step() {
 	p.Run()
 	W := p.words
-	for _, d := range p.n.DFFs {
-		src := int(p.n.Gates[d].Fanin[0]) * W
+	for i, d := range p.dffs {
+		if p.dffSrc[i] == netlist.InvalidGate {
+			continue
+		}
+		src := int(p.dffSrc[i]) * W
 		dst := int(d) * W
 		copy(p.vals[dst:dst+W], p.vals[src:src+W])
 	}
@@ -266,7 +301,7 @@ func (p *Packed) CountOnes(counts []int64, limit int) {
 	W := p.words
 	fullWords := limit / 64
 	remBits := limit % 64
-	for g := range p.n.Gates {
+	for g := 0; g < p.numGates; g++ {
 		base := g * W
 		var c int
 		for w := 0; w < fullWords; w++ {
