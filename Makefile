@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race fuzz modcheck smoke scalesmoke bench benchall
+.PHONY: ci build vet fmt test race fuzz modcheck smoke scalesmoke recoversmoke bench benchall
 
-ci: build vet fmt modcheck race fuzz smoke scalesmoke
+ci: build vet fmt modcheck race fuzz smoke scalesmoke recoversmoke
 
 build:
 	$(GO) build ./...
@@ -42,13 +42,14 @@ modcheck:
 # cache.
 race:
 	$(GO) test -race -timeout 5m ./...
-	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact ./internal/serve ./internal/obs ./cmd/htload
+	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact ./internal/serve ./internal/obs ./internal/journal ./internal/iofault ./cmd/htload
 
 # Short fuzz smoke: each native fuzz target runs briefly so a parser
 # regression that panics or hangs on malformed input fails the gate.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/bench
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 5s ./internal/vparse
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 5s ./internal/journal
 
 # End-to-end daemon check: build the real htserved binary, run a c17
 # generation job over HTTP, SIGTERM, and require a clean drain. Always
@@ -61,6 +62,13 @@ smoke:
 # detector. Always -count=1 so the partition worker pools actually run.
 scalesmoke:
 	$(GO) test -race -run '^TestScaleSmoke$$' -count=1 -timeout 5m .
+
+# Kill-and-recover drill: build htserved, submit a keyed burst, SIGKILL
+# it mid-burst, restart over the same journal dir, and require every
+# accepted job terminal plus idempotent resubmit dedup. Always -count=1
+# so the crash/recovery path is actually executed.
+recoversmoke:
+	$(GO) test -run '^TestRecoverSmoke$$' -count=1 -timeout 5m ./cmd/htserved
 
 # Simulation/pipeline benchmarks, recorded as BENCH_sim.json so runs
 # can be committed and diffed (see cmd/benchjson). The artifact-cache

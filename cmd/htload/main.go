@@ -19,6 +19,14 @@
 // A 429 (queue full) is backpressure, not an error: the submitter backs
 // off and retries, so the daemon's bounded queue shapes the arrival
 // rate exactly as it would for a real client fleet.
+//
+// With -crash-retry each submit carries a deterministic Idempotency-Key
+// and transport errors retry the whole submit/await loop instead of
+// failing the job — pointed at a journaled htserved that is being
+// killed and restarted, the run rides through the crash: resubmits of
+// already-accepted work are deduped by the daemon (200 + original job
+// ID) rather than run twice. The final report then lists the daemon's
+// terminal job-status counts from GET /v1/jobs.
 package main
 
 import (
@@ -57,6 +65,10 @@ type loadConfig struct {
 	Workers     int // self-hosted pool size
 	Queue       int // self-hosted queue depth
 	Timeout     time.Duration
+	// CrashRetry sends an Idempotency-Key per job and retries submits
+	// through transport errors (a daemon restart mid-run), relying on
+	// the daemon's dedupe for exactly-once submission.
+	CrashRetry bool
 }
 
 // jsonResult mirrors cmd/benchjson's Result so BENCH_serve.json diffs
@@ -92,13 +104,14 @@ func main() {
 		queue       = flag.Int("queue", serve.DefaultQueueDepth, "self-hosted queue depth (ignored with -addr)")
 		timeout     = flag.Duration("timeout", 5*time.Minute, "whole-run deadline")
 		out         = flag.String("out", "BENCH_serve.json", "output file (stdout if \"-\")")
+		crashRetry  = flag.Bool("crash-retry", false, "send Idempotency-Keys and retry submits through daemon restarts")
 	)
 	flag.Parse()
 
 	cfg := loadConfig{
 		Addr: *addr, Jobs: *jobs, Concurrency: *concurrency,
 		Circuit: *circuit, Seed: *seed, Workers: *workers,
-		Queue: *queue, Timeout: *timeout,
+		Queue: *queue, Timeout: *timeout, CrashRetry: *crashRetry,
 	}
 	doc, err := run(cfg)
 	if err != nil {
@@ -153,6 +166,7 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 	lat := make([]time.Duration, cfg.Jobs)
 	var failures atomic.Int64
 	var retries atomic.Int64
+	var replays atomic.Int64
 	jobCh := make(chan int)
 	var wg sync.WaitGroup
 	client := &http.Client{} // no client timeout: SSE streams outlive any fixed cap; ctx bounds the run
@@ -162,7 +176,7 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobCh {
-				d, err := runJob(ctx, client, base, benchText, cfg, i, &retries)
+				d, err := runJob(ctx, client, base, benchText, cfg, i, &retries, &replays)
 				if err != nil {
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "%s: job %d: %v\n", tool, i, err)
@@ -212,16 +226,57 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 			Iters:   int64(len(ok)),
 			NsPerOp: float64(sum.Nanoseconds()) / float64(len(ok)),
 			Metrics: map[string]float64{
-				"p50_ms":      ms(nearestRank(ok, 0.50)),
-				"p90_ms":      ms(nearestRank(ok, 0.90)),
-				"p99_ms":      ms(nearestRank(ok, 0.99)),
-				"jobs_per_s":  float64(len(ok)) / elapsed.Seconds(),
-				"errors":      float64(failures.Load()),
-				"retries_429": float64(retries.Load()),
+				"p50_ms":       ms(nearestRank(ok, 0.50)),
+				"p90_ms":       ms(nearestRank(ok, 0.90)),
+				"p99_ms":       ms(nearestRank(ok, 0.99)),
+				"jobs_per_s":   float64(len(ok)) / elapsed.Seconds(),
+				"errors":       float64(failures.Load()),
+				"retries_429":  float64(retries.Load()),
+				"idem_replays": float64(replays.Load()),
 			},
 		}},
 	}
+	reportJobStatuses(ctx, client, base)
 	return doc, nil
+}
+
+// reportJobStatuses prints the daemon's terminal job-status counts from
+// GET /v1/jobs — in crash-retry runs this is the ground truth that
+// every submitted job reached a terminal state exactly once.
+func reportJobStatuses(ctx context.Context, client *http.Client, base string) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs?limit=1000", nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: jobs listing: %v\n", tool, err)
+		return
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []struct {
+			Status string `json:"status"`
+		} `json:"jobs"`
+		Total int `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return
+	}
+	counts := map[string]int{}
+	for _, j := range list.Jobs {
+		counts[j.Status]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	fmt.Fprintf(os.Stderr, "%s: daemon job statuses (%d total): %s\n", tool, list.Total, strings.Join(parts, " "))
 }
 
 // selfHost starts an in-process daemon on a loopback port and returns
@@ -247,7 +302,13 @@ func selfHost(cfg loadConfig) (addr string, stop func(), err error) {
 // over the SSE event stream. The returned duration is client-observed:
 // from the first submit attempt (including any 429 backoff — queue wait
 // the client experienced) to the result event.
-func runJob(ctx context.Context, client *http.Client, base, benchText string, cfg loadConfig, i int, retries *atomic.Int64) (time.Duration, error) {
+//
+// In crash-retry mode the submit carries a deterministic
+// Idempotency-Key and the whole submit/await loop retries through
+// transport errors: a daemon restart mid-run drops connections, but the
+// resubmit is deduped server-side (200 + the original job ID), so the
+// job still runs exactly once.
+func runJob(ctx context.Context, client *http.Client, base, benchText string, cfg loadConfig, i int, retries, replays *atomic.Int64) (time.Duration, error) {
 	req := serve.GenerateRequest{
 		Bench:           benchText,
 		Name:            cfg.Circuit,
@@ -262,6 +323,41 @@ func runJob(ctx context.Context, client *http.Client, base, benchText string, cf
 		return 0, err
 	}
 	start := time.Now()
+	for {
+		d, err := submitAndAwait(ctx, client, base, body, cfg, i, start, retries, replays)
+		if err != nil && cfg.CrashRetry && isTransient(err) && ctx.Err() == nil {
+			select {
+			case <-time.After(100 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		return d, err
+	}
+}
+
+// isTransient reports whether an error is worth a crash-retry: anything
+// transport-level (connection refused/reset during a daemon restart, a
+// stream cut mid-read) rather than a definitive server answer.
+func isTransient(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return true
+	}
+	s := err.Error()
+	return strings.Contains(s, "connection refused") ||
+		strings.Contains(s, "connection reset") ||
+		strings.Contains(s, "EOF") ||
+		strings.Contains(s, "ended without a result")
+}
+
+// submitAndAwait is one submit + SSE-await pass.
+func submitAndAwait(ctx context.Context, client *http.Client, base string, body []byte, cfg loadConfig, i int, start time.Time, retries, replays *atomic.Int64) (time.Duration, error) {
 	var id string
 	for {
 		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/generate", bytes.NewReader(body))
@@ -269,6 +365,9 @@ func runJob(ctx context.Context, client *http.Client, base, benchText string, cf
 			return 0, err
 		}
 		hr.Header.Set("Content-Type", "application/json")
+		if cfg.CrashRetry {
+			hr.Header.Set("Idempotency-Key", fmt.Sprintf("htload-%d-%d", cfg.Seed, i))
+		}
 		resp, err := client.Do(hr)
 		if err != nil {
 			return 0, err
@@ -283,10 +382,15 @@ func runJob(ctx context.Context, client *http.Client, base, benchText string, cf
 				return 0, ctx.Err()
 			}
 		}
-		if resp.StatusCode != http.StatusAccepted {
+		// 202 = fresh accept; 200 = idempotent replay of a job the
+		// daemon already has (possibly from before a restart).
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 			msg, _ := decodeError(resp)
 			resp.Body.Close()
 			return 0, fmt.Errorf("submit: status %d: %s", resp.StatusCode, msg)
+		}
+		if resp.StatusCode == http.StatusOK {
+			replays.Add(1)
 		}
 		var sub struct {
 			ID string `json:"id"`

@@ -10,6 +10,7 @@
 //
 //	POST /v1/generate          submit a generation job (JSON body; 202 + job id)
 //	POST /v1/detect            submit a detection job
+//	GET  /v1/jobs              list retained jobs (?status=, ?limit=)
 //	GET  /v1/jobs/{id}         poll a job's status, result and per-job report
 //	GET  /v1/jobs/{id}/events  stream the job's progress as Server-Sent Events
 //	GET  /healthz              200 + queue/worker occupancy, 503 while draining
@@ -21,6 +22,16 @@
 // SIGINT/SIGTERM the daemon stops accepting work, gives in-flight jobs
 // -drain-grace to finish (then cancels them), and writes a final run
 // report to -report (or stderr).
+//
+// With -journal-dir the daemon keeps a write-ahead log of job lifecycle
+// events: every accepted job is journaled (with its request payload)
+// and fsynced before the 202, so a crash — kill -9 included — loses no
+// accepted work. On restart the journal is replayed: finished jobs come
+// back queryable, interrupted jobs are re-enqueued (idempotently — the
+// artifact cache makes redone stage work cheap), and a job that has
+// crashed the process -max-attempts times is parked as "poisoned".
+// Clients may send an Idempotency-Key header with a submit; retrying
+// the same key returns the original job (200) instead of a duplicate.
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 
 	"cghti/internal/artifact"
 	"cghti/internal/cli"
+	"cghti/internal/journal"
 	"cghti/internal/serve"
 )
 
@@ -43,14 +55,16 @@ const tool = "htserved"
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers    = flag.Int("workers", serve.DefaultWorkers, "job worker-pool size (max concurrent jobs)")
-		queue      = flag.Int("queue", serve.DefaultQueueDepth, "accepted-but-not-started job backlog; beyond it submits get 429")
-		jobTimeout = flag.Duration("job-timeout", serve.DefaultJobTimeout, "per-job deadline cap (requests may ask for less)")
-		jobWorkers = flag.Int("job-workers", 1, "per-job simulation/ATPG goroutine budget")
-		cacheDir   = flag.String("cache-dir", "", "persist the shared artifact cache here (memory-only if empty)")
-		report     = flag.String("report", "", "write the final drain report to this file (stderr if empty)")
-		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long in-flight jobs may keep running after SIGTERM before being canceled")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers     = flag.Int("workers", serve.DefaultWorkers, "job worker-pool size (max concurrent jobs)")
+		queue       = flag.Int("queue", serve.DefaultQueueDepth, "accepted-but-not-started job backlog; beyond it submits get 429")
+		jobTimeout  = flag.Duration("job-timeout", serve.DefaultJobTimeout, "per-job deadline cap (requests may ask for less)")
+		jobWorkers  = flag.Int("job-workers", 1, "per-job simulation/ATPG goroutine budget")
+		cacheDir    = flag.String("cache-dir", "", "persist the shared artifact cache here (memory-only if empty)")
+		report      = flag.String("report", "", "write the final drain report to this file (stderr if empty)")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long in-flight jobs may keep running after SIGTERM before being canceled")
+		journalDir  = flag.String("journal-dir", "", "persist the job journal here and recover it on boot (no durability if empty)")
+		maxAttempts = flag.Int("max-attempts", serve.DefaultMaxAttempts, "poison a job after this many crash-interrupted attempts")
 	)
 	flag.Parse()
 
@@ -62,13 +76,29 @@ func main() {
 		}
 		cache = c
 	}
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		j, err := journal.Open(*journalDir, journal.Options{})
+		if err != nil {
+			cli.Fatal(tool, err)
+		}
+		jnl = j
+		defer jnl.Close()
+	}
 	srv := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		JobWorkers: *jobWorkers,
-		Cache:      cache,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		JobWorkers:  *jobWorkers,
+		Cache:       cache,
+		Journal:     jnl,
+		MaxAttempts: *maxAttempts,
 	})
+	if rec, err := srv.Recover(); err != nil {
+		cli.Fatal(tool, err)
+	} else if rec != nil {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", tool, rec)
+	}
 	srv.Start()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"cghti"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: exec's pipe-copier
+// goroutine writes it while the test reads it, so a bare Buffer races.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startDaemon launches the built binary with a journal + cache dir and
+// returns the process plus its stderr buffer.
+func startDaemon(t *testing.T, bin, addr, journalDir, cacheDir string) (*exec.Cmd, *syncBuffer) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-workers", "1",
+		"-queue", "16",
+		"-journal-dir", journalDir,
+		"-cache-dir", cacheDir,
+		"-drain-grace", "30s",
+	)
+	stderr := new(syncBuffer)
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd, stderr
+}
+
+// TestRecoverSmoke is the kill-and-recover drill `make recoversmoke`
+// runs: build the real binary, submit a burst of keyed jobs, SIGKILL
+// the daemon mid-burst (no drain, no warning — the crash the journal
+// exists for), restart it over the same journal and cache dirs, and
+// require that every accepted job reaches a terminal state, that a
+// keyed resubmit is deduped to the original job ID (no duplicate side
+// effects), and that the successor reported a recovery on boot.
+func TestRecoverSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recover smoke builds and runs (and kills) the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "htserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	journalDir := filepath.Join(dir, "journal")
+	cacheDir := filepath.Join(dir, "cache")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd1, stderr1 := startDaemon(t, bin, addr, journalDir, cacheDir)
+	defer cmd1.Process.Kill()
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	// Submit a burst of slow-ish jobs (one worker, a non-toy circuit →
+	// a real backlog) so the kill lands with work queued and running.
+	n, err := cghti.Circuit("c1908")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := cghti.WriteBench(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 8
+	ids := make([]string, jobs)
+	var submitBodies [jobs][]byte
+	for i := 0; i < jobs; i++ {
+		body, err := json.Marshal(map[string]any{
+			"bench":             sb.String(),
+			"name":              "c1908",
+			"seed":              i + 1,
+			"instances":         1,
+			"min_trigger_nodes": 2,
+			"rare_vectors":      500,
+			"rare_threshold":    0.4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitBodies[i] = body
+		ids[i] = submitKeyed(t, base, body, smokeKey(i), http.StatusAccepted, stderr1)
+	}
+
+	// SIGKILL: no drain, no journal close. Everything not yet terminal
+	// is mid-flight state only the journal remembers.
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Successor over the same journal + cache.
+	cmd2, stderr2 := startDaemon(t, bin, addr, journalDir, cacheDir)
+	defer cmd2.Process.Kill()
+	waitHealthy(t, base)
+	if !strings.Contains(stderr2.String(), fmt.Sprintf("recovered %d jobs", jobs)) {
+		t.Fatalf("successor boot log has no recovery report covering all %d jobs:\n%s", jobs, stderr2.String())
+	}
+
+	// Every submitted job must reach a terminal state — the accepted
+	// work survived the kill.
+	for i, id := range ids {
+		status := pollSmokeJob(t, base, id)
+		if status != "done" {
+			t.Fatalf("job %d (%s) after recovery = %q, want done (stderr: %s)", i, id, status, stderr2.String())
+		}
+	}
+
+	// Idempotent resubmit: same key, same body → 200 + the ORIGINAL job
+	// ID, not a rerun.
+	gotID := submitKeyed(t, base, submitBodies[0], smokeKey(0), http.StatusOK, stderr2)
+	if gotID != ids[0] {
+		t.Fatalf("keyed resubmit returned %s, want original %s", gotID, ids[0])
+	}
+
+	// No duplicate side effects: the daemon holds exactly `jobs` jobs,
+	// all done.
+	resp, err := http.Get(base + "/v1/jobs?status=done&limit=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs  []struct{ ID string } `json:"jobs"`
+		Total int                   `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if list.Total != jobs {
+		t.Fatalf("done jobs after recovery = %d, want %d (duplicates or losses)", list.Total, jobs)
+	}
+
+	// Clean SIGTERM exit for the successor.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- cmd2.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("successor exited non-zero after SIGTERM: %v\n%s", err, stderr2.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("successor did not exit within 60s of SIGTERM\n%s", stderr2.String())
+	}
+}
+
+func smokeKey(i int) string { return fmt.Sprintf("smoke-key-%d", i) }
+
+// submitKeyed posts one generate body with an Idempotency-Key and
+// requires the given status, returning the job ID.
+func submitKeyed(t *testing.T, base string, body []byte, key string, wantStatus int, stderr *syncBuffer) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		raw, _ := json.Marshal(resp.Header)
+		t.Fatalf("submit status = %d, want %d (headers %s, stderr: %s)", resp.StatusCode, wantStatus, raw, stderr.String())
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	return sub.ID
+}

@@ -84,7 +84,7 @@ func TestDiskByteCap(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, fpN(1).String())); err != nil {
 		t.Fatalf("newest entry should survive: %v", err)
 	}
-	if got, want := c.DiskBytes(), int64(len(big)+36); got != want {
+	if got, want := c.DiskBytes(), int64(len(big)+entryHeaderLen); got != want {
 		t.Fatalf("DiskBytes = %d, want %d", got, want)
 	}
 }

@@ -4,13 +4,16 @@ import (
 	"container/list"
 	"context"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"cghti/internal/iofault"
 	"cghti/internal/obs"
 )
 
@@ -25,6 +28,8 @@ type meters struct {
 	puts          *obs.Counter
 	evictions     *obs.Counter
 	corrupt       *obs.Counter
+	diskTorn      *obs.Counter
+	ioRetries     *obs.Counter
 	diskEvictions *obs.Counter
 	getTime       *obs.Histogram
 }
@@ -46,6 +51,8 @@ func newMeters(r *obs.Registry) *meters {
 		puts:          r.Counter("artifact.cache_puts"),
 		evictions:     r.Counter("artifact.cache_evictions"),
 		corrupt:       r.Counter("artifact.disk_corrupt"),
+		diskTorn:      r.Counter("artifact.disk_torn"),
+		ioRetries:     r.Counter("artifact.io_retries"),
 		diskEvictions: r.Counter("artifact.disk_evictions"),
 		getTime:       r.Histogram("artifact.get_time"),
 	}
@@ -84,6 +91,7 @@ type Cache struct {
 	lru        *list.List // front = most recently used
 	entries    map[Fingerprint]*list.Element
 
+	fs             iofault.FS // disk-tier filesystem seam
 	dir            string
 	diskMaxEntries int
 	diskMaxBytes   int64
@@ -117,9 +125,19 @@ func NewCache(maxEntries int, maxBytes int64) *Cache {
 		maxBytes:       maxBytes,
 		lru:            list.New(),
 		entries:        make(map[Fingerprint]*list.Element),
+		fs:             iofault.OS(),
 		diskMaxEntries: DefaultDiskMaxEntries,
 		diskMaxBytes:   DefaultDiskMaxBytes,
 	}
+}
+
+// SetFS replaces the disk tier's filesystem (the real OS by default).
+// A test seam: iofault.NewFaulty injects deterministic I/O failures
+// under the disk tier without touching the real filesystem semantics.
+func (c *Cache) SetFS(fsys iofault.FS) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fs = fsys
 }
 
 // SetDiskLimits bounds the disk tier to maxEntries entries and maxBytes
@@ -136,9 +154,9 @@ func (c *Cache) SetDiskLimits(maxEntries int, maxBytes int64) {
 	c.diskMaxEntries = maxEntries
 	c.diskMaxBytes = maxBytes
 	doomed := c.evictDiskLocked(defaultMeters)
-	dir := c.dir
+	fsys, dir := c.fs, c.dir
 	c.mu.Unlock()
-	removeEntries(dir, doomed)
+	removeEntries(fsys, dir, doomed)
 }
 
 // AttachDir adds the on-disk tier rooted at dir, creating it if needed.
@@ -146,10 +164,13 @@ func (c *Cache) SetDiskLimits(maxEntries int, maxBytes int64) {
 // age carries across processes; entries beyond the disk bounds are
 // evicted immediately.
 func (c *Cache) AttachDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	c.mu.Lock()
+	fsys := c.fs
+	c.mu.Unlock()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	entries, err := scanDir(dir)
+	entries, err := scanDir(fsys, dir)
 	if err != nil {
 		return err
 	}
@@ -165,15 +186,15 @@ func (c *Cache) AttachDir(dir string) error {
 	}
 	doomed := c.evictDiskLocked(defaultMeters)
 	c.mu.Unlock()
-	removeEntries(dir, doomed)
+	removeEntries(fsys, dir, doomed)
 	return nil
 }
 
 // scanDir lists dir's valid-looking entry files sorted by ascending
 // modification time. Files whose names do not parse as fingerprints
 // (including leftover .tmp files) are ignored.
-func scanDir(dir string) ([]diskEntry, error) {
-	des, err := os.ReadDir(dir)
+func scanDir(fsys iofault.FS, dir string) ([]diskEntry, error) {
+	des, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -229,12 +250,12 @@ func (c *Cache) evictDiskLocked(met *meters) []Fingerprint {
 }
 
 // removeEntries unlinks evicted entry files (best effort).
-func removeEntries(dir string, fps []Fingerprint) {
+func removeEntries(fsys iofault.FS, dir string, fps []Fingerprint) {
 	if dir == "" {
 		return
 	}
 	for _, fp := range fps {
-		os.Remove(filepath.Join(dir, fp.String()))
+		fsys.Remove(filepath.Join(dir, fp.String()))
 	}
 }
 
@@ -257,9 +278,9 @@ func (c *Cache) noteDiskWrite(fp Fingerprint, size int64, met *meters) {
 		c.diskBytes += size
 	}
 	doomed := c.evictDiskLocked(met)
-	dir := c.dir
+	fsys, dir := c.fs, c.dir
 	c.mu.Unlock()
-	removeEntries(dir, doomed)
+	removeEntries(fsys, dir, doomed)
 }
 
 // dropDiskEntry removes fp from the disk index after a corrupt read
@@ -335,11 +356,14 @@ func (c *Cache) get(fp Fingerprint, met *meters) ([]byte, bool) {
 		met.hits.Inc()
 		return data, true
 	}
-	dir := c.dir
+	fsys, dir := c.fs, c.dir
 	c.mu.Unlock()
 	if dir != "" {
-		data, ok, corrupt := readEntry(filepath.Join(dir, fp.String()))
-		if corrupt {
+		data, ok, corrupt, torn := readEntry(fsys, filepath.Join(dir, fp.String()), met)
+		if torn {
+			met.diskTorn.Inc()
+			c.dropDiskEntry(fp)
+		} else if corrupt {
 			met.corrupt.Inc()
 			c.dropDiskEntry(fp)
 		}
@@ -375,10 +399,10 @@ func (c *Cache) put(fp Fingerprint, data []byte, met *meters) {
 	met.puts.Inc()
 	c.install(fp, data, met)
 	c.mu.Lock()
-	dir := c.dir
+	fsys, dir := c.fs, c.dir
 	c.mu.Unlock()
 	if dir != "" {
-		if size, ok := writeEntry(filepath.Join(dir, fp.String()), data); ok {
+		if size, ok := writeEntry(fsys, dir, fp.String(), data, met); ok {
 			c.noteDiskWrite(fp, size, met)
 		}
 	}
@@ -408,53 +432,145 @@ func (c *Cache) install(fp Fingerprint, data []byte, met *meters) {
 	}
 }
 
-// On-disk entry format: 4-byte magic, sha256 of the payload, payload.
-// The hash makes every read self-verifying — fingerprints address the
-// *inputs* that produced an artifact, the stored hash attests the
-// artifact bytes themselves survived the round trip.
-var diskMagic = [4]byte{'C', 'G', 'A', '1'}
+// On-disk entry format (v2): 4-byte magic, 8-byte LE payload length,
+// sha256 of the payload, payload. The hash makes every read
+// self-verifying — fingerprints address the *inputs* that produced an
+// artifact, the stored hash attests the artifact bytes themselves
+// survived the round trip — and the explicit length distinguishes a
+// torn write (file shorter than declared: power loss mid-write) from
+// bit corruption (full length, wrong hash), so the two failure modes
+// are counted separately. v1 entries (no length field) written by
+// older processes still read.
+var (
+	diskMagic   = [4]byte{'C', 'G', 'A', '2'}
+	diskMagicV1 = [4]byte{'C', 'G', 'A', '1'}
+)
 
-// writeEntry persists one entry, returning its file size. Write-then-
-// rename so readers never observe a half-written entry. Failures are
-// silent: the disk tier is an optimization, and a missing entry just
-// means recomputation.
-func writeEntry(path string, data []byte) (int64, bool) {
+// entryHeaderLen is the v2 on-disk header: magic + length + sha256.
+const entryHeaderLen = 4 + 8 + sha256.Size
+
+// diskRetry bounds the disk tier's per-operation retries: transient
+// I/O errors get two more tries with jittered backoff, permanent ones
+// (missing file, permission) fail immediately. Retries are counted in
+// artifact.io_retries.
+var diskRetry = iofault.RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond, Jitter: 0.5}
+
+// writeEntry persists one entry, returning its file size. The temp
+// file is written and fsynced, renamed into place, and the parent
+// directory fsynced — without the syncs, tmp+rename can surface an
+// empty or torn entry after power loss. Each step gets bounded
+// retries; terminal failures are silent beyond the retry counter: the
+// disk tier is an optimization, and a missing entry just means
+// recomputation.
+func writeEntry(fsys iofault.FS, dir, name string, data []byte, met *meters) (int64, bool) {
 	sum := sha256.Sum256(data)
-	buf := make([]byte, 0, len(diskMagic)+len(sum)+len(data))
+	buf := make([]byte, 0, len(diskMagic)+8+len(sum)+len(data))
 	buf = append(buf, diskMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(data)))
 	buf = append(buf, sum[:]...)
 	buf = append(buf, data...)
+	path := filepath.Join(dir, name)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	retries, err := diskRetry.Do(func() error {
+		f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		n, err := f.Write(buf)
+		if err == nil && n != len(buf) {
+			err = fmt.Errorf("artifact: short write (%d of %d bytes)", n, len(buf))
+		}
+		if err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fsys.Remove(tmp)
+		}
+		return err
+	})
+	met.ioRetries.Add(int64(retries))
+	if err != nil {
 		return 0, false
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	retries, err = diskRetry.Do(func() error { return fsys.Rename(tmp, path) })
+	met.ioRetries.Add(int64(retries))
+	if err != nil {
+		fsys.Remove(tmp)
 		return 0, false
 	}
+	syncDir(fsys, dir)
 	return int64(len(buf)), true
 }
 
-// readEntry loads and verifies one on-disk entry. A missing file is a
-// plain miss; a short, mislabeled, or hash-mismatched file counts as
-// corruption — deleted (best effort) and reported via the corrupt
-// return so the caller can count it and drop its index entry.
-func readEntry(path string) (data []byte, ok, corrupt bool) {
-	raw, err := os.ReadFile(path)
+// syncDir fsyncs a directory so a just-renamed entry's name is durable
+// (best effort — a failure means the entry may vanish after power
+// loss, which the read path already tolerates as a miss).
+func syncDir(fsys iofault.FS, dir string) {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
-		return nil, false, false
+		return
 	}
-	const header = 4 + sha256.Size
-	if len(raw) < header || [4]byte(raw[:4]) != diskMagic {
-		os.Remove(path)
-		return nil, false, true
+	d.Sync()
+	d.Close()
+}
+
+// readEntry loads and verifies one on-disk entry. A missing file is a
+// plain miss; transient read errors get bounded retries. A failed
+// verification is classified: torn (truncated relative to the declared
+// length — a crashed write) or corrupt (full length, wrong bytes) —
+// either way the file is deleted (best effort) and reported so the
+// caller can count it and drop its index entry.
+func readEntry(fsys iofault.FS, path string, met *meters) (data []byte, ok, corrupt, torn bool) {
+	var raw []byte
+	retries, err := diskRetry.Do(func() error {
+		var rerr error
+		raw, rerr = fsys.ReadFile(path)
+		return rerr
+	})
+	met.ioRetries.Add(int64(retries))
+	if err != nil {
+		return nil, false, false, false
 	}
-	payload := raw[header:]
-	if sha256.Sum256(payload) != [sha256.Size]byte(raw[4:header]) {
-		os.Remove(path)
-		return nil, false, true
+	if len(raw) < len(diskMagic) {
+		fsys.Remove(path)
+		return nil, false, false, true
 	}
-	return payload, true, false
+	switch [4]byte(raw[:4]) {
+	case diskMagic: // v2: length field present
+		const header = entryHeaderLen
+		if len(raw) < header {
+			fsys.Remove(path)
+			return nil, false, false, true
+		}
+		want := binary.LittleEndian.Uint64(raw[4:12])
+		payload := raw[header:]
+		if uint64(len(payload)) < want {
+			fsys.Remove(path)
+			return nil, false, false, true
+		}
+		if uint64(len(payload)) > want || sha256.Sum256(payload) != [sha256.Size]byte(raw[12:header]) {
+			fsys.Remove(path)
+			return nil, false, true, false
+		}
+		return payload, true, false, false
+	case diskMagicV1: // v1: no length, truncation and corruption are indistinguishable
+		const header = 4 + sha256.Size
+		if len(raw) < header {
+			fsys.Remove(path)
+			return nil, false, false, true
+		}
+		payload := raw[header:]
+		if sha256.Sum256(payload) != [sha256.Size]byte(raw[4:header]) {
+			fsys.Remove(path)
+			return nil, false, true, false
+		}
+		return payload, true, false, false
+	}
+	fsys.Remove(path)
+	return nil, false, true, false
 }
 
 // dirCaches deduplicates Cache instances per absolute directory, so

@@ -1,0 +1,359 @@
+// Package iofault is the filesystem seam under the durability-critical
+// I/O paths (the job journal and the artifact disk tier). Production
+// code takes an FS and is handed the real OS implementation; tests hand
+// in a Faulty wrapper that injects deterministic failures — plain
+// errors, short writes, torn writes cut at an exact byte offset, and
+// lying fsyncs — at an exact operation + path + hit count, in the
+// spirit of internal/chaos. The package also provides the bounded
+// retry/backoff policy the artifact store wraps its disk reads and
+// writes in.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FS is the set of filesystem operations the journal and the artifact
+// disk tier perform. Directories are opened with OpenFile (read-only)
+// so their entries can be fsynced after a rename.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+}
+
+// File is the per-handle subset: sequential writes, fsync, close.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+// Op identifies the operation a Spec matches.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRead
+	OpReadDir
+	OpRename
+	OpRemove
+	OpMkdirAll
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	case OpRead:
+		return "read"
+	case OpReadDir:
+		return "readdir"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpMkdirAll:
+		return "mkdirall"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Kind selects what an injection does.
+type Kind uint8
+
+const (
+	// KindErr fails the operation with Spec.Err without performing it.
+	KindErr Kind = iota
+	// KindShortWrite (OpWrite only) writes the first K bytes and
+	// returns io.ErrShortWrite.
+	KindShortWrite
+	// KindTorn (OpWrite only) writes the first K bytes to the
+	// underlying file — they are durable — then fails the call with
+	// Spec.Err, simulating a crash mid-write.
+	KindTorn
+	// KindFsyncLie (OpSync only) reports success without syncing.
+	KindFsyncLie
+)
+
+// Spec is one injection rule: on the OnHit-th operation matching
+// Op+Path (1-based; 0 means every match), perform the Kind action.
+type Spec struct {
+	Op   Op
+	Path string // substring match against the operation's path; "" matches all
+	Kind Kind
+	// K is the byte offset a torn or short write cuts at.
+	K int
+	// Err is the failure returned for KindErr and KindTorn (a generic
+	// *Injected when nil).
+	Err error
+	// OnHit fires the action only on the OnHit-th matching call
+	// (1-based); 0 fires on every matching call.
+	OnHit int
+}
+
+// Injected is the default injected error; it records where the
+// injection fired.
+type Injected struct {
+	Op   Op
+	Path string
+	Hit  int
+}
+
+// Error implements error.
+func (i *Injected) Error() string {
+	return fmt.Sprintf("iofault: injected %s fault on %s (hit %d)", i.Op, i.Path, i.Hit)
+}
+
+type faultRule struct {
+	spec Spec
+	hits atomic.Int64
+}
+
+// Faulty wraps an FS with deterministic fault injection. Operations not
+// matched by any Spec pass through unchanged.
+type Faulty struct {
+	inner FS
+	rules []*faultRule
+}
+
+// NewFaulty wraps inner with the given injection rules.
+func NewFaulty(inner FS, specs ...Spec) *Faulty {
+	f := &Faulty{inner: inner}
+	for _, s := range specs {
+		f.rules = append(f.rules, &faultRule{spec: s})
+	}
+	return f
+}
+
+// match returns the first firing rule for op+path, counting hits on
+// every matching rule.
+func (f *Faulty) match(op Op, path string) *faultRule {
+	var fired *faultRule
+	for _, r := range f.rules {
+		if r.spec.Op != op {
+			continue
+		}
+		if r.spec.Path != "" && !strings.Contains(path, r.spec.Path) {
+			continue
+		}
+		n := int(r.hits.Add(1))
+		if r.spec.OnHit != 0 && n != r.spec.OnHit {
+			continue
+		}
+		if fired == nil {
+			fired = r
+		}
+	}
+	return fired
+}
+
+func (f *Faulty) err(r *faultRule, op Op, path string) error {
+	if r.spec.Err != nil {
+		return r.spec.Err
+	}
+	return &Injected{Op: op, Path: path, Hit: int(r.hits.Load())}
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if r := f.match(OpOpen, name); r != nil && r.spec.Kind == KindErr {
+		return nil, f.err(r, OpOpen, name)
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{inner: inner, fs: f, path: name}, nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	if r := f.match(OpRead, name); r != nil && r.spec.Kind == KindErr {
+		return nil, f.err(r, OpRead, name)
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *Faulty) ReadDir(name string) ([]fs.DirEntry, error) {
+	if r := f.match(OpReadDir, name); r != nil && r.spec.Kind == KindErr {
+		return nil, f.err(r, OpReadDir, name)
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if r := f.match(OpRename, newpath); r != nil && r.spec.Kind == KindErr {
+		return f.err(r, OpRename, newpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if r := f.match(OpRemove, name); r != nil && r.spec.Kind == KindErr {
+		return f.err(r, OpRemove, name)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	if r := f.match(OpMkdirAll, path); r != nil && r.spec.Kind == KindErr {
+		return f.err(r, OpMkdirAll, path)
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// faultyFile applies write/sync/close rules to one handle.
+type faultyFile struct {
+	inner File
+	fs    *Faulty
+	path  string
+}
+
+func (f *faultyFile) Write(p []byte) (int, error) {
+	r := f.fs.match(OpWrite, f.path)
+	if r == nil {
+		return f.inner.Write(p)
+	}
+	switch r.spec.Kind {
+	case KindErr:
+		return 0, f.fs.err(r, OpWrite, f.path)
+	case KindShortWrite, KindTorn:
+		k := r.spec.K
+		if k > len(p) {
+			k = len(p)
+		}
+		n, err := f.inner.Write(p[:k])
+		if err != nil {
+			return n, err
+		}
+		if r.spec.Kind == KindShortWrite {
+			return n, io.ErrShortWrite
+		}
+		return n, f.fs.err(r, OpWrite, f.path)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultyFile) Sync() error {
+	if r := f.fs.match(OpSync, f.path); r != nil {
+		switch r.spec.Kind {
+		case KindErr:
+			return f.fs.err(r, OpSync, f.path)
+		case KindFsyncLie:
+			return nil // report success without syncing
+		}
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultyFile) Close() error {
+	if r := f.fs.match(OpClose, f.path); r != nil && r.spec.Kind == KindErr {
+		f.inner.Close()
+		return f.fs.err(r, OpClose, f.path)
+	}
+	return f.inner.Close()
+}
+
+// RetryPolicy is a bounded exponential backoff with jitter. The zero
+// value retries nothing; callers configure attempts explicitly so every
+// retry loop's bound is visible at the call site.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (1 = no retry).
+	Attempts int
+	// Base is the first retry's backoff; each subsequent retry doubles
+	// it.
+	Base time.Duration
+	// Jitter is the fraction of each backoff randomized (0..1): the
+	// actual sleep is backoff * (1 - Jitter/2 + Jitter*rand).
+	Jitter float64
+}
+
+// jitterRand is the policy sleep jitter source; seeded once, guarded
+// because math/rand.Rand is not concurrency-safe.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func (p RetryPolicy) sleep(attempt int) {
+	if p.Base <= 0 {
+		return
+	}
+	d := p.Base << uint(attempt)
+	if p.Jitter > 0 {
+		jitterMu.Lock()
+		f := 1 - p.Jitter/2 + p.Jitter*jitterRand.Float64()
+		jitterMu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	time.Sleep(d)
+}
+
+// Do runs op up to Attempts times, sleeping the jittered backoff
+// between tries, and returns the number of retries performed (0 when
+// the first try succeeded) plus the final error. Errors matched by
+// Permanent are returned immediately without retrying.
+func (p RetryPolicy) Do(op func() error) (retries int, err error) {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			p.sleep(i - 1)
+			retries++
+		}
+		if err = op(); err == nil || Permanent(err) {
+			return retries, err
+		}
+	}
+	return retries, err
+}
+
+// Permanent reports whether err is not worth retrying: a missing file
+// or a permission failure will not heal on a second try, while a
+// transient device error might.
+func Permanent(err error) bool {
+	return errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrPermission)
+}

@@ -1,0 +1,179 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeVia opens path through fsys, writes p, syncs and closes,
+// returning the first error.
+func writeVia(fsys FS, path string, p []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(p); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TestOSPassthrough pins that the real FS round-trips bytes.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := writeVia(OS(), path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS().ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+}
+
+// TestKindErr pins that a KindErr spec fails the matching op without
+// performing it, and unmatched ops pass through.
+func TestKindErr(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	fsys := NewFaulty(OS(), Spec{Op: OpWrite, Path: "target", Kind: KindErr, Err: boom})
+
+	// Unmatched path: passes through.
+	if err := writeVia(fsys, filepath.Join(dir, "other"), []byte("x")); err != nil {
+		t.Fatalf("unmatched write failed: %v", err)
+	}
+	// Matched path: fails with the configured error.
+	if err := writeVia(fsys, filepath.Join(dir, "target"), []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("matched write err = %v, want boom", err)
+	}
+}
+
+// TestTornWrite pins KindTorn semantics: exactly K bytes land on disk,
+// the call errors, and the error identifies the injection.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	fsys := NewFaulty(OS(), Spec{Op: OpWrite, Kind: KindTorn, K: 3})
+	err := writeVia(fsys, path, []byte("abcdef"))
+	var inj *Injected
+	if !errors.As(err, &inj) {
+		t.Fatalf("err = %v, want *Injected", err)
+	}
+	if inj.Op != OpWrite {
+		t.Fatalf("injected op = %v, want write", inj.Op)
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(data) != "abc" {
+		t.Fatalf("on-disk bytes = %q, want first 3 bytes durable", data)
+	}
+}
+
+// TestShortWrite pins KindShortWrite: K bytes written, io.ErrShortWrite
+// returned with the short count.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "short")
+	fsys := NewFaulty(OS(), Spec{Op: OpWrite, Kind: KindShortWrite, K: 2})
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("abcdef"))
+	if n != 2 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Write = (%d, %v), want (2, ErrShortWrite)", n, err)
+	}
+}
+
+// TestOnHit pins that OnHit fires the rule on exactly the n-th matching
+// call — the determinism the journal torn-tail tests rely on.
+func TestOnHit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	fsys := NewFaulty(OS(), Spec{Op: OpWrite, Kind: KindErr, OnHit: 2})
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); err == nil {
+		t.Fatal("second write should have failed")
+	}
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("third write failed: %v", err)
+	}
+}
+
+// TestFsyncLie pins that KindFsyncLie reports success (the torn-write
+// crash simulations depend on the caller believing the sync).
+func TestFsyncLie(t *testing.T) {
+	dir := t.TempDir()
+	fsys := NewFaulty(OS(), Spec{Op: OpSync, Kind: KindFsyncLie})
+	f, err := fsys.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync returned %v, want nil", err)
+	}
+}
+
+// TestRetryPolicy pins Do's counting: transient errors retry up to the
+// bound, successes stop early, permanent errors short-circuit.
+func TestRetryPolicy(t *testing.T) {
+	p := RetryPolicy{Attempts: 3, Base: time.Microsecond}
+
+	// Succeeds on attempt 2: one retry.
+	calls := 0
+	retries, err := p.Do(func() error {
+		calls++
+		if calls < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if retries != 1 || err != nil || calls != 2 {
+		t.Fatalf("Do = (%d, %v) after %d calls, want (1, nil) after 2", retries, err, calls)
+	}
+
+	// Never succeeds: exhausts the bound.
+	calls = 0
+	retries, err = p.Do(func() error { calls++; return errors.New("transient") })
+	if retries != 2 || err == nil || calls != 3 {
+		t.Fatalf("Do = (%d, %v) after %d calls, want (2, err) after 3", retries, err, calls)
+	}
+
+	// Permanent: no retry at all.
+	calls = 0
+	retries, err = p.Do(func() error { calls++; return fs.ErrNotExist })
+	if retries != 0 || !errors.Is(err, fs.ErrNotExist) || calls != 1 {
+		t.Fatalf("Do = (%d, %v) after %d calls, want (0, ErrNotExist) after 1", retries, err, calls)
+	}
+}
+
+// TestPermanent pins the non-retryable classification.
+func TestPermanent(t *testing.T) {
+	if !Permanent(fs.ErrNotExist) || !Permanent(fs.ErrPermission) {
+		t.Fatal("ErrNotExist and ErrPermission must be permanent")
+	}
+	if Permanent(errors.New("device hiccup")) {
+		t.Fatal("generic errors must be retryable")
+	}
+}

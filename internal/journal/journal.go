@@ -1,0 +1,641 @@
+// Package journal is the daemon's write-ahead log: an append-only,
+// length-framed, checksummed record stream of job lifecycle events.
+// Every accepted job is journaled (with its full request payload)
+// before the client sees the 202, fsynced, so a crash — including
+// kill -9 mid-burst — loses no accepted work: on restart the daemon
+// replays the journal and re-enqueues everything that was queued or
+// running.
+//
+// Layout: the journal directory holds numbered segment files
+// (journal-00000001.wal, ...). Each segment starts with a 4-byte magic
+// and contains frames of [4-byte LE payload length][4-byte LE CRC-32C]
+// [payload]; payloads are artifact-codec encodings of Record. Every
+// process opens a fresh segment (never appends to a predecessor's, so
+// a torn tail from a crash can never swallow new records), rotates by
+// size, and compacts terminal jobs away on demand.
+//
+// Fsync discipline: Submitted and terminal records are fsynced before
+// Append returns — the submit acknowledgement and the result are
+// durable. Started records are buffered (the OS flushes them; losing
+// one to a power cut merely replays the job from scratch, which is
+// idempotent). Rotation syncs the outgoing segment before opening the
+// next.
+//
+// Replay is a pure, byte-deterministic fold over the segment frames:
+// the same segment bytes always produce the same recovered state. A
+// torn or corrupted frame ends that segment's replay — the longest
+// valid prefix wins — and is counted, never trusted.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cghti/internal/artifact"
+	"cghti/internal/iofault"
+	"cghti/internal/obs"
+)
+
+// Journal-wide metrics (process default registry: the journal is
+// process infrastructure, not per-job work).
+var (
+	cntAppends     = obs.NewCounter("journal.appends")
+	cntFsyncs      = obs.NewCounter("journal.fsyncs")
+	cntAppendErrs  = obs.NewCounter("journal.append_errors")
+	cntReplayed    = obs.NewCounter("journal.replayed_records")
+	cntTornSegs    = obs.NewCounter("journal.torn_segments")
+	cntRotations   = obs.NewCounter("journal.rotations")
+	cntCompactions = obs.NewCounter("journal.compactions")
+)
+
+const (
+	// segMagicLen-byte segment header; a file without it replays empty.
+	segMagic    = "CGJ1"
+	segMagicLen = 4
+	// frameHeaderLen frames every record: 4-byte length + 4-byte CRC.
+	frameHeaderLen = 8
+	// maxRecordBytes caps a frame's declared payload length, so a
+	// corrupted length field cannot drive a huge allocation.
+	maxRecordBytes = 16 << 20
+
+	// DefaultSegmentBytes is the rotation threshold.
+	DefaultSegmentBytes = 4 << 20
+)
+
+// crcTable is CRC-32C (Castagnoli), the usual WAL checksum.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EventType is a job lifecycle event.
+type EventType uint8
+
+const (
+	// EvSubmitted records an accepted job with its full request
+	// payload and idempotency key. Fsynced.
+	EvSubmitted EventType = 1
+	// EvStarted records an execution attempt (1-based). Buffered.
+	EvStarted EventType = 2
+	// EvCompleted records success with the result fingerprint. Fsynced.
+	EvCompleted EventType = 3
+	// EvFailed records a failed run. Fsynced.
+	EvFailed EventType = 4
+	// EvCanceled records a drain- or rejection-canceled job. Fsynced.
+	EvCanceled EventType = 5
+	// EvPoisoned marks a job that kept crashing the process: after N
+	// recovery attempts it is terminal and never re-enqueued. Fsynced.
+	EvPoisoned EventType = 6
+)
+
+// Record is one journal entry. Only the fields meaningful for the
+// event type are encoded (see encode).
+type Record struct {
+	Type EventType
+	Job  string // job ID
+	Time int64  // event time, unix nanoseconds
+
+	Kind    string // EvSubmitted: "generate" | "detect"
+	Key     string // EvSubmitted: idempotency key ("" if none)
+	Payload []byte // EvSubmitted: request JSON
+
+	Attempt int // EvStarted: 1-based attempt number
+
+	Err    string // EvFailed / EvCanceled / EvPoisoned: error text
+	Result string // EvCompleted: result fingerprint (hex)
+}
+
+// encode renders r with the artifact codec conventions: varints,
+// length-prefixed strings, deterministic field order.
+func encode(r Record) []byte {
+	e := artifact.NewEnc()
+	e.U8(uint8(r.Type))
+	e.String(r.Job)
+	e.Varint(r.Time)
+	switch r.Type {
+	case EvSubmitted:
+		e.String(r.Kind)
+		e.String(r.Key)
+		e.Bytes(r.Payload)
+	case EvStarted:
+		e.Int(r.Attempt)
+	case EvCompleted:
+		e.String(r.Result)
+	case EvFailed, EvCanceled, EvPoisoned:
+		e.String(r.Err)
+	}
+	return e.Finish()
+}
+
+// decode parses one frame payload; the error covers truncated,
+// trailing, or unknown-type payloads.
+func decode(p []byte) (Record, error) {
+	d := artifact.NewDec(p)
+	var r Record
+	r.Type = EventType(d.U8())
+	r.Job = d.String()
+	r.Time = d.Varint()
+	switch r.Type {
+	case EvSubmitted:
+		r.Kind = d.String()
+		r.Key = d.String()
+		// Copy: the decoder aliases the segment buffer.
+		if b := d.Bytes(); len(b) > 0 {
+			r.Payload = append([]byte(nil), b...)
+		}
+	case EvStarted:
+		r.Attempt = d.Int()
+	case EvCompleted:
+		r.Result = d.String()
+	case EvFailed, EvCanceled, EvPoisoned:
+		r.Err = d.String()
+	default:
+		return Record{}, fmt.Errorf("journal: unknown event type %d", r.Type)
+	}
+	if err := d.Finish(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// frame wraps an encoded record payload in the on-disk frame.
+func frame(payload []byte) []byte {
+	buf := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+// Options parameterizes Open.
+type Options struct {
+	// FS is the filesystem seam (the real OS when nil).
+	FS iofault.FS
+	// SegmentBytes is the rotation threshold (DefaultSegmentBytes
+	// if 0).
+	SegmentBytes int64
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use; appends are serialized.
+type Journal struct {
+	dir      string
+	fs       iofault.FS
+	segBytes int64
+
+	mu   sync.Mutex
+	f    iofault.File // active segment, nil after Close
+	seq  int          // active segment sequence number
+	size int64        // bytes written to the active segment
+}
+
+// Open creates (or reuses) the journal directory and starts a fresh
+// segment after any existing ones. Existing segments are left for
+// Replay; Open never appends to them, so a predecessor's torn tail
+// cannot swallow this process's records.
+func Open(dir string, opt Options) (*Journal, error) {
+	if opt.FS == nil {
+		opt.FS = iofault.OS()
+	}
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	seqs, err := listSegments(opt.FS, dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if len(seqs) > 0 {
+		next = seqs[len(seqs)-1] + 1
+	}
+	j := &Journal{dir: dir, fs: opt.FS, segBytes: opt.SegmentBytes}
+	if err := j.openSegment(next); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// segName renders a segment sequence number as its file name.
+func segName(seq int) string { return fmt.Sprintf("journal-%08d.wal", seq) }
+
+// listSegments returns the existing segment sequence numbers in
+// ascending order.
+func listSegments(fsys iofault.FS, dir string) ([]int, error) {
+	des, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		var seq int
+		if _, err := fmt.Sscanf(de.Name(), "journal-%08d.wal", &seq); err == nil && segName(seq) == de.Name() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// openSegment starts segment seq: the file is created with the magic
+// header written and synced, so an empty segment is still well-formed.
+// Callers hold j.mu (or are the constructor).
+func (j *Journal) openSegment(seq int) error {
+	f, err := j.fs.OpenFile(filepath.Join(j.dir, segName(seq)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeAll(f, []byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	j.f, j.seq, j.size = f, seq, segMagicLen
+	return nil
+}
+
+// writeAll writes p fully, turning a silent short write into an error.
+func writeAll(f iofault.File, p []byte) error {
+	n, err := f.Write(p)
+	if err != nil {
+		return err
+	}
+	if n != len(p) {
+		return fmt.Errorf("journal: short write (%d of %d bytes)", n, len(p))
+	}
+	return nil
+}
+
+// synced reports whether records of type t are fsynced by Append.
+func synced(t EventType) bool { return t != EvStarted }
+
+// Append journals one record. Submitted and terminal records are
+// durable (fsynced) when Append returns. A write failure abandons the
+// current segment — its tail may be torn, and appending after a torn
+// frame would hide every later record from replay — rotates to a fresh
+// one, and retries the record once.
+func (j *Journal) Append(r Record) error {
+	if r.Time == 0 {
+		r.Time = time.Now().UnixNano()
+	}
+	buf := frame(encode(r))
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		cntAppendErrs.Inc()
+		return fmt.Errorf("journal: closed")
+	}
+	if j.size+int64(len(buf)) > j.segBytes && j.size > segMagicLen {
+		if err := j.rotateLocked(); err != nil {
+			cntAppendErrs.Inc()
+			return err
+		}
+	}
+	if err := j.writeLocked(buf, synced(r.Type)); err != nil {
+		// The active segment may now end in a torn frame. Start a
+		// fresh segment and retry once; if that fails too, give up.
+		if rerr := j.rotateLocked(); rerr != nil {
+			cntAppendErrs.Inc()
+			return err
+		}
+		if err := j.writeLocked(buf, synced(r.Type)); err != nil {
+			cntAppendErrs.Inc()
+			return err
+		}
+	}
+	cntAppends.Inc()
+	return nil
+}
+
+// writeLocked appends one framed record to the active segment,
+// fsyncing when sync is set. Callers hold j.mu.
+func (j *Journal) writeLocked(buf []byte, sync bool) error {
+	if err := writeAll(j.f, buf); err != nil {
+		return err
+	}
+	j.size += int64(len(buf))
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+		cntFsyncs.Inc()
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment (best-effort sync) and opens
+// the next one. Callers hold j.mu.
+func (j *Journal) rotateLocked() error {
+	j.f.Sync()
+	j.f.Close()
+	j.f = nil
+	if err := j.openSegment(j.seq + 1); err != nil {
+		return err
+	}
+	cntRotations.Inc()
+	return nil
+}
+
+// Sync fsyncs the active segment.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	cntFsyncs.Inc()
+	return nil
+}
+
+// Close syncs and closes the active segment. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	j.f.Sync()
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Segments returns the number of segment files currently on disk.
+func (j *Journal) Segments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seqs, err := listSegments(j.fs, j.dir)
+	if err != nil {
+		return 0
+	}
+	return len(seqs)
+}
+
+// Status is a job's journal-derived lifecycle state. The string values
+// match internal/serve's statuses so the daemon maps them 1:1.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+	StatusPoisoned Status = "poisoned"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	switch s {
+	case StatusDone, StatusFailed, StatusCanceled, StatusPoisoned:
+		return true
+	}
+	return false
+}
+
+// JobState is one job's replayed state.
+type JobState struct {
+	ID      string
+	Kind    string
+	Key     string
+	Payload []byte
+	Status  Status
+	// Attempts is the number of Started records seen (the highest
+	// attempt number, so compacted journals replay identically).
+	Attempts    int
+	Err         string
+	Result      string // completed-result fingerprint
+	SubmittedAt int64  // unix nanoseconds
+	FinishedAt  int64  // unix nanoseconds, 0 while live
+}
+
+// State is the journal's replayed aggregate.
+type State struct {
+	// Jobs maps job ID to state; Order lists IDs in first-submitted
+	// order.
+	Jobs  map[string]*JobState
+	Order []string
+	// Records is the number of valid frames folded in.
+	Records int
+	// TornSegments counts segments whose replay ended early at a
+	// torn or corrupt frame (the valid prefix was kept).
+	TornSegments int
+}
+
+func newState() *State { return &State{Jobs: make(map[string]*JobState)} }
+
+// apply folds one record into the state. The fold is tolerant of the
+// duplicates a crash during compaction can produce: a second Submitted
+// for a known job is ignored, attempts take the maximum, and terminal
+// events are last-write-wins.
+func (st *State) apply(r Record) {
+	js, ok := st.Jobs[r.Job]
+	if !ok {
+		js = &JobState{ID: r.Job, Status: StatusQueued}
+		st.Jobs[r.Job] = js
+		st.Order = append(st.Order, r.Job)
+	}
+	switch r.Type {
+	case EvSubmitted:
+		if js.Kind == "" {
+			js.Kind, js.Key, js.Payload = r.Kind, r.Key, r.Payload
+			js.SubmittedAt = r.Time
+		}
+	case EvStarted:
+		if !js.Status.Terminal() {
+			js.Status = StatusRunning
+		}
+		if r.Attempt > js.Attempts {
+			js.Attempts = r.Attempt
+		}
+	case EvCompleted:
+		js.Status, js.Result, js.Err, js.FinishedAt = StatusDone, r.Result, "", r.Time
+	case EvFailed:
+		js.Status, js.Err, js.FinishedAt = StatusFailed, r.Err, r.Time
+	case EvCanceled:
+		js.Status, js.Err, js.FinishedAt = StatusCanceled, r.Err, r.Time
+	case EvPoisoned:
+		js.Status, js.Err, js.FinishedAt = StatusPoisoned, r.Err, r.Time
+	}
+}
+
+// parseSegment reads frames from one segment's bytes, returning the
+// decoded records, the byte offset of the first invalid frame (== the
+// consumed length when the whole segment is valid), and whether the
+// segment was torn. It never panics on arbitrary input — a missing
+// magic, an over-long or truncated frame, a CRC mismatch, or an
+// undecodable payload all just end the parse at the longest valid
+// prefix.
+func parseSegment(data []byte) (recs []Record, consumed int, torn bool) {
+	if len(data) < segMagicLen || string(data[:segMagicLen]) != segMagic {
+		return nil, 0, len(data) > 0
+	}
+	off := segMagicLen
+	for {
+		if off == len(data) {
+			return recs, off, false
+		}
+		if len(data)-off < frameHeaderLen {
+			return recs, off, true
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordBytes || n > len(data)-off-frameHeaderLen {
+			return recs, off, true
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, true
+		}
+		r, err := decode(payload)
+		if err != nil {
+			return recs, off, true
+		}
+		recs = append(recs, r)
+		off += frameHeaderLen + n
+	}
+}
+
+// ReplaySegments folds segment byte slices (in segment order) into a
+// State. It is a pure function of its input: the same bytes always
+// produce the same state, and arbitrary (truncated, bit-flipped)
+// input never panics — each segment contributes its longest valid
+// prefix.
+func ReplaySegments(segments [][]byte) *State {
+	st := newState()
+	for _, seg := range segments {
+		recs, _, torn := parseSegment(seg)
+		if torn {
+			st.TornSegments++
+		}
+		for _, r := range recs {
+			st.apply(r)
+		}
+		st.Records += len(recs)
+	}
+	return st
+}
+
+// Replay reads every segment on disk (including the active one) and
+// folds it into a State.
+func (j *Journal) Replay() (*State, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayLocked()
+}
+
+func (j *Journal) replayLocked() (*State, error) {
+	seqs, err := listSegments(j.fs, j.dir)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([][]byte, 0, len(seqs))
+	for _, seq := range seqs {
+		data, err := j.fs.ReadFile(filepath.Join(j.dir, segName(seq)))
+		if err != nil {
+			if iofault.Permanent(err) {
+				continue // raced a compaction's unlink
+			}
+			return nil, err
+		}
+		segs = append(segs, data)
+	}
+	st := ReplaySegments(segs)
+	cntReplayed.Add(int64(st.Records))
+	cntTornSegs.Add(int64(st.TornSegments))
+	return st, nil
+}
+
+// Compact rewrites the journal to the minimal record set: every
+// non-terminal job keeps its Submitted (and a summarizing Started),
+// and a terminal job survives only when keep says so — the daemon
+// passes its retention set, so long-forgotten jobs stop costing disk.
+// The compacted records are written to a fresh segment and synced
+// before the old segments are unlinked; a crash in between merely
+// leaves duplicates, which replay folds idempotently.
+func (j *Journal) Compact(keep func(*JobState) bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	// Flush the active segment so replay sees every appended record.
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	st, err := j.replayLocked()
+	if err != nil {
+		return err
+	}
+	oldSeqs, err := listSegments(j.fs, j.dir)
+	if err != nil {
+		return err
+	}
+
+	// Retire the active segment and write the compacted records into
+	// the next one.
+	j.f.Close()
+	j.f = nil
+	if err := j.openSegment(j.seq + 1); err != nil {
+		return err
+	}
+	for _, id := range st.Order {
+		js := st.Jobs[id]
+		if js.Status.Terminal() && keep != nil && !keep(js) {
+			continue
+		}
+		for _, r := range compactRecords(js) {
+			if err := j.writeLocked(frame(encode(r)), false); err != nil {
+				return err
+			}
+		}
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	cntFsyncs.Inc()
+
+	// The compacted segment is durable; the originals can go.
+	for _, seq := range oldSeqs {
+		if seq < j.seq {
+			j.fs.Remove(filepath.Join(j.dir, segName(seq)))
+		}
+	}
+	cntCompactions.Inc()
+	return nil
+}
+
+// compactRecords renders a job's state as the minimal record sequence
+// that replays back to it.
+func compactRecords(js *JobState) []Record {
+	recs := []Record{{
+		Type: EvSubmitted, Job: js.ID, Time: js.SubmittedAt,
+		Kind: js.Kind, Key: js.Key, Payload: js.Payload,
+	}}
+	if js.Attempts > 0 {
+		recs = append(recs, Record{Type: EvStarted, Job: js.ID, Time: js.SubmittedAt, Attempt: js.Attempts})
+	}
+	switch js.Status {
+	case StatusDone:
+		recs = append(recs, Record{Type: EvCompleted, Job: js.ID, Time: js.FinishedAt, Result: js.Result})
+	case StatusFailed:
+		recs = append(recs, Record{Type: EvFailed, Job: js.ID, Time: js.FinishedAt, Err: js.Err})
+	case StatusCanceled:
+		recs = append(recs, Record{Type: EvCanceled, Job: js.ID, Time: js.FinishedAt, Err: js.Err})
+	case StatusPoisoned:
+		recs = append(recs, Record{Type: EvPoisoned, Job: js.ID, Time: js.FinishedAt, Err: js.Err})
+	}
+	return recs
+}

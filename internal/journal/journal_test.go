@@ -1,0 +1,305 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cghti/internal/iofault"
+)
+
+// submitRec is a convenience EvSubmitted record.
+func submitRec(job string, payload string) Record {
+	return Record{Type: EvSubmitted, Job: job, Kind: "generate", Key: "k-" + job, Payload: []byte(payload), Time: 1}
+}
+
+// TestRoundTrip pins that appended records replay back to the same job
+// states through a close/reopen cycle.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		submitRec("job-1", `{"bench":"x"}`),
+		{Type: EvStarted, Job: "job-1", Attempt: 1, Time: 2},
+		{Type: EvCompleted, Job: "job-1", Result: "fp1", Time: 3},
+		submitRec("job-2", `{"bench":"y"}`),
+		{Type: EvStarted, Job: "job-2", Attempt: 1, Time: 5},
+		submitRec("job-3", `{"bench":"z"}`),
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (fresh segment) and replay everything.
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st, err := j2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TornSegments != 0 {
+		t.Fatalf("torn segments = %d, want 0", st.TornSegments)
+	}
+	if got := st.Order; !reflect.DeepEqual(got, []string{"job-1", "job-2", "job-3"}) {
+		t.Fatalf("order = %v", got)
+	}
+	j1 := st.Jobs["job-1"]
+	if j1.Status != StatusDone || j1.Result != "fp1" || j1.Attempts != 1 || j1.Key != "k-job-1" {
+		t.Fatalf("job-1 state = %+v", j1)
+	}
+	if string(j1.Payload) != `{"bench":"x"}` {
+		t.Fatalf("job-1 payload = %q", j1.Payload)
+	}
+	if st.Jobs["job-2"].Status != StatusRunning {
+		t.Fatalf("job-2 status = %s, want running", st.Jobs["job-2"].Status)
+	}
+	if st.Jobs["job-3"].Status != StatusQueued {
+		t.Fatalf("job-3 status = %s, want queued", st.Jobs["job-3"].Status)
+	}
+}
+
+// TestRotation pins that appends rotate segments at the size threshold
+// and replay spans all of them.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 50; i++ {
+		if err := j.Append(submitRec(fmt.Sprintf("job-%d", i), "payload-payload-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := j.Segments(); got < 2 {
+		t.Fatalf("segments = %d, want rotation to have happened", got)
+	}
+	st, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 50 {
+		t.Fatalf("replayed jobs = %d, want 50", len(st.Jobs))
+	}
+}
+
+// TestCompaction pins that Compact drops unkept terminal jobs, keeps
+// live and kept ones, shrinks to one segment, and replays identically.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		j.Append(submitRec(id, "p"))
+		j.Append(Record{Type: EvStarted, Job: id, Attempt: 1})
+		j.Append(Record{Type: EvCompleted, Job: id, Result: "fp"})
+	}
+	j.Append(submitRec("live", "p"))
+	j.Append(Record{Type: EvStarted, Job: "live", Attempt: 2})
+
+	keepID := "job-7"
+	if err := j.Compact(func(js *JobState) bool { return js.ID == keepID }); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Segments(); got != 1 {
+		t.Fatalf("segments after compact = %d, want 1", got)
+	}
+	st, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 2 {
+		t.Fatalf("jobs after compact = %d, want 2 (kept + live)", len(st.Jobs))
+	}
+	if st.Jobs[keepID] == nil || st.Jobs[keepID].Status != StatusDone {
+		t.Fatalf("kept job missing or wrong: %+v", st.Jobs[keepID])
+	}
+	live := st.Jobs["live"]
+	if live == nil || live.Status != StatusRunning || live.Attempts != 2 {
+		t.Fatalf("live job state = %+v, want running with 2 attempts", live)
+	}
+
+	// Appends continue on the compacted journal.
+	if err := j.Append(Record{Type: EvCompleted, Job: "live", Result: "fp2"}); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := j.Replay()
+	if st2.Jobs["live"].Status != StatusDone {
+		t.Fatal("append after compact not replayed")
+	}
+}
+
+// TestDuplicateTolerance pins the crash-during-compaction contract:
+// replaying the same records twice (old segment not yet unlinked) folds
+// to the same state as once.
+func TestDuplicateTolerance(t *testing.T) {
+	recs := []Record{
+		submitRec("job-1", "p"),
+		{Type: EvStarted, Job: "job-1", Attempt: 1, Time: 2},
+		{Type: EvFailed, Job: "job-1", Err: "boom", Time: 3},
+	}
+	once := newState()
+	for _, r := range recs {
+		once.apply(r)
+	}
+	twice := newState()
+	for _, r := range recs {
+		twice.apply(r)
+	}
+	for _, r := range recs {
+		twice.apply(r)
+	}
+	if !reflect.DeepEqual(once.Jobs["job-1"], twice.Jobs["job-1"]) {
+		t.Fatalf("duplicated fold diverged:\nonce:  %+v\ntwice: %+v", once.Jobs["job-1"], twice.Jobs["job-1"])
+	}
+}
+
+// TestTornTailDeterminism pins the tentpole's byte-determinism claim
+// under injected torn writes: a crash mid-frame leaves a tail that
+// replay cuts at the longest valid prefix, the same way every time, and
+// a new process's records (fresh segment) are unaffected.
+func TestTornTailDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	// Two good appends pass; the third record's frame is torn 5 bytes in.
+	fsys := iofault.NewFaulty(iofault.OS(),
+		iofault.Spec{Op: iofault.OpWrite, Path: ".wal", Kind: iofault.KindTorn, K: 5, OnHit: 4},
+	)
+	j, err := Open(dir, Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(submitRec("job-1", "p"))                                        // hit 2 (magic was hit 1)
+	j.Append(Record{Type: EvCompleted, Job: "job-1", Result: "fp", Time: 2}) // hit 3
+	// Hit 4: torn mid-frame. Append rotates and retries, so the record
+	// still lands (in the next segment) and Append succeeds.
+	if err := j.Append(submitRec("job-2", "q")); err != nil {
+		t.Fatalf("append after torn write should rotate and succeed: %v", err)
+	}
+	j.Close()
+
+	// The first segment ends in a torn frame; replay must cut it and
+	// still see job-2 from the follow-up segment.
+	readSegs := func() [][]byte {
+		seqs, err := listSegments(iofault.OS(), dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var segs [][]byte
+		for _, seq := range seqs {
+			data, err := os.ReadFile(filepath.Join(dir, segName(seq)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			segs = append(segs, data)
+		}
+		return segs
+	}
+	st1 := ReplaySegments(readSegs())
+	st2 := ReplaySegments(readSegs())
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatal("replay of identical bytes diverged")
+	}
+	if st1.TornSegments != 1 {
+		t.Fatalf("torn segments = %d, want 1", st1.TornSegments)
+	}
+	if st1.Jobs["job-1"] == nil || st1.Jobs["job-1"].Status != StatusDone {
+		t.Fatalf("job-1 lost or wrong after torn tail: %+v", st1.Jobs["job-1"])
+	}
+	if st1.Jobs["job-2"] == nil || st1.Jobs["job-2"].Status != StatusQueued {
+		t.Fatalf("job-2 (post-rotation) lost: %+v", st1.Jobs["job-2"])
+	}
+}
+
+// TestAppendAfterClose pins the closed-journal error.
+func TestAppendAfterClose(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(submitRec("job-1", "p")); err == nil {
+		t.Fatal("append after close should fail")
+	}
+}
+
+// TestOpenNeverAppendsToOldSegment pins the fresh-segment-per-process
+// rule: reopening creates a new file rather than appending, so a torn
+// tail can never swallow a successor's records.
+func TestOpenNeverAppendsToOldSegment(t *testing.T) {
+	dir := t.TempDir()
+	j1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Append(submitRec("job-1", "p"))
+	j1.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Segments(); got != 2 {
+		t.Fatalf("segments after reopen = %d, want 2", got)
+	}
+}
+
+// TestReplayEmptyDir pins that a journal with no history replays empty.
+func TestReplayEmptyDir(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	st, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 0 || st.TornSegments != 0 {
+		t.Fatalf("fresh journal replayed %d jobs, %d torn", len(st.Jobs), st.TornSegments)
+	}
+}
+
+// TestAppendErrRotates pins that a plain write error mid-append
+// abandons the segment and retries on a fresh one rather than failing
+// the append.
+func TestAppendErrRotates(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("disk hiccup")
+	fsys := iofault.NewFaulty(iofault.OS(),
+		iofault.Spec{Op: iofault.OpWrite, Path: ".wal", Kind: iofault.KindErr, Err: boom, OnHit: 2},
+	)
+	j, err := Open(dir, Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(submitRec("job-1", "p")); err != nil {
+		t.Fatalf("append should survive one write error via rotation: %v", err)
+	}
+	st, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs["job-1"] == nil {
+		t.Fatal("record lost after rotate-retry")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -16,6 +18,7 @@ func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -72,11 +75,15 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// respondSubmit maps submit outcomes to HTTP: accepted jobs get 202, a
-// full queue gets 429 with Retry-After (backpressure — the client
-// should resubmit, nothing was registered), and a draining server gets
-// 503 (terminal for this process — resubmitting here won't help).
-func respondSubmit(w http.ResponseWriter, j *Job, err error) {
+// respondSubmit maps submit outcomes to HTTP: fresh jobs get 202, an
+// idempotent replay gets 200 with the original job's current status
+// (plus an Idempotency-Replayed header so clients can tell), a full
+// queue gets 429 with Retry-After (backpressure — the client should
+// resubmit, nothing was registered), a draining server gets 503
+// (terminal for this process — resubmitting here won't help), and a
+// journal write failure gets 500 (the accept could not be made
+// durable).
+func (s *Server) respondSubmit(w http.ResponseWriter, j *Job, replayed bool, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -85,6 +92,12 @@ func respondSubmit(w http.ResponseWriter, j *Job, err error) {
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	case replayed:
+		s.mu.Lock()
+		status := j.Status
+		s.mu.Unlock()
+		w.Header().Set("Idempotency-Replayed", "true")
+		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, Status: status})
 	default:
 		// Report the status as of submit time: a worker may already be
 		// flipping the job to running, and j.Status is mutex-guarded.
@@ -104,8 +117,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	j, err := s.submit("generate", run)
-	respondSubmit(w, j, err)
+	// Re-marshal the validated request as the journal payload: Recover
+	// rebuilds the run closure from exactly these bytes.
+	payload, _ := json.Marshal(req)
+	j, replayed, err := s.submit("generate", r.Header.Get("Idempotency-Key"), payload, run)
+	s.respondSubmit(w, j, replayed, err)
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -118,8 +134,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	j, err := s.submit("detect", run)
-	respondSubmit(w, j, err)
+	payload, _ := json.Marshal(req)
+	j, replayed, err := s.submit("detect", r.Header.Get("Idempotency-Key"), payload, run)
+	s.respondSubmit(w, j, replayed, err)
 }
 
 // jobView is the wire form of a job's state.
@@ -130,8 +147,10 @@ type jobView struct {
 	Submitted string      `json:"submitted"`
 	Started   string      `json:"started,omitempty"`
 	Finished  string      `json:"finished,omitempty"`
+	Attempts  int         `json:"attempts,omitempty"`
 	Error     string      `json:"error,omitempty"`
 	Result    any         `json:"result,omitempty"`
+	ResultFP  string      `json:"result_fp,omitempty"`
 	Report    *obs.Report `json:"report,omitempty"`
 }
 
@@ -148,8 +167,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			Kind:      j.Kind,
 			Status:    j.Status,
 			Submitted: j.Submitted.Format(timeLayout),
+			Attempts:  j.Attempts,
 			Error:     j.Err,
 			Result:    j.Result,
+			ResultFP:  j.ResultFP,
 			Report:    j.Report,
 		}
 		if !j.Started.IsZero() {
@@ -165,6 +186,79 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// jobSummary is one row of the GET /v1/jobs listing: lifecycle state
+// without result bodies or reports, so the listing stays cheap however
+// large the results are.
+type jobSummary struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	Status    Status `json:"status"`
+	Submitted string `json:"submitted"`
+	Finished  string `json:"finished,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// jobsListMaxLimit bounds a listing page however large the client asks.
+const jobsListMaxLimit = 1000
+
+// handleJobs lists retained jobs, oldest-submitted first. Query
+// parameters: status=<queued|running|done|failed|canceled|poisoned>
+// filters; limit=<n> bounds the page (default 100, capped at 1000).
+// The response carries total (matching jobs before truncation) so a
+// truncated page is detectable.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	statusFilter := Status(r.URL.Query().Get("status"))
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad limit " + v})
+			return
+		}
+		limit = n
+	}
+	if limit > jobsListMaxLimit {
+		limit = jobsListMaxLimit
+	}
+
+	s.mu.Lock()
+	matched := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if statusFilter != "" && j.Status != statusFilter {
+			continue
+		}
+		matched = append(matched, j)
+	}
+	sort.Slice(matched, func(a, b int) bool {
+		if !matched[a].Submitted.Equal(matched[b].Submitted) {
+			return matched[a].Submitted.Before(matched[b].Submitted)
+		}
+		return matched[a].ID < matched[b].ID
+	})
+	total := len(matched)
+	if len(matched) > limit {
+		matched = matched[:limit]
+	}
+	views := make([]jobSummary, 0, len(matched))
+	for _, j := range matched {
+		v := jobSummary{
+			ID:        j.ID,
+			Kind:      j.Kind,
+			Status:    j.Status,
+			Submitted: j.Submitted.Format(timeLayout),
+			Attempts:  j.Attempts,
+			Error:     j.Err,
+		}
+		if !j.Finished.IsZero() {
+			v.Finished = j.Finished.Format(timeLayout)
+		}
+		views = append(views, v)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views, "total": total})
 }
 
 // handleHealthz distinguishes "idle" from "saturated", not just

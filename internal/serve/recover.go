@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"cghti/internal/journal"
+)
+
+// RecoveryReport summarizes what Recover rebuilt from the journal.
+type RecoveryReport struct {
+	// Jobs is the number of journaled jobs replayed.
+	Jobs int
+	// Requeued is how many queued-at-crash jobs went back on the queue.
+	Requeued int
+	// Restarted is how many running-at-crash jobs went back on the
+	// queue (a subset of crash recovery: these cost a redone attempt).
+	Restarted int
+	// Terminal is how many jobs were already finished and were restored
+	// for querying only.
+	Terminal int
+	// Poisoned is how many jobs exceeded MaxAttempts during this
+	// recovery and were parked instead of requeued.
+	Poisoned int
+	// TornSegments counts journal segments whose replay stopped at a
+	// torn or corrupt frame.
+	TornSegments int
+}
+
+// String renders the report as the daemon's one-line boot log.
+func (r *RecoveryReport) String() string {
+	return fmt.Sprintf("recovered %d jobs: %d requeued (%d mid-run), %d terminal, %d poisoned, %d torn segments",
+		r.Jobs, r.Requeued+r.Restarted, r.Restarted, r.Terminal, r.Poisoned, r.TornSegments)
+}
+
+// Recover replays the configured journal and rebuilds the daemon's job
+// table: terminal jobs come back queryable (status, error, result
+// fingerprint — result bodies are not journaled), jobs that were queued
+// or running at crash time are re-enqueued (with exponential backoff
+// per prior attempt), and jobs that have already been started
+// MaxAttempts times are poisoned — parked terminally so one poisonous
+// request cannot crash-loop the process forever. Idempotency keys are
+// re-registered, so a client retrying a submit it never saw
+// acknowledged gets the original job back.
+//
+// Call after New and before Start (no workers are running, so the
+// queue can be rebuilt safely). With no journal configured it is a
+// no-op; calling twice is an error.
+func (s *Server) Recover() (*RecoveryReport, error) {
+	if s.cfg.Journal == nil {
+		return nil, nil
+	}
+	if !s.recovered.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("serve: Recover called twice")
+	}
+	st, err := s.cfg.Journal.Replay()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &RecoveryReport{Jobs: len(st.Order), TornSegments: st.TornSegments}
+	now := time.Now()
+	var requeue []*Job
+	var poisoned []*Job
+	maxID := int64(0)
+
+	s.mu.Lock()
+	for _, id := range st.Order {
+		js := st.Jobs[id]
+		if n := jobIDNumber(js.ID); n > maxID {
+			maxID = n
+		}
+		j := &Job{
+			ID:        js.ID,
+			Kind:      js.Kind,
+			Status:    Status(js.Status),
+			Submitted: time.Unix(0, js.SubmittedAt),
+			Key:       js.Key,
+			Attempts:  js.Attempts,
+			Err:       js.Err,
+			ResultFP:  js.Result,
+			feed:      newEventFeed(),
+		}
+		if js.FinishedAt != 0 {
+			j.Finished = time.Unix(0, js.FinishedAt)
+		}
+
+		switch {
+		case j.Status.Terminal():
+			rep.Terminal++
+		case js.Attempts >= s.cfg.MaxAttempts:
+			// Started MaxAttempts times and the process still died each
+			// time: park it rather than risk another crash loop.
+			j.Status = StatusPoisoned
+			j.Err = fmt.Sprintf("poisoned after %d attempts", js.Attempts)
+			j.Finished = now
+			poisoned = append(poisoned, j)
+			rep.Poisoned++
+			cntPoisoned.Inc()
+		default:
+			run, rerr := s.rebuildRun(js.Kind, js.Payload)
+			if rerr != nil {
+				// The payload no longer parses (corrupt journal bytes or
+				// a schema change): fail it visibly instead of dropping.
+				j.Status = StatusFailed
+				j.Err = "recovery: " + rerr.Error()
+				j.Finished = now
+				rep.Terminal++
+			} else {
+				if j.Status == StatusRunning {
+					rep.Restarted++
+				} else {
+					rep.Requeued++
+				}
+				j.Status = StatusQueued
+				j.run = run
+				if js.Attempts > 0 {
+					j.NotBefore = now.Add(retryBackoff(s.cfg.RetryBase, js.Attempts))
+				}
+				requeue = append(requeue, j)
+			}
+		}
+
+		s.jobs[j.ID] = j
+		if j.Status.Terminal() {
+			s.finished = append(s.finished, j.ID)
+		}
+		if j.Key != "" {
+			s.idem[j.Key] = j.ID
+		}
+	}
+	// Trim restored terminal jobs to the retention cap, oldest first
+	// (Order is first-submitted order, so finished already is too).
+	for len(s.finished) > s.cfg.RetainJobs {
+		old := s.finished[0]
+		if evicted, ok := s.jobs[old]; ok && evicted.Key != "" && s.idem[evicted.Key] == old {
+			delete(s.idem, evicted.Key)
+		}
+		delete(s.jobs, old)
+		s.finished = s.finished[1:]
+	}
+	// Journaled IDs must never be reissued: resume the counter past the
+	// highest replayed ID.
+	if maxID > s.nextID.Load() {
+		s.nextID.Store(maxID)
+	}
+	// Recovered work must not eat the whole intake queue: grow it to
+	// hold the backlog plus the configured depth. Safe pre-Start — no
+	// worker holds the old channel.
+	if len(requeue) > 0 {
+		s.queue = make(chan *Job, s.cfg.QueueDepth+len(requeue))
+		for _, j := range requeue {
+			s.queue <- j
+		}
+		gaugeQueueCap.Set(int64(cap(s.queue)))
+		gaugeQueued.Set(int64(len(s.queue)))
+	}
+	s.mu.Unlock()
+
+	// Journal this recovery's poisoning decisions: the journal must
+	// replay to the same verdict next time.
+	for _, j := range poisoned {
+		s.journalAppend(journal.Record{Type: journal.EvPoisoned, Job: j.ID, Err: j.Err})
+	}
+	// Close the feeds of restored terminal jobs so SSE consumers of a
+	// finished job get replay + result instead of a hang.
+	s.mu.Lock()
+	var toClose []*Job
+	for _, j := range s.jobs {
+		if j.Status.Terminal() {
+			toClose = append(toClose, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range toClose {
+		j.feed.closeFinal(j.Status, j.Err)
+	}
+
+	cntRecovered.Add(int64(rep.Requeued + rep.Restarted))
+	if err := s.cfg.Journal.Compact(s.keepInJournal); err != nil {
+		return rep, fmt.Errorf("serve: compact after recovery: %w", err)
+	}
+	return rep, nil
+}
+
+// retryBackoff is the recovered-job restart delay: RetryBase doubled
+// per prior attempt, capped at maxRetryBackoff.
+func retryBackoff(base time.Duration, attempts int) time.Duration {
+	if attempts < 1 {
+		return 0
+	}
+	d := base << uint(attempts-1)
+	if d > maxRetryBackoff || d <= 0 { // <=0 guards shift overflow
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// jobIDNumber extracts the numeric suffix of a "job-N" ID (0 when the
+// ID has another shape).
+func jobIDNumber(id string) int64 {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// rebuildRun reconstructs a job's run closure from its journaled
+// request payload.
+func (s *Server) rebuildRun(kind string, payload []byte) (runFunc, error) {
+	switch kind {
+	case "generate":
+		var req GenerateRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("generate payload: %w", err)
+		}
+		return s.generateJob(req)
+	case "detect":
+		var req DetectRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("detect payload: %w", err)
+		}
+		return s.detectJob(req)
+	}
+	return nil, fmt.Errorf("unknown job kind %q", kind)
+}

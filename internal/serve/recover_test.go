@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cghti/internal/artifact"
+	"cghti/internal/journal"
+)
+
+// journaledServer builds a Server over a journal in dir, sharing cache
+// (which may be nil for a fresh one). The caller owns Start/Drain.
+func journaledServer(t *testing.T, dir string, cache *artifact.Cache, cfg Config) (*Server, *journal.Journal) {
+	t.Helper()
+	jnl, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = jnl
+	cfg.Cache = cache
+	return New(cfg), jnl
+}
+
+// postKeyed is postJSON plus an Idempotency-Key header.
+func postKeyed(t *testing.T, ts *httptest.Server, path, key string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		hr.Header.Set("Idempotency-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestIdempotentSubmit pins the dedupe contract on a live daemon: the
+// second submit with the same key returns 200, the original job ID, and
+// the replay header; a different key gets a fresh job.
+func TestIdempotentSubmit(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 8})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := genRequest(1)
+	req.Bench = benchText(t, "c17")
+
+	first := postKeyed(t, ts, "/v1/generate", "key-A", req)
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", first.StatusCode)
+	}
+	id := decodeBody[submitResponse](t, first).ID
+
+	second := postKeyed(t, ts, "/v1/generate", "key-A", req)
+	if second.StatusCode != http.StatusOK {
+		t.Fatalf("replayed submit = %d, want 200", second.StatusCode)
+	}
+	if second.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("missing Idempotency-Replayed header")
+	}
+	if got := decodeBody[submitResponse](t, second).ID; got != id {
+		t.Fatalf("replayed ID = %s, want original %s", got, id)
+	}
+
+	third := postKeyed(t, ts, "/v1/generate", "key-B", req)
+	if third.StatusCode != http.StatusAccepted {
+		t.Fatalf("fresh-key submit = %d, want 202", third.StatusCode)
+	}
+	if got := decodeBody[submitResponse](t, third).ID; got == id {
+		t.Fatal("distinct keys must get distinct jobs")
+	}
+}
+
+// TestRecoverRequeuesAndFinishes is the in-process crash drill: jobs
+// are accepted (journaled, never started), the process "dies" (the
+// server is abandoned, the journal closed), and a successor over the
+// same journal dir replays them to completion. Also pins: idempotency
+// keys survive the restart, and the ID counter resumes past replayed
+// IDs.
+func TestRecoverRequeuesAndFinishes(t *testing.T) {
+	dir := t.TempDir()
+	cache := artifact.NewCache(0, 0)
+
+	// Incarnation 1: accept 3 jobs but never start workers — they are
+	// journaled as queued, exactly the crash-mid-backlog shape.
+	s1, jnl1 := journaledServer(t, dir, cache, Config{Workers: 1, QueueDepth: 8})
+	ts1 := httptest.NewServer(s1.Handler())
+	req := genRequest(1)
+	req.Bench = benchText(t, "c17")
+	var ids []string
+	for i := 0; i < 3; i++ {
+		r := req
+		r.Seed = int64(i + 1)
+		resp := postKeyed(t, ts1, "/v1/generate", "crash-key-"+string(rune('a'+i)), r)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202", i, resp.StatusCode)
+		}
+		ids = append(ids, decodeBody[submitResponse](t, resp).ID)
+	}
+	ts1.Close()
+	jnl1.Close() // the "crash": no drain, no completion records
+
+	// Incarnation 2: recover and run.
+	s2, jnl2 := journaledServer(t, dir, cache, Config{Workers: 2, QueueDepth: 8})
+	defer jnl2.Close()
+	rec, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Jobs != 3 || rec.Requeued != 3 || rec.Restarted != 0 || rec.Poisoned != 0 {
+		t.Fatalf("recovery report = %+v, want 3 requeued", rec)
+	}
+	s2.Start()
+	defer s2.Drain(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	for _, id := range ids {
+		view := pollJob(t, ts2, id)
+		if view.Status != StatusDone {
+			t.Fatalf("recovered job %s finished %s: %s", id, view.Status, view.Error)
+		}
+		if view.ResultFP == "" {
+			t.Fatalf("recovered job %s has no result fingerprint", id)
+		}
+	}
+
+	// The idempotency key registered before the crash still dedupes.
+	resp := postKeyed(t, ts2, "/v1/generate", "crash-key-a", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart keyed resubmit = %d, want 200", resp.StatusCode)
+	}
+	if got := decodeBody[submitResponse](t, resp).ID; got != ids[0] {
+		t.Fatalf("post-restart resubmit ID = %s, want original %s", got, ids[0])
+	}
+
+	// Fresh IDs continue past the replayed ones.
+	resp2 := postKeyed(t, ts2, "/v1/generate", "", req)
+	newID := decodeBody[submitResponse](t, resp2).ID
+	for _, id := range ids {
+		if newID == id {
+			t.Fatalf("fresh job reused replayed ID %s", id)
+		}
+	}
+	pollJob(t, ts2, newID)
+}
+
+// TestRecoverPoisonsRepeatOffenders pins the crash-loop breaker: a job
+// whose journal shows MaxAttempts starts with no terminal record is
+// parked as poisoned, not re-enqueued, and the verdict is journaled so
+// the next restart agrees.
+func TestRecoverPoisonsRepeatOffenders(t *testing.T) {
+	dir := t.TempDir()
+	// Craft a journal: job started 3 times, never finished — the
+	// signature of a request that kills the process.
+	jnl, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := json.Marshal(GenerateRequest{Bench: benchText(t, "c17"), Seed: 1, Instances: 1, MinTriggerNodes: 2, RareVectors: 200, RareThreshold: 0.4})
+	jnl.Append(journal.Record{Type: journal.EvSubmitted, Job: "job-1", Kind: "generate", Payload: payload})
+	for a := 1; a <= 3; a++ {
+		jnl.Append(journal.Record{Type: journal.EvStarted, Job: "job-1", Attempt: a})
+	}
+	jnl.Close()
+
+	s, jnl2 := journaledServer(t, dir, nil, Config{Workers: 1, MaxAttempts: 3})
+	defer jnl2.Close()
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Poisoned != 1 || rec.Requeued != 0 || rec.Restarted != 0 {
+		t.Fatalf("recovery report = %+v, want 1 poisoned", rec)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	view := pollJob(t, ts, "job-1")
+	if view.Status != StatusPoisoned {
+		t.Fatalf("job status = %s, want poisoned", view.Status)
+	}
+	if view.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", view.Attempts)
+	}
+
+	// A third incarnation replays the poisoning as terminal state — it
+	// must not try the job again.
+	jnl2.Close()
+	s3, jnl3 := journaledServer(t, dir, nil, Config{Workers: 1, MaxAttempts: 3})
+	defer jnl3.Close()
+	rec3, err := s3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.Poisoned != 0 || rec3.Requeued != 0 || rec3.Terminal != 1 {
+		t.Fatalf("re-recovery report = %+v, want 1 terminal", rec3)
+	}
+}
+
+// TestRecoverBelowMaxAttemptsRetries pins the backoff path: a job with
+// one prior attempt is re-enqueued (not poisoned) with NotBefore set.
+func TestRecoverBelowMaxAttemptsRetries(t *testing.T) {
+	dir := t.TempDir()
+	jnl, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := json.Marshal(GenerateRequest{Bench: benchText(t, "c17"), Seed: 1, Instances: 1, MinTriggerNodes: 2, RareVectors: 200, RareThreshold: 0.4})
+	jnl.Append(journal.Record{Type: journal.EvSubmitted, Job: "job-1", Kind: "generate", Payload: payload})
+	jnl.Append(journal.Record{Type: journal.EvStarted, Job: "job-1", Attempt: 1})
+	jnl.Close()
+
+	s, jnl2 := journaledServer(t, dir, nil, Config{Workers: 1, MaxAttempts: 3, RetryBase: 50 * time.Millisecond})
+	defer jnl2.Close()
+	rec, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Restarted != 1 {
+		t.Fatalf("recovery report = %+v, want 1 restarted", rec)
+	}
+	s.mu.Lock()
+	nb := s.jobs["job-1"].NotBefore
+	s.mu.Unlock()
+	if nb.IsZero() || time.Until(nb) > 100*time.Millisecond {
+		t.Fatalf("NotBefore = %v, want ~50ms backoff", nb)
+	}
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	view := pollJob(t, ts, "job-1")
+	if view.Status != StatusDone {
+		t.Fatalf("retried job finished %s: %s", view.Status, view.Error)
+	}
+	if view.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (journal attempt + retry)", view.Attempts)
+	}
+}
+
+// TestJobsList pins GET /v1/jobs: full listing, status filter, limit
+// truncation with an honest total.
+func TestJobsList(t *testing.T) {
+	s := New(Config{Workers: 2, QueueDepth: 8})
+	s.Start()
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := genRequest(1)
+	req.Bench = benchText(t, "c17")
+	var ids []string
+	for i := 0; i < 4; i++ {
+		r := req
+		r.Seed = int64(i + 1)
+		resp := postJSON(t, ts, "/v1/generate", r)
+		ids = append(ids, decodeBody[submitResponse](t, resp).ID)
+	}
+	for _, id := range ids {
+		pollJob(t, ts, id)
+	}
+
+	type listResp struct {
+		Jobs  []jobSummary `json:"jobs"`
+		Total int          `json:"total"`
+	}
+	get := func(q string) listResp {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs%s = %d", q, resp.StatusCode)
+		}
+		return decodeBody[listResp](t, resp)
+	}
+
+	all := get("")
+	if all.Total != 4 || len(all.Jobs) != 4 {
+		t.Fatalf("full list: total=%d len=%d, want 4/4", all.Total, len(all.Jobs))
+	}
+	// Oldest-submitted first.
+	for i := 1; i < len(all.Jobs); i++ {
+		if all.Jobs[i-1].Submitted > all.Jobs[i].Submitted {
+			t.Fatal("listing not sorted by submit time")
+		}
+	}
+
+	done := get("?status=done")
+	if done.Total != 4 {
+		t.Fatalf("done filter total = %d, want 4", done.Total)
+	}
+	empty := get("?status=poisoned")
+	if empty.Total != 0 || len(empty.Jobs) != 0 {
+		t.Fatalf("poisoned filter = %d/%d, want empty", empty.Total, len(empty.Jobs))
+	}
+
+	limited := get("?limit=2")
+	if len(limited.Jobs) != 2 || limited.Total != 4 {
+		t.Fatalf("limit=2: len=%d total=%d, want 2 of 4", len(limited.Jobs), limited.Total)
+	}
+
+	if resp, _ := http.Get(ts.URL + "/v1/jobs?limit=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus limit = %d, want 400", resp.StatusCode)
+	}
+}
+
+// sseEvents reads SSE lines until the "result" event (or EOF), with a
+// deadline, returning the event names seen and the final status.
+func sseEvents(t *testing.T, url string) (events []string, status string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+			events = append(events, event)
+		case strings.HasPrefix(line, "data: ") && event == "result":
+			var res struct {
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &res); err != nil {
+				t.Fatal(err)
+			}
+			return events, res.Status
+		}
+	}
+	t.Fatalf("stream ended without result (saw %v, err %v)", events, sc.Err())
+	return nil, ""
+}
+
+// TestEventFeedAcrossRestart is the SSE satellite: a consumer
+// reconnecting to a recovered job's event stream gets a terminating
+// "result" event — rebuilt from the journal's terminal record for
+// already-finished jobs, or emitted live when the recovered job reruns
+// — never a hang.
+func TestEventFeedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cache := artifact.NewCache(0, 0)
+
+	// Incarnation 1: one job runs to done (terminal in journal), one is
+	// accepted but never started (queued in journal).
+	s1, jnl1 := journaledServer(t, dir, cache, Config{Workers: 1, QueueDepth: 8})
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	req := genRequest(1)
+	req.Bench = benchText(t, "c17")
+	doneID := decodeBody[submitResponse](t, postJSON(t, ts1, "/v1/generate", req)).ID
+	if v := pollJob(t, ts1, doneID); v.Status != StatusDone {
+		t.Fatalf("setup job finished %s", v.Status)
+	}
+	// Stall the single worker with a long job, then queue one behind it
+	// so it is still queued at "crash" time.
+	slow := req
+	slow.Seed = 99
+	slow.RareVectors = 5000
+	postJSON(t, ts1, "/v1/generate", slow).Body.Close()
+	queued := req
+	queued.Seed = 2
+	queuedID := decodeBody[submitResponse](t, postJSON(t, ts1, "/v1/generate", queued)).ID
+	ts1.Close()
+	jnl1.Close() // crash: no drain
+
+	// Incarnation 2: recover.
+	s2, jnl2 := journaledServer(t, dir, cache, Config{Workers: 2, QueueDepth: 8})
+	defer jnl2.Close()
+	if _, err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	defer s2.Drain(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	// The finished job's feed must terminate immediately with its
+	// journaled outcome — not hang waiting for progress that will never
+	// come (the result body is gone, but the status survives).
+	events, status := sseEvents(t, ts2.URL+"/v1/jobs/"+doneID+"/events")
+	if status != string(StatusDone) {
+		t.Fatalf("recovered-done SSE status = %s, want done", status)
+	}
+	if events[len(events)-1] != "result" {
+		t.Fatalf("recovered-done SSE events = %v, want terminal result", events)
+	}
+
+	// The recovered-queued job's feed also terminates in a result —
+	// whether the consumer catches the rerun live or connects after it
+	// finished, the stream must never hang.
+	events, status = sseEvents(t, ts2.URL+"/v1/jobs/"+queuedID+"/events")
+	if status != string(StatusDone) {
+		t.Fatalf("recovered-queued SSE status = %s, want done", status)
+	}
+	if events[len(events)-1] != "result" {
+		t.Fatalf("recovered-queued SSE events = %v, want terminal result", events)
+	}
+}
+
+// TestSubmitJournalOrdering pins WAL-first: every 202 is preceded by a
+// durable Submitted record, so replay never misses an acknowledged job.
+func TestSubmitJournalOrdering(t *testing.T) {
+	dir := t.TempDir()
+	s, jnl := journaledServer(t, dir, nil, Config{Workers: 1, QueueDepth: 8})
+	// No Start: jobs stay queued, nothing else writes.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req := genRequest(1)
+	req.Bench = benchText(t, "c17")
+	resp := postJSON(t, ts, "/v1/generate", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	id := decodeBody[submitResponse](t, resp).ID
+
+	// The record is already on disk — no drain, no close needed.
+	st, err := jnl.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := st.Jobs[id]
+	if js == nil || js.Status != journal.StatusQueued || len(js.Payload) == 0 {
+		t.Fatalf("journal state for %s = %+v, want queued with payload", id, js)
+	}
+	jnl.Close()
+}

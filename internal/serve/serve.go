@@ -19,6 +19,9 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"cghti/internal/artifact"
+	"cghti/internal/journal"
 	"cghti/internal/obs"
 )
 
@@ -37,18 +41,31 @@ var (
 	cntCompleted  = obs.NewCounter("serve.jobs_completed")
 	cntFailed     = obs.NewCounter("serve.jobs_failed")
 	cntCanceled   = obs.NewCounter("serve.jobs_canceled")
+	cntPoisoned   = obs.NewCounter("serve.jobs_poisoned")
+	cntRecovered  = obs.NewCounter("serve.recovered_jobs")
+	cntIdemHits   = obs.NewCounter("serve.idempotent_hits")
 	gaugeQueued   = obs.NewGauge("serve.queue_depth")
 	gaugeQueueCap = obs.NewGauge("serve.queue_capacity")
 	gaugeRunning  = obs.NewGauge("serve.jobs_running")
 	histHandler   = obs.NewHistogram("serve.handler_time")
+	// histAttempts records each terminal job's attempt count, encoded
+	// as milliseconds so the histogram's quantiles read directly as
+	// attempts (p99_ms == 99th-percentile attempts).
+	histAttempts = obs.NewHistogram("serve.job_attempts")
 )
 
 // Defaults applied by Config.withDefaults.
 const (
-	DefaultWorkers    = 2
-	DefaultQueueDepth = 8
-	DefaultJobTimeout = 2 * time.Minute
-	DefaultRetainJobs = 256
+	DefaultWorkers      = 2
+	DefaultQueueDepth   = 8
+	DefaultJobTimeout   = 2 * time.Minute
+	DefaultRetainJobs   = 256
+	DefaultMaxAttempts  = 3
+	DefaultRetryBase    = 500 * time.Millisecond
+	DefaultCompactEvery = 1024
+	// maxRetryBackoff caps the recovery backoff however many attempts
+	// a job has accumulated.
+	maxRetryBackoff = 30 * time.Second
 )
 
 // Config parameterizes the daemon.
@@ -75,6 +92,19 @@ type Config struct {
 	// (DefaultRetainJobs if 0); the oldest finished jobs are forgotten
 	// first.
 	RetainJobs int
+	// Journal is the daemon's write-ahead log (nil disables
+	// durability): every accepted job is journaled and fsynced before
+	// the 202, and Recover replays it after a crash.
+	Journal *journal.Journal
+	// MaxAttempts bounds how many times a crash-interrupted job is
+	// restarted before being poisoned (DefaultMaxAttempts if 0).
+	MaxAttempts int
+	// RetryBase is the first recovery retry's backoff, doubling per
+	// prior attempt (DefaultRetryBase if 0).
+	RetryBase time.Duration
+	// CompactEvery triggers a background journal compaction after this
+	// many terminal jobs (DefaultCompactEvery if 0).
+	CompactEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +126,15 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = DefaultRetainJobs
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = DefaultCompactEvery
+	}
 	return c
 }
 
@@ -108,11 +147,20 @@ const (
 	StatusDone     Status = "done"
 	StatusFailed   Status = "failed"
 	StatusCanceled Status = "canceled"
+	// StatusPoisoned is terminal for a job that kept crashing the
+	// daemon: after MaxAttempts recovery restarts it is parked instead
+	// of re-enqueued, so one poisonous request cannot crash-loop the
+	// process forever.
+	StatusPoisoned Status = "poisoned"
 )
 
 // Terminal reports whether the status is final.
 func (s Status) Terminal() bool {
-	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+	switch s {
+	case StatusDone, StatusFailed, StatusCanceled, StatusPoisoned:
+		return true
+	}
+	return false
 }
 
 // Job is one unit of accepted work. Fields are guarded by the server
@@ -125,6 +173,20 @@ type Job struct {
 	Started   time.Time
 	Finished  time.Time
 	Err       string
+	// Key is the client-supplied Idempotency-Key ("" if none): a
+	// resubmit carrying the same key returns this job instead of
+	// running a duplicate.
+	Key string
+	// Attempts counts execution starts, across crashes: a job
+	// journal-replayed after a restart resumes its count.
+	Attempts int
+	// NotBefore delays a recovered job's restart (exponential backoff
+	// per prior attempt); zero means run immediately.
+	NotBefore time.Time
+	// ResultFP is the sha256 fingerprint of the marshaled result, set
+	// on StatusDone. It survives restarts via the journal even though
+	// the result body itself does not.
+	ResultFP string
 	// Result is the kind-specific outcome (GenerateResult or
 	// DetectResult), set on StatusDone.
 	Result any
@@ -141,9 +203,12 @@ type Job struct {
 	// attach while the job is still queued.
 	feed *eventFeed
 
-	run    func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error)
+	run    runFunc
 	cancel context.CancelFunc
 }
+
+// runFunc is a job's executable body.
+type runFunc func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error)
 
 // Server is the job daemon. Construct with New, wire Handler into an
 // http.Server, call Start, and Drain on shutdown.
@@ -156,7 +221,15 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	finished []string // finished job IDs, oldest first, for retention
+	finished []string          // finished job IDs, oldest first, for retention
+	idem     map[string]string // Idempotency-Key -> job ID
+
+	// terminalSince counts terminal jobs since the last journal
+	// compaction (guarded by mu); compacting single-flights the
+	// background compaction goroutine.
+	terminalSince int
+	compacting    atomic.Bool
+	recovered     atomic.Bool
 
 	nextID  atomic.Int64
 	started time.Time
@@ -172,6 +245,7 @@ func New(cfg Config) *Server {
 		queue:   make(chan *Job, cfg.QueueDepth),
 		drainCh: make(chan struct{}),
 		jobs:    make(map[string]*Job),
+		idem:    make(map[string]string),
 		started: time.Now(),
 		snap0:   obs.Default().Snapshot(),
 	}
@@ -215,6 +289,17 @@ func (s *Server) worker() {
 // scoped registry, so they appear in the per-job report and (via the
 // mirror) in the whole-process histograms.
 func (s *Server) runJob(j *Job) {
+	// Honor a recovered job's retry backoff; a drain during the wait
+	// cancels it like any other queued job.
+	if wait := time.Until(j.NotBefore); wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-s.drainCh:
+			s.cancelQueued(j)
+			return
+		}
+	}
+
 	reg := obs.NewScoped(nil)
 	trace := obs.NewTrace()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -228,9 +313,12 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.Status = StatusRunning
 	j.Started = time.Now()
+	j.Attempts++
 	j.cancel = cancel
+	attempt := j.Attempts
 	running := s.countRunningLocked()
 	s.mu.Unlock()
+	s.journalAppend(journal.Record{Type: journal.EvStarted, Job: j.ID, Attempt: attempt})
 	reg.Histogram("serve.queue_wait").Observe(j.Started.Sub(j.Submitted))
 	gaugeRunning.Set(running)
 	defer cancel()
@@ -248,27 +336,105 @@ func (s *Server) runJob(j *Job) {
 	j.Finished = finished
 	j.Report = rep
 	j.cancel = nil
+	var rec journal.Record
 	switch {
 	case err == nil:
 		j.Status = StatusDone
 		j.Result = result
+		j.ResultFP = resultFingerprint(result)
+		rec = journal.Record{Type: journal.EvCompleted, Job: j.ID, Result: j.ResultFP}
 		cntCompleted.Inc()
 	case context.Cause(ctx) == context.Canceled && s.draining.Load():
 		j.Status = StatusCanceled
 		j.Err = "canceled: server draining"
+		rec = journal.Record{Type: journal.EvCanceled, Job: j.ID, Err: j.Err}
 		cntCanceled.Inc()
 	default:
 		j.Status = StatusFailed
 		j.Err = err.Error()
+		rec = journal.Record{Type: journal.EvFailed, Job: j.ID, Err: j.Err}
 		cntFailed.Inc()
 	}
 	status, errMsg := j.Status, j.Err
 	s.noteFinishedLocked(j)
 	running = s.countRunningLocked()
 	s.mu.Unlock()
+	s.journalAppend(rec)
+	histAttempts.Observe(time.Duration(attempt) * time.Millisecond)
 	gaugeRunning.Set(running)
 	// Terminate the job's SSE streams with the final result event.
 	j.feed.closeFinal(status, errMsg)
+	s.maybeCompact()
+}
+
+// cancelQueued marks a never-started job canceled (drain path).
+func (s *Server) cancelQueued(j *Job) {
+	s.mu.Lock()
+	if j.Status.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	j.Status = StatusCanceled
+	j.Err = "canceled: server draining"
+	j.Finished = time.Now()
+	s.noteFinishedLocked(j)
+	s.mu.Unlock()
+	cntCanceled.Inc()
+	s.journalAppend(journal.Record{Type: journal.EvCanceled, Job: j.ID, Err: j.Err})
+	j.feed.closeFinal(StatusCanceled, j.Err)
+}
+
+// resultFingerprint hashes the marshaled result so replays and
+// idempotent resubmits can be checked for identical outcomes without
+// persisting result bodies.
+func resultFingerprint(result any) string {
+	data, err := json.Marshal(result)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// journalAppend writes one lifecycle record, when a journal is
+// configured. Append failures are counted by the journal itself and do
+// not fail the job: durability degrades, serving does not.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.Append(rec)
+	}
+}
+
+// maybeCompact kicks off a background journal compaction once enough
+// terminal jobs have accumulated, keeping only the jobs the daemon
+// still retains. Single-flighted; skipped while draining (Drain's
+// final state is compacted by the next boot's Recover).
+func (s *Server) maybeCompact() {
+	if s.cfg.Journal == nil || s.draining.Load() {
+		return
+	}
+	s.mu.Lock()
+	due := s.terminalSince >= s.cfg.CompactEvery
+	if due {
+		s.terminalSince = 0
+	}
+	s.mu.Unlock()
+	if !due || !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		s.cfg.Journal.Compact(s.keepInJournal)
+	}()
+}
+
+// keepInJournal reports whether a terminal job should survive journal
+// compaction: only while the daemon still retains it.
+func (s *Server) keepInJournal(js *journal.JobState) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.jobs[js.ID]
+	return ok
 }
 
 func (s *Server) countRunningLocked() int64 {
@@ -282,44 +448,108 @@ func (s *Server) countRunningLocked() int64 {
 }
 
 // noteFinishedLocked records a finished job for retention trimming and
-// forgets the oldest finished jobs beyond the cap.
+// forgets the oldest finished jobs beyond the cap. Evicted jobs release
+// their idempotency keys: a key outliving its job would dedupe against
+// state the daemon can no longer report.
 func (s *Server) noteFinishedLocked(j *Job) {
 	s.finished = append(s.finished, j.ID)
+	s.terminalSince++
 	for len(s.finished) > s.cfg.RetainJobs {
-		delete(s.jobs, s.finished[0])
+		old := s.finished[0]
+		if evicted, ok := s.jobs[old]; ok && evicted.Key != "" && s.idem[evicted.Key] == old {
+			delete(s.idem, evicted.Key)
+		}
+		delete(s.jobs, old)
 		s.finished = s.finished[1:]
 	}
 }
 
 // submit registers and enqueues a job, or rejects it when the daemon is
 // draining (ErrDraining) or the queue is full (ErrQueueFull).
-func (s *Server) submit(kind string, run func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error)) (*Job, error) {
+//
+// Durability ordering: the job is journaled (EvSubmitted, fsynced)
+// BEFORE it is enqueued, so any job a client saw accepted survives a
+// crash. The queue-full fast path is checked before journaling — a 429
+// storm must not grow the WAL — and the (rare) race where the queue
+// fills between that check and the send is journaled as an immediate
+// cancel so replay stays consistent with what the client was told.
+//
+// key is the client's Idempotency-Key ("" if none): a resubmit carrying
+// a known key returns the original job with replayed=true instead of
+// enqueuing a duplicate. payload is the marshaled request body recorded
+// in the journal so Recover can rebuild the job's run closure.
+func (s *Server) submit(kind, key string, payload []byte, run runFunc) (j *Job, replayed bool, err error) {
 	if s.draining.Load() {
-		return nil, ErrDraining
+		return nil, false, ErrDraining
 	}
-	j := &Job{
+	s.mu.Lock()
+	if key != "" {
+		if id, ok := s.idem[key]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			cntIdemHits.Inc()
+			return j, true, nil
+		}
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		cntRejected.Inc()
+		return nil, false, ErrQueueFull
+	}
+	j = &Job{
 		ID:        fmt.Sprintf("job-%d", s.nextID.Add(1)),
 		Kind:      kind,
 		Status:    StatusQueued,
 		Submitted: time.Now(),
+		Key:       key,
 		feed:      newEventFeed(),
 		run:       run,
 	}
-	s.mu.Lock()
 	s.jobs[j.ID] = j
+	if key != "" {
+		s.idem[key] = j.ID
+	}
 	s.mu.Unlock()
+
+	if s.cfg.Journal != nil {
+		rec := journal.Record{
+			Type:    journal.EvSubmitted,
+			Job:     j.ID,
+			Kind:    kind,
+			Key:     key,
+			Payload: payload,
+		}
+		if jerr := s.cfg.Journal.Append(rec); jerr != nil {
+			// Could not make the accept durable: refuse the job rather
+			// than hand out an ID a crash would forget.
+			s.forget(j)
+			return nil, false, fmt.Errorf("serve: journal submit: %w", jerr)
+		}
+	}
+
 	select {
 	case s.queue <- j:
 		cntAccepted.Inc()
 		gaugeQueued.Set(int64(len(s.queue)))
-		return j, nil
+		return j, false, nil
 	default:
-		s.mu.Lock()
-		delete(s.jobs, j.ID)
-		s.mu.Unlock()
+		// Queue filled between the pre-check and the send. The submit is
+		// already durable, so record its demise too.
+		s.forget(j)
+		s.journalAppend(journal.Record{Type: journal.EvCanceled, Job: j.ID, Err: "rejected: queue full"})
 		cntRejected.Inc()
-		return nil, ErrQueueFull
+		return nil, false, ErrQueueFull
 	}
+}
+
+// forget unregisters a job that was never accepted.
+func (s *Server) forget(j *Job) {
+	s.mu.Lock()
+	delete(s.jobs, j.ID)
+	if j.Key != "" && s.idem[j.Key] == j.ID {
+		delete(s.idem, j.Key)
+	}
+	s.mu.Unlock()
 }
 
 // Sentinel submit failures, mapped to HTTP statuses by the handlers.
@@ -366,14 +596,7 @@ func (s *Server) Drain(ctx context.Context) *obs.Report {
 	for {
 		select {
 		case j := <-s.queue:
-			s.mu.Lock()
-			j.Status = StatusCanceled
-			j.Err = "canceled: server draining"
-			j.Finished = time.Now()
-			s.noteFinishedLocked(j)
-			s.mu.Unlock()
-			cntCanceled.Inc()
-			j.feed.closeFinal(StatusCanceled, j.Err)
+			s.cancelQueued(j)
 		default:
 			gaugeQueued.Set(0)
 			gaugeRunning.Set(0)
