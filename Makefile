@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race fuzz modcheck smoke scalesmoke recoversmoke bench benchall
+.PHONY: ci build vet fmt test race fuzz modcheck smoke scalesmoke recoversmoke batchsmoke bench benchall
 
-ci: build vet fmt modcheck race fuzz smoke scalesmoke recoversmoke
+ci: build vet fmt modcheck race fuzz smoke scalesmoke recoversmoke batchsmoke
 
 build:
 	$(GO) build ./...
@@ -42,7 +42,7 @@ modcheck:
 # cache.
 race:
 	$(GO) test -race -timeout 5m ./...
-	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact ./internal/serve ./internal/obs ./internal/journal ./internal/iofault ./cmd/htload
+	$(GO) test -race -count=1 -timeout 5m ./internal/pipeline ./internal/artifact ./internal/serve ./internal/obs ./internal/journal ./internal/iofault ./internal/sim ./cmd/htload
 
 # Short fuzz smoke: each native fuzz target runs briefly so a parser
 # regression that panics or hangs on malformed input fails the gate.
@@ -70,6 +70,14 @@ scalesmoke:
 recoversmoke:
 	$(GO) test -run '^TestRecoverSmoke$$' -count=1 -timeout 5m ./cmd/htserved
 
+# Shared-simulation smoke: 8 concurrent mixed jobs on an in-process
+# daemon whose pattern blocks multiplex onto shared batched engines
+# must produce byte-identical results to the same jobs run serially on
+# exclusive engines. Under the race detector, always -count=1, so the
+# batcher's dispatcher/withdrawal paths are actually executed.
+batchsmoke:
+	$(GO) test -race -run '^TestBatchSmoke$$' -count=1 -timeout 5m ./internal/serve
+
 # Simulation/pipeline benchmarks, recorded as BENCH_sim.json so runs
 # can be committed and diffed (see cmd/benchjson). The artifact-cache
 # benchmark (cold vs warm Generate) lands in its own BENCH_pipeline.json
@@ -80,6 +88,8 @@ bench:
 	$(GO) test -run '^$$' -bench 'PipelineCache' -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_pipeline.json
 	@echo "wrote BENCH_pipeline.json"
 	$(GO) run ./cmd/htload -jobs 120 -concurrency 8 -out BENCH_serve.json
+	$(GO) run ./cmd/htload -mixed -jobs 96 -concurrency 8 -sim-batch-words -1 -append -out BENCH_serve.json
+	$(GO) run ./cmd/htload -mixed -jobs 96 -concurrency 8 -append -out BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
 	$(GO) test -run '^$$' -bench 'Scale' -benchtime 1x -benchmem -timeout 60m . | $(GO) run ./cmd/benchjson -out BENCH_scale.json
 	@echo "wrote BENCH_scale.json"

@@ -65,6 +65,17 @@ type loadConfig struct {
 	Workers     int // self-hosted pool size
 	Queue       int // self-hosted queue depth
 	Timeout     time.Duration
+	// Mixed runs the fleet workload the batching simulator service is
+	// built for: jobs round-robin over a few base circuits, so
+	// concurrent jobs share compiled programs and their pattern blocks
+	// pack into shared engines. The run records the achieved lane fill
+	// and patterns/s-per-core from the daemon's counters.
+	Mixed bool
+	// SimBatchWords configures the self-hosted daemon's shared engine
+	// width (ignored with -addr): 0 default, negative disables batching
+	// — the exclusive-engine baseline the batched mixed run is compared
+	// against in BENCH_serve.json.
+	SimBatchWords int
 	// CrashRetry sends an Idempotency-Key per job and retries submits
 	// through transport errors (a daemon restart mid-run), relying on
 	// the daemon's dedupe for exactly-once submission.
@@ -105,6 +116,9 @@ func main() {
 		timeout     = flag.Duration("timeout", 5*time.Minute, "whole-run deadline")
 		out         = flag.String("out", "BENCH_serve.json", "output file (stdout if \"-\")")
 		crashRetry  = flag.Bool("crash-retry", false, "send Idempotency-Keys and retry submits through daemon restarts")
+		mixed       = flag.Bool("mixed", false, "fleet workload: jobs round-robin over a few base circuits (ignores -circuit); records lane_fill and patterns/s-per-core")
+		batchWords  = flag.Int("sim-batch-words", 0, "self-hosted daemon's shared engine width (0 = default, negative = exclusive engines; ignored with -addr)")
+		appendOut   = flag.Bool("append", false, "append this run's result to an existing -out file instead of replacing it")
 	)
 	flag.Parse()
 
@@ -112,6 +126,7 @@ func main() {
 		Addr: *addr, Jobs: *jobs, Concurrency: *concurrency,
 		Circuit: *circuit, Seed: *seed, Workers: *workers,
 		Queue: *queue, Timeout: *timeout, CrashRetry: *crashRetry,
+		Mixed: *mixed, SimBatchWords: *batchWords,
 	}
 	doc, err := run(cfg)
 	if err != nil {
@@ -125,10 +140,10 @@ func main() {
 		}
 		return
 	}
-	if err := writeDoc(*out, doc); err != nil {
+	if err := writeDoc(*out, doc, *appendOut); err != nil {
 		cli.Fatal(tool, err)
 	}
-	r := doc.Results[0]
+	r := doc.Results[len(doc.Results)-1]
 	fmt.Fprintf(os.Stderr, "%s: %s: %d jobs, p50 %.1fms p90 %.1fms p99 %.1fms, %.1f jobs/s, %d errors\n",
 		tool, r.Name, r.Iters, r.Metrics["p50_ms"], r.Metrics["p90_ms"], r.Metrics["p99_ms"],
 		r.Metrics["jobs_per_s"], int(r.Metrics["errors"]))
@@ -139,15 +154,25 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 	if cfg.Jobs <= 0 || cfg.Concurrency <= 0 {
 		return nil, fmt.Errorf("need positive -jobs and -concurrency")
 	}
-	n, err := gen.Benchmark(cfg.Circuit)
-	if err != nil {
-		return nil, err
+	// The mixed fleet cycles a few base circuits so concurrent jobs
+	// share compiled programs — the shape the batching simulator
+	// service packs best. A plain run drives one circuit.
+	circuits := []string{cfg.Circuit}
+	if cfg.Mixed {
+		circuits = []string{"c17", "s27", "c432"}
 	}
-	var sb strings.Builder
-	if err := bench.Write(&sb, n); err != nil {
-		return nil, err
+	texts := make([]string, len(circuits))
+	for i, name := range circuits {
+		n, err := gen.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		var sb strings.Builder
+		if err := bench.Write(&sb, n); err != nil {
+			return nil, err
+		}
+		texts[i] = sb.String()
 	}
-	benchText := sb.String()
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	defer cancel()
@@ -170,13 +195,15 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 	jobCh := make(chan int)
 	var wg sync.WaitGroup
 	client := &http.Client{} // no client timeout: SSE streams outlive any fixed cap; ctx bounds the run
+	snap0 := counterSnapshot(ctx, client, base)
 	start := time.Now()
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobCh {
-				d, err := runJob(ctx, client, base, benchText, cfg, i, &retries, &replays)
+				k := i % len(circuits)
+				d, err := runJob(ctx, client, base, circuits[k], texts[k], cfg, i, &retries, &replays)
 				if err != nil {
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "%s: job %d: %v\n", tool, i, err)
@@ -213,7 +240,38 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 	for _, d := range ok {
 		sum += d
 	}
-	name := fmt.Sprintf("ServeLoad/%s/jobs=%d/conc=%d", cfg.Circuit, cfg.Jobs, cfg.Concurrency)
+	workload := cfg.Circuit
+	if cfg.Mixed {
+		workload = "mixed"
+	}
+	name := fmt.Sprintf("ServeLoad/%s/jobs=%d/conc=%d", workload, cfg.Jobs, cfg.Concurrency)
+	if cfg.Addr == "" && cfg.SimBatchWords < 0 {
+		name += "/excl" // the exclusive-engine baseline leg
+	}
+	metrics := map[string]float64{
+		"p50_ms":       ms(nearestRank(ok, 0.50)),
+		"p90_ms":       ms(nearestRank(ok, 0.90)),
+		"p99_ms":       ms(nearestRank(ok, 0.99)),
+		"jobs_per_s":   float64(len(ok)) / elapsed.Seconds(),
+		"errors":       float64(failures.Load()),
+		"retries_429":  float64(retries.Load()),
+		"idem_replays": float64(replays.Load()),
+	}
+	// Fleet-efficiency metrics from the daemon's own counters: how full
+	// the shared simulation engines ran, and the aggregate simulation
+	// throughput normalized per core. Skipped when either snapshot was
+	// unavailable (e.g. a remote daemon that restarted mid-run).
+	if snap1 := counterSnapshot(ctx, client, base); snap0 != nil && snap1 != nil {
+		fill := snap1["sim.batch_fill"] - snap0["sim.batch_fill"]
+		capacity := snap1["sim.batch_capacity"] - snap0["sim.batch_capacity"]
+		if capacity > 0 {
+			metrics["lane_fill"] = fill / capacity
+		}
+		vectors := snap1["sim.packed_vectors"] - snap0["sim.packed_vectors"]
+		if vectors > 0 {
+			metrics["patterns_per_s_per_core"] = vectors / elapsed.Seconds() / float64(runtime.NumCPU())
+		}
+	}
 	doc := &jsonDoc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -225,19 +283,35 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 			Package: "cghti/cmd/htload",
 			Iters:   int64(len(ok)),
 			NsPerOp: float64(sum.Nanoseconds()) / float64(len(ok)),
-			Metrics: map[string]float64{
-				"p50_ms":       ms(nearestRank(ok, 0.50)),
-				"p90_ms":       ms(nearestRank(ok, 0.90)),
-				"p99_ms":       ms(nearestRank(ok, 0.99)),
-				"jobs_per_s":   float64(len(ok)) / elapsed.Seconds(),
-				"errors":       float64(failures.Load()),
-				"retries_429":  float64(retries.Load()),
-				"idem_replays": float64(replays.Load()),
-			},
+			Metrics: metrics,
 		}},
 	}
 	reportJobStatuses(ctx, client, base)
 	return doc, nil
+}
+
+// counterSnapshot fetches the daemon's counter values from
+// /metrics.json; nil when the endpoint is unreachable.
+func counterSnapshot(ctx context.Context, client *http.Client, base string) map[string]float64 {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics.json", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var doc struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil
+	}
+	return doc.Counters
 }
 
 // reportJobStatuses prints the daemon's terminal job-status counts from
@@ -282,7 +356,7 @@ func reportJobStatuses(ctx context.Context, client *http.Client, base string) {
 // selfHost starts an in-process daemon on a loopback port and returns
 // its address plus a stop function that drains it.
 func selfHost(cfg loadConfig) (addr string, stop func(), err error) {
-	s := serve.New(serve.Config{Workers: cfg.Workers, QueueDepth: cfg.Queue})
+	s := serve.New(serve.Config{Workers: cfg.Workers, QueueDepth: cfg.Queue, SimBatchWords: cfg.SimBatchWords})
 	s.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -308,10 +382,10 @@ func selfHost(cfg loadConfig) (addr string, stop func(), err error) {
 // transport errors: a daemon restart mid-run drops connections, but the
 // resubmit is deduped server-side (200 + the original job ID), so the
 // job still runs exactly once.
-func runJob(ctx context.Context, client *http.Client, base, benchText string, cfg loadConfig, i int, retries, replays *atomic.Int64) (time.Duration, error) {
+func runJob(ctx context.Context, client *http.Client, base, circuit, benchText string, cfg loadConfig, i int, retries, replays *atomic.Int64) (time.Duration, error) {
 	req := serve.GenerateRequest{
 		Bench:           benchText,
-		Name:            cfg.Circuit,
+		Name:            circuit,
 		Seed:            cfg.Seed + int64(i), // distinct seeds: real pipeline work per job, no warm-cache shortcut
 		Instances:       1,
 		MinTriggerNodes: 2,
@@ -482,12 +556,20 @@ func nearestRank(sorted []time.Duration, q float64) time.Duration {
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // writeDoc writes the document, carrying over an existing file's
-// baseline block the way cmd/benchjson does.
-func writeDoc(path string, doc *jsonDoc) error {
+// baseline block the way cmd/benchjson does. With appendTo the
+// existing file's results are kept and this run's results are added
+// after them — how `make bench` accumulates the exclusive-baseline and
+// batched legs of the mixed fleet comparison into one BENCH_serve.json.
+func writeDoc(path string, doc *jsonDoc, appendTo bool) error {
 	if prev, err := os.ReadFile(path); err == nil {
 		var old jsonDoc
-		if json.Unmarshal(prev, &old) == nil && len(old.Baseline) > 0 {
-			doc.Baseline = old.Baseline
+		if json.Unmarshal(prev, &old) == nil {
+			if len(old.Baseline) > 0 {
+				doc.Baseline = old.Baseline
+			}
+			if appendTo {
+				doc.Results = append(old.Results, doc.Results...)
+			}
 		}
 	}
 	var buf bytes.Buffer

@@ -56,7 +56,7 @@ func TestLoadRunEndToEnd(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"baseline":{"note":"keep"},"results":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeDoc(path, doc); err != nil {
+	if err := writeDoc(path, doc, false); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -72,6 +72,28 @@ func TestLoadRunEndToEnd(t *testing.T) {
 	}
 	if string(back.Baseline) == "" {
 		t.Fatal("existing baseline block was not carried over")
+	}
+
+	// Append mode keeps the existing results and adds the new run after
+	// them — how `make bench` accumulates the exclusive and batched legs
+	// into one document.
+	doc2 := &jsonDoc{Results: []jsonResult{{Name: "second"}}}
+	if err := writeDoc(path, doc2, true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back = jsonDoc{}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 || back.Results[0].Name != r.Name || back.Results[1].Name != "second" {
+		t.Fatalf("append round-trip mismatch: %+v", back.Results)
+	}
+	if string(back.Baseline) == "" {
+		t.Fatal("baseline block was not carried through append")
 	}
 }
 

@@ -65,6 +65,7 @@ func main() {
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "how long in-flight jobs may keep running after SIGTERM before being canceled")
 		journalDir  = flag.String("journal-dir", "", "persist the job journal here and recover it on boot (no durability if empty)")
 		maxAttempts = flag.Int("max-attempts", serve.DefaultMaxAttempts, "poison a job after this many crash-interrupted attempts")
+		batchWords  = flag.Int("sim-batch-words", 0, "shared simulation engine width in 64-pattern words (0 = default, negative = exclusive engines per block)")
 	)
 	flag.Parse()
 
@@ -86,13 +87,14 @@ func main() {
 		defer jnl.Close()
 	}
 	srv := serve.New(serve.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		JobTimeout:  *jobTimeout,
-		JobWorkers:  *jobWorkers,
-		Cache:       cache,
-		Journal:     jnl,
-		MaxAttempts: *maxAttempts,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		JobWorkers:    *jobWorkers,
+		Cache:         cache,
+		Journal:       jnl,
+		MaxAttempts:   *maxAttempts,
+		SimBatchWords: *batchWords,
 	})
 	if rec, err := srv.Recover(); err != nil {
 		cli.Fatal(tool, err)

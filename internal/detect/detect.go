@@ -8,6 +8,7 @@ package detect
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"cghti/internal/chaos"
@@ -159,20 +160,6 @@ func EvaluateContext(ctx context.Context, tgt Target, ts *TestSet, cfg EvalConfi
 	if words <= 0 {
 		words = 8 // 512 vectors per batch
 	}
-	gp, err := sim.AcquirePacked(tgt.Golden, words)
-	if err != nil {
-		return out, err
-	}
-	defer sim.ReleasePacked(gp)
-	ip, err := sim.AcquirePacked(tgt.Infected, words)
-	if err != nil {
-		return out, err
-	}
-	defer sim.ReleasePacked(ip)
-	gp.SetWorkers(cfg.Workers)
-	ip.SetWorkers(cfg.Workers)
-	gp.SetRegistry(reg)
-	ip.SetRegistry(reg)
 	goldenOuts := tgt.Golden.CombOutputs()
 	infectedOuts := tgt.Infected.CombOutputs()
 	nOuts := len(goldenOuts)
@@ -180,7 +167,18 @@ func EvaluateContext(ctx context.Context, tgt Target, ts *TestSet, cfg EvalConfi
 		return out, fmt.Errorf("detect: infected netlist has fewer outputs than golden")
 	}
 
-	batch := gp.Patterns()
+	// The golden and infected circuits go through the context's
+	// simulation service as two blocks per batch. Each Read copies only
+	// the words the comparison needs (output drivers and the trigger
+	// net), masked to the batch's live patterns, so the outcome is
+	// byte-identical no matter where the blocks execute or what stale
+	// lanes sit beside them in a shared engine.
+	svc := sim.ServiceFor(ctx)
+	gOut := make([]uint64, nOuts*words)
+	iOut := make([]uint64, nOuts*words)
+	trig := make([]uint64, words)
+
+	batch := 64 * words
 	ctxDone := ctx.Done()
 	for base := 0; base < len(ts.Vectors); base += batch {
 		select {
@@ -195,20 +193,70 @@ func EvaluateContext(ctx context.Context, tgt Target, ts *TestSet, cfg EvalConfi
 		if count > batch {
 			count = batch
 		}
-		for j, id := range ts.Inputs {
-			for p := 0; p < count; p++ {
-				v := ts.Vectors[base+p][j]
-				gp.SetBit(id, p, v)
-				// Infected shares IDs with golden for all original gates.
-				ip.SetBit(id, p, v)
+		cw := (count + 63) / 64 // live words this batch
+		tailMask := ^uint64(0)
+		if rem := count % 64; rem != 0 {
+			tailMask = (uint64(1) << uint(rem)) - 1
+		}
+		mask := func(w int, word uint64) uint64 {
+			if w == cw-1 {
+				return word & tailMask
+			}
+			return word
+		}
+		// Inputs load identically into both circuits: the infected
+		// netlist shares IDs with golden for all original gates.
+		fill := func(b sim.Block) {
+			for j, id := range ts.Inputs {
+				for w := 0; w < cw; w++ {
+					var word uint64
+					lim := count - w*64
+					if lim > 64 {
+						lim = 64
+					}
+					for p := 0; p < lim; p++ {
+						if ts.Vectors[base+w*64+p][j] {
+							word |= 1 << uint(p)
+						}
+					}
+					b.SetWord(id, w, word)
+				}
 			}
 		}
-		gp.Run()
-		ip.Run()
+		if err := svc.Simulate(ctx, &sim.Request{
+			Netlist: tgt.Golden, Words: words, Workers: cfg.Workers,
+			Fill: fill,
+			Read: func(b sim.Block) {
+				for k, g := range goldenOuts {
+					for w := 0; w < cw; w++ {
+						gOut[k*words+w] = mask(w, b.Word(g, w))
+					}
+				}
+			},
+		}); err != nil {
+			return out, err
+		}
+		if err := svc.Simulate(ctx, &sim.Request{
+			Netlist: tgt.Infected, Words: words, Workers: cfg.Workers,
+			Fill: fill,
+			Read: func(b sim.Block) {
+				for k := 0; k < nOuts; k++ {
+					i := infectedOuts[k]
+					for w := 0; w < cw; w++ {
+						iOut[k*words+w] = mask(w, b.Word(i, w))
+					}
+				}
+				for w := 0; w < cw; w++ {
+					trig[w] = mask(w, b.Word(tgt.TriggerOut, w))
+				}
+			},
+		}); err != nil {
+			return out, err
+		}
 
 		if !out.Triggered {
 			for p := 0; p < count; p++ {
-				bit := ip.Bit(tgt.TriggerOut, p)
+				bit := trig[p/64]&(1<<uint(p%64)) != 0
 				if (bit && tgt.Activation == 1) || (!bit && tgt.Activation == 0) {
 					out.Triggered = true
 					out.FirstTrigger = base + p
@@ -219,19 +267,14 @@ func EvaluateContext(ctx context.Context, tgt Target, ts *TestSet, cfg EvalConfi
 		if !out.Detected {
 		scan:
 			for k := 0; k < nOuts; k++ {
-				g, i := goldenOuts[k], infectedOuts[k]
-				for w := 0; w < words; w++ {
-					diff := gp.Word(g, w) ^ ip.Word(i, w)
+				for w := 0; w < cw; w++ {
+					diff := gOut[k*words+w] ^ iOut[k*words+w]
 					if diff == 0 {
 						continue
 					}
-					for p := w * 64; p < count; p++ {
-						if gp.Bit(g, p) != ip.Bit(i, p) {
-							out.Detected = true
-							out.FirstDetect = base + p
-							break scan
-						}
-					}
+					out.Detected = true
+					out.FirstDetect = base + w*64 + bits.TrailingZeros64(diff)
+					break scan
 				}
 			}
 		}

@@ -20,6 +20,7 @@ import (
 	"cghti/internal/chaos"
 	"cghti/internal/netlist"
 	"cghti/internal/obs"
+	"cghti/internal/sim"
 	"cghti/internal/stage"
 )
 
@@ -131,6 +132,53 @@ func (s *Simulator) SetInputs(vectors [][]bool) int {
 
 func (s *Simulator) evalGood() {
 	evalImage(s.n, s.topo, s.words, s.good, nil)
+}
+
+// setInputsService is SetInputs with the good-circuit image computed
+// through the context's simulation service instead of the local
+// evalImage walk: the pattern load and the full post-simulation image
+// are shuttled through one Block, so under the serving daemon the
+// good-image runs of many concurrent coverage jobs share wide engines.
+// Input words beyond the loaded count are zeroed exactly as SetInputs
+// zeroes them, and the packed kernels compute the same two-valued
+// logic evalImage computes, so the resulting image — and every
+// DetectMask derived from it — is byte-identical to the local path.
+func (s *Simulator) setInputsService(ctx context.Context, svc sim.Service, vectors [][]bool) (int, error) {
+	inputs := s.n.CombInputs()
+	count := len(vectors)
+	if count > s.Patterns() {
+		count = s.Patterns()
+	}
+	W := s.words
+	err := svc.Simulate(ctx, &sim.Request{
+		Netlist: s.n,
+		Words:   W,
+		Fill: func(b sim.Block) {
+			for j, id := range inputs {
+				for w := 0; w < W; w++ {
+					var word uint64
+					for p := w * 64; p < count && p < (w+1)*64; p++ {
+						if vectors[p][j] {
+							word |= 1 << uint(p%64)
+						}
+					}
+					b.SetWord(id, w, word)
+				}
+			}
+		},
+		Read: func(b sim.Block) {
+			for g := range s.n.Gates {
+				base := g * W
+				for w := 0; w < W; w++ {
+					s.good[base+w] = b.Word(netlist.GateID(g), w)
+				}
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return count, nil
 }
 
 // DetectMask simulates one fault against the currently loaded patterns
@@ -315,6 +363,7 @@ func RunContext(ctx context.Context, n *netlist.Netlist, vectors [][]bool, fault
 	for len(sims) < workers {
 		sims = append(sims, s.Fork())
 	}
+	svc := sim.ServiceFor(ctx)
 	ctxDone := ctx.Done()
 	firsts := make([]int, len(faults))
 	remaining := append([]Fault(nil), faults...)
@@ -336,7 +385,10 @@ func RunContext(ctx context.Context, n *netlist.Netlist, vectors [][]bool, fault
 			if hi > len(vectors) {
 				hi = len(vectors)
 			}
-			count := s.SetInputs(vectors[base:hi])
+			count, err := s.setInputsService(ctx, svc, vectors[base:hi])
+			if err != nil {
+				return err
+			}
 			if workers == 1 || len(remaining) < 2 {
 				for i, f := range remaining {
 					firsts[i] = firstSetBit(s.DetectMask(f), count)

@@ -31,6 +31,7 @@ import (
 	"cghti/internal/artifact"
 	"cghti/internal/journal"
 	"cghti/internal/obs"
+	"cghti/internal/sim"
 )
 
 // Server metrics live in the process default registry: the daemon's own
@@ -105,6 +106,15 @@ type Config struct {
 	// CompactEvery triggers a background journal compaction after this
 	// many terminal jobs (DefaultCompactEvery if 0).
 	CompactEvery int
+	// SimBatchWords is the shared simulation engine width in 64-pattern
+	// words: every job's pattern blocks are multiplexed onto one
+	// process-wide batching service (sim.Batcher), so concurrent jobs
+	// targeting the same circuit structure pack into the idle bit-lanes
+	// of one engine instead of each running a mostly-empty one. 0 uses
+	// sim.DefaultEngineWords; negative disables batching (each block
+	// gets an exclusive pooled engine, the pre-batching behavior).
+	// Results are bit-identical either way.
+	SimBatchWords int
 }
 
 func (c Config) withDefaults() Config {
@@ -234,13 +244,17 @@ type Server struct {
 	nextID  atomic.Int64
 	started time.Time
 	snap0   obs.Snapshot
+
+	// batcher is the process-wide batching simulation service every
+	// job's context carries (nil when Config.SimBatchWords < 0).
+	batcher *sim.Batcher
 }
 
 // New builds a Server; no goroutines run until Start.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	gaugeQueueCap.Set(int64(cfg.QueueDepth))
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		drainCh: make(chan struct{}),
@@ -249,6 +263,13 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		snap0:   obs.Default().Snapshot(),
 	}
+	if cfg.SimBatchWords >= 0 {
+		s.batcher = sim.NewBatcher(sim.BatcherConfig{
+			EngineWords: cfg.SimBatchWords, // 0 -> sim.DefaultEngineWords
+			Workers:     cfg.JobWorkers,
+		})
+	}
+	return s
 }
 
 // Cache returns the artifact store shared by every job.
@@ -304,6 +325,13 @@ func (s *Server) runJob(j *Job) {
 	trace := obs.NewTrace()
 	ctx, cancel := context.WithCancel(context.Background())
 	ctx = obs.WithRegistry(ctx, reg)
+	// Route the job's simulation blocks through the shared batching
+	// service, keyed by job ID for fair-share packing. Canceling the job
+	// context withdraws its still-queued blocks from the batcher.
+	if s.batcher != nil {
+		ctx = sim.WithService(ctx, s.batcher)
+		ctx = sim.WithJobKey(ctx, j.ID)
+	}
 
 	s.mu.Lock()
 	if j.Status != StatusQueued { // canceled while queued
@@ -589,6 +617,12 @@ func (s *Server) Drain(ctx context.Context) *obs.Report {
 		}
 		s.mu.Unlock()
 		<-done
+	}
+
+	// All workers have exited; no job can submit more blocks, so the
+	// shared simulation service can release its engines.
+	if s.batcher != nil {
+		s.batcher.Close()
 	}
 
 	// No worker is pulling anymore; everything left in the queue never

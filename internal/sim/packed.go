@@ -5,9 +5,13 @@
 //   - Packed: 64-way bit-parallel two-valued simulation (one pattern per
 //     bit of a machine word), the workhorse for the 10,000-vector
 //     functional simulation the paper uses to find rare nodes. The
-//     engine compiles the netlist into per-gate-type specialized word
-//     kernels (kernel.go) and can shard pattern-word blocks across
-//     goroutines — results are bit-identical for any worker count;
+//     engine is a cheap lease over an immutable compiled Program shared
+//     through a structural-fingerprint registry (program.go): identical
+//     structures — the same netlist, a renamed reparse, an isomorphic
+//     partition cone — compile once and share one op list, while each
+//     lease owns its value words and meters. Runs shard pattern words
+//     across goroutines, or split level bands across cores when the
+//     batch is too narrow to shard — bit-identical either way;
 //   - Eval: a scalar reference evaluator, used by tests to pin Packed;
 //   - three-valued (0/1/X) cube simulation in threeval.go, used to prove
 //     that a merged trigger cube excites every clique member;
@@ -17,7 +21,9 @@
 // Callers that simulate in rounds (rare extraction, MERO scoring,
 // detection sampling) should recycle engines through AcquirePacked /
 // ReleasePacked (pool.go) instead of rebuilding the per-gate word
-// arrays every round.
+// arrays every round; batch-oriented callers should go through the
+// Service interface (service.go), which lets the daemon multiplex
+// pattern blocks from many jobs onto one engine.
 package sim
 
 import (
@@ -39,6 +45,7 @@ type meters struct {
 	packedRuns    *obs.Counter
 	packedVectors *obs.Counter
 	packedShards  *obs.Counter
+	levelRuns     *obs.Counter
 	eventProps    *obs.Counter
 	runTime       *obs.Histogram
 }
@@ -55,6 +62,7 @@ func newMeters(r *obs.Registry) *meters {
 		packedRuns:    r.Counter("sim.packed_runs"),
 		packedVectors: r.Counter("sim.packed_vectors"),
 		packedShards:  r.Counter("sim.packed_shards"),
+		levelRuns:     r.Counter("sim.level_parallel_runs"),
 		eventProps:    r.Counter("sim.event_propagations"),
 		runTime:       r.Histogram("sim.packed_run_time"),
 	}
@@ -72,21 +80,30 @@ const minShardWords = 8
 // 64 independent patterns; a Packed with W words simulates 64*W patterns
 // per Run.
 //
+// A Packed is a lease over a shared immutable Program: prog (and its op
+// list) may be shared with any number of other engines simulating the
+// same structure concurrently, while vals, the word/worker shape and
+// the meters are private to this lease. slot maps the caller's gate IDs
+// onto program rows when the engine was mapped onto an isomorph's
+// program; nil means the identity (the common case), which keeps the
+// accessor fast path a plain index.
+//
 // DFF gates are combinational sources: their word values are state, set
 // either by SetWord/Randomize (full-scan view, the default for all
 // rare-node work) or latched from their data input by Step (sequential
 // view).
 type Packed struct {
-	n        *netlist.Netlist // pooling identity; nil for Compact-built engines
-	prog     []op
-	words    int
-	workers  int
-	met      *meters
-	vals     []uint64 // gate g, word w -> vals[int(g)*words+w]
-	numGates int
-	inputs   []netlist.GateID // CombInputs order, captured once at build
-	dffs     []netlist.GateID
-	dffSrc   []netlist.GateID // data driver per DFF; InvalidGate if absent
+	n       *netlist.Netlist // pooling identity; nil for Compact-built engines
+	prog    *Program
+	slot    []int32 // caller gate -> program row; nil = identity
+	words   int
+	workers int
+	met     *meters
+	vals    []uint64         // program row r, word w -> vals[int(r)*words+w]
+	inputs  []netlist.GateID // CombInputs order (caller IDs), captured once at build
+	dffs    []netlist.GateID
+	dffSrc  []netlist.GateID // data driver per DFF; InvalidGate if absent
+	closed  bool
 }
 
 // NewPacked builds a serial simulator for n with the given number of
@@ -106,7 +123,9 @@ func NewPackedWorkers(n *netlist.Netlist, words, workers int) (*Packed, error) {
 		return nil, err
 	}
 	// The kernel compiler consumes the arena form; the conversion is a
-	// one-time O(gates+wires) flattening, amortized by engine pooling.
+	// one-time O(gates+wires) flattening, amortized by engine pooling
+	// and by the shared-program registry (a structure seen before skips
+	// the compile entirely).
 	p, err := NewPackedCompact(netlist.CompactOf(n), words, workers)
 	if err != nil {
 		return nil, err
@@ -117,24 +136,27 @@ func NewPackedWorkers(n *netlist.Netlist, words, workers int) (*Packed, error) {
 
 // NewPackedCompact builds a simulator directly from the arena form —
 // the construction path for streamed million-gate netlists, which never
-// materialize a pointer-form Netlist. Engines built this way are not
-// recycled by AcquirePacked (pool identity is the *Netlist).
+// materialize a pointer-form Netlist. The compiled program comes from
+// the shared registry: if an engine for a structurally identical
+// netlist was built before, the op list is reused instead of
+// recompiled. Engines built this way are not recycled by AcquirePacked
+// (pool identity is the *Netlist).
 func NewPackedCompact(c *netlist.Compact, words, workers int) (*Packed, error) {
 	if words < 1 {
 		return nil, fmt.Errorf("sim: words must be >= 1, got %d", words)
 	}
-	topo, err := c.TopoOrder()
+	prog, slot, err := sharedProgram(c)
 	if err != nil {
 		return nil, err
 	}
 	p := &Packed{
-		prog:     compileProgram(c, topo),
-		words:    words,
-		met:      defaultMeters,
-		vals:     make([]uint64, c.NumGates()*words),
-		numGates: c.NumGates(),
-		inputs:   c.CombInputs(),
-		dffs:     append([]netlist.GateID(nil), c.DFFs...),
+		prog:   prog,
+		slot:   slot,
+		words:  words,
+		met:    defaultMeters,
+		vals:   make([]uint64, prog.numGates*words),
+		inputs: c.CombInputs(),
+		dffs:   append([]netlist.GateID(nil), c.DFFs...),
 	}
 	p.dffSrc = make([]netlist.GateID, len(p.dffs))
 	for i, d := range p.dffs {
@@ -145,6 +167,29 @@ func NewPackedCompact(c *netlist.Compact, words, workers int) (*Packed, error) {
 	}
 	p.SetWorkers(workers)
 	return p, nil
+}
+
+// Close releases the engine's reference on its shared program. The
+// engine must not be used afterwards. Optional but recommended for
+// engines that bypass the pool: unreferenced programs are preferred
+// when the registry evicts. Safe to call twice or on nil.
+func (p *Packed) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	releaseProgram(p.prog)
+}
+
+// Program returns the shared compiled program backing this lease.
+func (p *Packed) Program() *Program { return p.prog }
+
+// row maps a caller gate ID to its program row.
+func (p *Packed) row(id netlist.GateID) int {
+	if p.slot == nil {
+		return int(id)
+	}
+	return int(p.slot[id])
 }
 
 // Words returns the number of 64-pattern words per gate.
@@ -177,17 +222,17 @@ func (p *Packed) SetRegistry(r *obs.Registry) { p.met = metersFor(r) }
 
 // SetWord sets the pattern word w of gate id (a PI or DFF).
 func (p *Packed) SetWord(id netlist.GateID, w int, bits uint64) {
-	p.vals[int(id)*p.words+w] = bits
+	p.vals[p.row(id)*p.words+w] = bits
 }
 
 // Word returns pattern word w of gate id after Run.
 func (p *Packed) Word(id netlist.GateID, w int) uint64 {
-	return p.vals[int(id)*p.words+w]
+	return p.vals[p.row(id)*p.words+w]
 }
 
 // SetBit sets pattern pat (0 <= pat < Patterns) of gate id.
 func (p *Packed) SetBit(id netlist.GateID, pat int, v bool) {
-	idx := int(id)*p.words + pat/64
+	idx := p.row(id)*p.words + pat/64
 	mask := uint64(1) << uint(pat%64)
 	if v {
 		p.vals[idx] |= mask
@@ -198,16 +243,17 @@ func (p *Packed) SetBit(id netlist.GateID, pat int, v bool) {
 
 // Bit returns pattern pat of gate id.
 func (p *Packed) Bit(id netlist.GateID, pat int) bool {
-	return p.vals[int(id)*p.words+pat/64]&(1<<uint(pat%64)) != 0
+	return p.vals[p.row(id)*p.words+pat/64]&(1<<uint(pat%64)) != 0
 }
 
 // Randomize fills every combinational input (PIs and DFF state) with
 // uniform random patterns from rng. The fill order is fixed
 // (CombInputs order, word-ascending) so the drawn pattern set depends
-// only on the rng state, never on the worker count.
+// only on the rng state, never on the worker count or on which shared
+// program the lease landed on.
 func (p *Packed) Randomize(rng *rand.Rand) {
 	for _, id := range p.inputs {
-		base := int(id) * p.words
+		base := p.row(id) * p.words
 		for w := 0; w < p.words; w++ {
 			p.vals[base+w] = rng.Uint64()
 		}
@@ -216,9 +262,11 @@ func (p *Packed) Randomize(rng *rand.Rand) {
 
 // Run propagates the current input/state words through the combinational
 // logic. With a worker budget > 1 and enough words, the word range is
-// split into contiguous blocks simulated concurrently; every word is
-// computed by the same compiled kernel sequence either way, so the
-// output is bit-identical for any worker count.
+// split into contiguous blocks simulated concurrently; when the batch
+// is too narrow to shard but the program is deep, level bands split
+// across the workers instead. Every word is computed by the same
+// compiled kernel sequence either way, so the output is bit-identical
+// for any worker count and either parallel strategy.
 // A Run's wall time also lands in the sim.packed_run_time histogram —
 // one time.Now pair per 64*Words-pattern batch, amortized like the
 // bulk counter adds.
@@ -228,12 +276,30 @@ func (p *Packed) Run() {
 	p.met.runTime.Observe(time.Since(start))
 }
 
-func (p *Packed) run() {
+func (p *Packed) run() { p.runWords(p.words) }
+
+// runWords propagates only the first live pattern words through the
+// logic — the batching service's partial-cycle path: blocks pack
+// contiguously from word 0, so a half-filled shared engine costs half
+// an engine run, not a full one. Words beyond live keep whatever stale
+// values they held. live == p.words is exactly Run.
+func (p *Packed) runWords(live int) {
+	if live > p.words {
+		live = p.words
+	}
 	p.met.packedRuns.Inc()
-	p.met.packedVectors.Add(int64(64 * p.words))
-	shards := p.shardCount()
+	p.met.packedVectors.Add(int64(64 * live))
+	shards := p.shardCount(live)
 	if shards <= 1 {
-		runProgram(p.prog, p.vals, p.words, 0, p.words)
+		// Word-sharding can't engage (narrow batch). On a big program
+		// with a worker budget, cut along level bands instead: one
+		// giant netlist's levels split across cores (see program.go).
+		if p.workers > 1 && p.prog.levelEnd != nil && len(p.prog.ops) >= levelParMinOps {
+			p.met.levelRuns.Inc()
+			runProgramLevels(p.prog.ops, p.prog.levelEnd, p.vals, p.words, live, p.workers)
+			return
+		}
+		runProgram(p.prog.ops, p.vals, p.words, 0, live)
 		return
 	}
 	p.met.packedShards.Add(int64(shards))
@@ -246,8 +312,8 @@ func (p *Packed) run() {
 	var panicOnce sync.Once
 	var panicVal any
 	for s := 0; s < shards; s++ {
-		lo := s * p.words / shards
-		hi := (s + 1) * p.words / shards
+		lo := s * live / shards
+		hi := (s + 1) * live / shards
 		if lo == hi {
 			continue
 		}
@@ -259,7 +325,7 @@ func (p *Packed) run() {
 					panicOnce.Do(func() { panicVal = r })
 				}
 			}()
-			runProgram(p.prog, p.vals, p.words, lo, hi)
+			runProgram(p.prog.ops, p.vals, p.words, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -268,12 +334,12 @@ func (p *Packed) run() {
 	}
 }
 
-// shardCount resolves the effective shard count for Run: never more
-// than the worker budget, and never so many that a shard drops below
-// minShardWords.
-func (p *Packed) shardCount() int {
+// shardCount resolves the effective shard count for a run over live
+// words: never more than the worker budget, and never so many that a
+// shard drops below minShardWords.
+func (p *Packed) shardCount(live int) int {
 	shards := p.workers
-	if max := p.words / minShardWords; shards > max {
+	if max := live / minShardWords; shards > max {
 		shards = max
 	}
 	return shards
@@ -288,8 +354,8 @@ func (p *Packed) Step() {
 		if p.dffSrc[i] == netlist.InvalidGate {
 			continue
 		}
-		src := int(p.dffSrc[i]) * W
-		dst := int(d) * W
+		src := p.row(p.dffSrc[i]) * W
+		dst := p.row(d) * W
 		copy(p.vals[dst:dst+W], p.vals[src:src+W])
 	}
 }
@@ -301,8 +367,8 @@ func (p *Packed) CountOnes(counts []int64, limit int) {
 	W := p.words
 	fullWords := limit / 64
 	remBits := limit % 64
-	for g := 0; g < p.numGates; g++ {
-		base := g * W
+	for g := 0; g < p.prog.numGates; g++ {
+		base := p.row(netlist.GateID(g)) * W
 		var c int
 		for w := 0; w < fullWords; w++ {
 			c += bits.OnesCount64(p.vals[base+w])

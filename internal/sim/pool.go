@@ -7,17 +7,27 @@ import (
 )
 
 // Engine pooling. Building a Packed costs a topological sort, a program
-// compile and a len(gates)*words word array; callers that simulate in
-// rounds (rare extraction batches, MERO pool scoring, the per-target
-// loop of detection evaluation) would otherwise pay that on every
-// round. AcquirePacked recycles engines per (netlist, words) pair.
+// compile (or a registry hit) and a len(gates)*words word array; callers
+// that simulate in rounds (rare extraction batches, MERO pool scoring,
+// the per-target loop of detection evaluation) would otherwise pay that
+// on every round. AcquirePacked recycles engines per (netlist, words)
+// pair.
 //
 // The pool is bounded: at most poolPerKey idle engines per key and
-// poolMaxKeys keys; beyond that, releases are dropped and acquires
-// build fresh engines. Pooled engines keep their stale word values —
-// callers must fully set the inputs they read back (Randomize and the
-// batch loaders all do), exactly as they must between two Runs of a
-// long-lived engine.
+// poolMaxKeys keys; beyond that, releases are dropped (closing the
+// engine's program lease) and acquires build fresh engines. Pooled
+// engines keep their stale word values — callers must fully set the
+// inputs they read back (Randomize and the batch loaders all do),
+// exactly as they must between two Runs of a long-lived engine.
+//
+// Staleness: the pool key is the *Netlist pointer, but a netlist can be
+// mutated in place after an engine was pooled for it (trojan insertion
+// adds gates to the very netlist a pre-insertion extraction simulated).
+// A pooled engine whose program was compiled for the old shape would
+// index out of range — or worse, silently simulate the old logic — so
+// AcquirePacked validates the engine's compiled shape (gate count, edge
+// count, word count) against the netlist as it is now and recompiles on
+// any mismatch instead of returning the stale engine.
 
 const (
 	poolPerKey  = 4
@@ -34,9 +44,27 @@ var packedPool = struct {
 	free map[poolKey][]*Packed
 }{free: make(map[poolKey][]*Packed)}
 
+// stale reports whether the engine's compiled program no longer matches
+// the netlist's current shape (or the requested word count). Gate and
+// edge counts are O(gates) to recount and catch every structural
+// mutation that changes the arena layout — the failure mode that turns
+// a stale program into out-of-range indexing.
+func (p *Packed) stale(n *netlist.Netlist, words int) bool {
+	if p.words != words || p.prog.numGates != len(n.Gates) {
+		return true
+	}
+	edges := 0
+	for i := range n.Gates {
+		edges += len(n.Gates[i].Fanin)
+	}
+	return p.prog.numEdges != edges
+}
+
 // AcquirePacked returns a pooled engine for (n, words), building one if
-// the pool has none. The engine comes back with a serial worker budget;
-// call SetWorkers to shard. Pass it to ReleasePacked when done.
+// the pool has none or the pooled engine's program was compiled for a
+// different shape of n (see staleness note above). The engine comes
+// back with a serial worker budget; call SetWorkers to shard. Pass it
+// to ReleasePacked when done.
 func AcquirePacked(n *netlist.Netlist, words int) (*Packed, error) {
 	packedPool.Lock()
 	key := poolKey{n: n, words: words}
@@ -44,6 +72,10 @@ func AcquirePacked(n *netlist.Netlist, words int) (*Packed, error) {
 		p := list[len(list)-1]
 		packedPool.free[key] = list[:len(list)-1]
 		packedPool.Unlock()
+		if p.stale(n, words) {
+			p.Close()
+			return NewPacked(n, words)
+		}
 		p.SetWorkers(1)
 		// A pooled engine may have been released by a run with a scoped
 		// registry; reset so its counters never leak into another run.
@@ -55,6 +87,8 @@ func AcquirePacked(n *netlist.Netlist, words int) (*Packed, error) {
 }
 
 // ReleasePacked returns an engine to the pool. Safe to call with nil.
+// Engines the pool cannot hold are closed (their shared-program lease
+// is released).
 func ReleasePacked(p *Packed) {
 	if p == nil {
 		return
@@ -64,12 +98,18 @@ func ReleasePacked(p *Packed) {
 	key := poolKey{n: p.n, words: p.words}
 	list := packedPool.free[key]
 	if len(list) >= poolPerKey {
+		p.Close()
 		return
 	}
 	if _, ok := packedPool.free[key]; !ok && len(packedPool.free) >= poolMaxKeys {
 		// Too many distinct netlists cached (e.g. a long Table-2 sweep
 		// over hundreds of infected circuits): drop everything rather
 		// than pinning dead netlists in memory.
+		for _, l := range packedPool.free {
+			for _, q := range l {
+				q.Close()
+			}
+		}
 		packedPool.free = make(map[poolKey][]*Packed)
 		list = nil
 	}
@@ -77,9 +117,15 @@ func ReleasePacked(p *Packed) {
 }
 
 // DrainPackedPool empties the engine pool (used by tests and
-// memory-sensitive callers).
+// memory-sensitive callers), closing every pooled engine's program
+// lease.
 func DrainPackedPool() {
 	packedPool.Lock()
 	defer packedPool.Unlock()
+	for _, l := range packedPool.free {
+		for _, q := range l {
+			q.Close()
+		}
+	}
 	packedPool.free = make(map[poolKey][]*Packed)
 }

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+
+	"cghti/internal/netlist"
+	"cghti/internal/obs"
+)
+
+// Service is the simulation submission interface the pipeline layers
+// program against: instead of constructing engines, a caller describes
+// one pattern block — which netlist, how many 64-pattern words, how to
+// fill the input words and how to read the results — and the service
+// decides where it executes. Two implementations exist:
+//
+//   - Exclusive (the default, and what ServiceFor returns for a bare
+//     context): each block runs on a pooled engine owned by the caller
+//     for the duration of the call. This is exactly the pre-service
+//     behavior, with the engine pool and shared-program registry
+//     underneath.
+//   - Batcher (batcher.go): blocks from many callers — different jobs
+//     in the serving daemon — are packed side by side into the word
+//     range of one wide engine per compiled program, so concurrent
+//     small jobs fill the idle bit-lanes instead of each running a
+//     mostly-empty engine.
+//
+// Results are bit-identical across implementations and any batching
+// arrangement: a block's Fill and Read see only its own word window,
+// every word is computed by the same compiled kernel sequence wherever
+// it lands, and the fill order (and therefore any RNG draw order) is
+// the caller's own.
+type Service interface {
+	// Simulate executes one pattern block: Fill is called with a
+	// writable block of Words() == req.Words, the block is simulated,
+	// and Read is called with the results. Fill and Read run on the
+	// service's goroutine and must not retain the Block. Returns
+	// ctx.Err() when the context is canceled before the block ran
+	// (after Fill was called the block may still execute).
+	Simulate(ctx context.Context, req *Request) error
+}
+
+// Request describes one pattern block.
+type Request struct {
+	// Netlist is the circuit to simulate. Gate IDs passed to the Block
+	// accessors are this netlist's IDs, wherever the block executes.
+	Netlist *netlist.Netlist
+	// Words is the block width in 64-pattern words (>= 1).
+	Words int
+	// Workers is the engine goroutine budget used when the block runs
+	// on an exclusive engine (1 = serial, 0 = GOMAXPROCS). A batching
+	// service may ignore it — parallelism there comes from packing
+	// blocks side by side.
+	Workers int
+	// Fill loads the block's input/state words. Required.
+	Fill func(Block)
+	// Read extracts results after simulation. Required.
+	Read func(Block)
+}
+
+// Block is the view of a pattern block a Request's Fill and Read
+// callbacks operate on. Gate IDs are the request netlist's IDs; word
+// indexes are block-relative (0 <= w < Words). A block's words may be a
+// window into a wider shared engine — neighbouring words belong to
+// other callers and are never visible here.
+type Block interface {
+	// Words is the block width in 64-pattern words.
+	Words() int
+	// Patterns is 64 * Words.
+	Patterns() int
+	// SetWord sets pattern word w of gate id (a PI or DFF).
+	SetWord(id netlist.GateID, w int, bits uint64)
+	// Word returns pattern word w of gate id after simulation.
+	Word(id netlist.GateID, w int) uint64
+	// SetBit sets pattern pat (0 <= pat < Patterns) of gate id.
+	SetBit(id netlist.GateID, pat int, v bool)
+	// Bit returns pattern pat of gate id.
+	Bit(id netlist.GateID, pat int) bool
+	// CountOnes adds each gate's one-count over the first limit
+	// patterns into counts (indexed by gate ID).
+	CountOnes(counts []int64, limit int)
+}
+
+// *Packed implements Block directly: an exclusive engine is its own
+// one-caller block.
+var _ Block = (*Packed)(nil)
+
+// FillRandom fills every gate in inputs with uniform random words from
+// rng, in input order, word-ascending — the same fixed draw order as
+// Packed.Randomize, so a service submission draws exactly the vectors
+// the direct engine path drew.
+func FillRandom(b Block, inputs []netlist.GateID, rng *rand.Rand) {
+	words := b.Words()
+	for _, id := range inputs {
+		for w := 0; w < words; w++ {
+			b.SetWord(id, w, rng.Uint64())
+		}
+	}
+}
+
+// Exclusive is the default Service: every block gets a pooled engine of
+// its own for the duration of the call. The zero value is ready to use.
+type Exclusive struct{}
+
+// Simulate runs the block on a pooled engine, attributing simulation
+// metrics to the registry carried by ctx (per-run scoping).
+func (Exclusive) Simulate(ctx context.Context, req *Request) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p, err := AcquirePacked(req.Netlist, req.Words)
+	if err != nil {
+		return err
+	}
+	defer ReleasePacked(p)
+	p.SetWorkers(req.Workers)
+	p.SetRegistry(obs.FromContext(ctx))
+	req.Fill(p)
+	p.Run()
+	req.Read(p)
+	return nil
+}
+
+type serviceCtxKey struct{}
+
+// WithService returns a context whose simulation submissions route to
+// s. The serving daemon mounts its process-wide batching service this
+// way; library callers normally leave the context bare and get the
+// exclusive pooled path.
+func WithService(ctx context.Context, s Service) context.Context {
+	return context.WithValue(ctx, serviceCtxKey{}, s)
+}
+
+// ServiceFor returns the Service carried by ctx, or the default
+// Exclusive service.
+func ServiceFor(ctx context.Context) Service {
+	if s, ok := ctx.Value(serviceCtxKey{}).(Service); ok && s != nil {
+		return s
+	}
+	return Exclusive{}
+}
+
+type jobKeyCtxKey struct{}
+
+// WithJobKey tags ctx with a fair-share scheduling key. A batching
+// service packs at most one queued block per key into each engine
+// cycle, so one huge job cannot starve concurrent small ones. The
+// daemon uses the job ID; an empty key (bare context) is its own
+// class.
+func WithJobKey(ctx context.Context, key string) context.Context {
+	return context.WithValue(ctx, jobKeyCtxKey{}, key)
+}
+
+// JobKeyFor returns the fair-share key carried by ctx ("" if none).
+func JobKeyFor(ctx context.Context) string {
+	if k, ok := ctx.Value(jobKeyCtxKey{}).(string); ok {
+		return k
+	}
+	return ""
+}
