@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race fuzz modcheck smoke scalesmoke recoversmoke batchsmoke bench benchall
+.PHONY: ci build vet fmt test race fuzz modcheck smoke scalesmoke recoversmoke batchsmoke fleetsmoke bench benchall
 
-ci: build vet fmt modcheck race fuzz smoke scalesmoke recoversmoke batchsmoke
+ci: build vet fmt modcheck race fuzz smoke scalesmoke recoversmoke batchsmoke fleetsmoke
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,15 @@ recoversmoke:
 batchsmoke:
 	$(GO) test -race -run '^TestBatchSmoke$$' -count=1 -timeout 5m ./internal/serve
 
+# Two-process fleet drill: build htserved, start two peered daemons,
+# and require the fleet contracts over real process boundaries — one
+# Idempotency-Key submitted to both nodes lands on one job at the ring
+# owner, a forced-local rerun on the cold node hits the remote artifact
+# tier, and both drain cleanly on SIGTERM. Always -count=1 so the
+# cross-process paths are actually executed.
+fleetsmoke:
+	$(GO) test -run '^TestFleetSmoke$$' -count=1 -timeout 5m ./cmd/htserved
+
 # Simulation/pipeline benchmarks, recorded as BENCH_sim.json so runs
 # can be committed and diffed (see cmd/benchjson). The artifact-cache
 # benchmark (cold vs warm Generate) lands in its own BENCH_pipeline.json
@@ -90,6 +99,7 @@ bench:
 	$(GO) run ./cmd/htload -jobs 120 -concurrency 8 -out BENCH_serve.json
 	$(GO) run ./cmd/htload -mixed -jobs 96 -concurrency 8 -sim-batch-words -1 -append -out BENCH_serve.json
 	$(GO) run ./cmd/htload -mixed -jobs 96 -concurrency 8 -append -out BENCH_serve.json
+	$(GO) run ./cmd/htload -fleet 3 -mixed -jobs 96 -concurrency 8 -append -out BENCH_serve.json
 	@echo "wrote BENCH_serve.json"
 	$(GO) test -run '^$$' -bench 'Scale' -benchtime 1x -benchmem -timeout 60m . | $(GO) run ./cmd/benchjson -out BENCH_scale.json
 	@echo "wrote BENCH_scale.json"

@@ -20,6 +20,14 @@
 // off and retries, so the daemon's bounded queue shapes the arrival
 // rate exactly as it would for a real client fleet.
 //
+// With -fleet N (self-hosted only) htload boots N peered nodes and
+// round-robins submissions over them: non-owner nodes forward by the
+// consistent-hash ring, forwarded jobs are awaited at the node the
+// X-Cghti-Owner response header names, and the recorded leg gains
+// forwarded_jobs / remote_artifact_hits / forward_fallbacks metrics.
+// Pair it with -mixed — the ring shards by netlist fingerprint, so a
+// single-circuit fleet run funnels every job to one owner.
+//
 // With -crash-retry each submit carries a deterministic Idempotency-Key
 // and transport errors retry the whole submit/await loop instead of
 // failing the job — pointed at a journaled htserved that is being
@@ -80,6 +88,13 @@ type loadConfig struct {
 	// through transport errors (a daemon restart mid-run), relying on
 	// the daemon's dedupe for exactly-once submission.
 	CrashRetry bool
+	// Fleet self-hosts this many peered nodes instead of one (ignored
+	// with -addr): submissions round-robin over the fleet, non-owner
+	// nodes forward by the consistent-hash ring, and the run records
+	// forwarded-job and remote-artifact-tier activity. Pairs naturally
+	// with -mixed — the ring shards by netlist fingerprint, so a
+	// single-circuit fleet run funnels every job to one owner.
+	Fleet int
 }
 
 // jsonResult mirrors cmd/benchjson's Result so BENCH_serve.json diffs
@@ -119,6 +134,7 @@ func main() {
 		mixed       = flag.Bool("mixed", false, "fleet workload: jobs round-robin over a few base circuits (ignores -circuit); records lane_fill and patterns/s-per-core")
 		batchWords  = flag.Int("sim-batch-words", 0, "self-hosted daemon's shared engine width (0 = default, negative = exclusive engines; ignored with -addr)")
 		appendOut   = flag.Bool("append", false, "append this run's result to an existing -out file instead of replacing it")
+		fleet       = flag.Int("fleet", 0, "self-host this many peered nodes and round-robin submissions over them (ignored with -addr)")
 	)
 	flag.Parse()
 
@@ -126,7 +142,7 @@ func main() {
 		Addr: *addr, Jobs: *jobs, Concurrency: *concurrency,
 		Circuit: *circuit, Seed: *seed, Workers: *workers,
 		Queue: *queue, Timeout: *timeout, CrashRetry: *crashRetry,
-		Mixed: *mixed, SimBatchWords: *batchWords,
+		Mixed: *mixed, SimBatchWords: *batchWords, Fleet: *fleet,
 	}
 	doc, err := run(cfg)
 	if err != nil {
@@ -177,16 +193,28 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Timeout)
 	defer cancel()
 
-	base := cfg.Addr
-	if base == "" {
+	var bases []string
+	switch {
+	case cfg.Addr != "":
+		bases = []string{"http://" + cfg.Addr}
+	case cfg.Fleet > 1:
+		addrs, stop, err := selfHostFleet(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		for _, a := range addrs {
+			bases = append(bases, "http://"+a)
+		}
+	default:
 		srv, stop, err := selfHost(cfg)
 		if err != nil {
 			return nil, err
 		}
 		defer stop()
-		base = srv
+		bases = []string{"http://" + srv}
 	}
-	base = "http://" + base
+	base := bases[0] // metrics + job-status endpoint; in-process nodes share one registry
 
 	lat := make([]time.Duration, cfg.Jobs)
 	var failures atomic.Int64
@@ -203,7 +231,13 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 			defer wg.Done()
 			for i := range jobCh {
 				k := i % len(circuits)
-				d, err := runJob(ctx, client, base, circuits[k], texts[k], cfg, i, &retries, &replays)
+				// Round-robin the entry point, with a drift term so a
+				// fleet the same size as the circuit cycle still pairs
+				// every circuit with every entry node — otherwise each
+				// circuit would always enter at one fixed node and the
+				// leg would measure only one of local-owner/forwarded.
+				b := (i + i/len(circuits)) % len(bases)
+				d, err := runJob(ctx, client, bases[b], circuits[k], texts[k], cfg, i, &retries, &replays)
 				if err != nil {
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "%s: job %d: %v\n", tool, i, err)
@@ -248,6 +282,9 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 	if cfg.Addr == "" && cfg.SimBatchWords < 0 {
 		name += "/excl" // the exclusive-engine baseline leg
 	}
+	if cfg.Addr == "" && cfg.Fleet > 1 {
+		name += fmt.Sprintf("/fleet=%d", cfg.Fleet)
+	}
 	metrics := map[string]float64{
 		"p50_ms":       ms(nearestRank(ok, 0.50)),
 		"p90_ms":       ms(nearestRank(ok, 0.90)),
@@ -270,6 +307,15 @@ func run(cfg loadConfig) (*jsonDoc, error) {
 		vectors := snap1["sim.packed_vectors"] - snap0["sim.packed_vectors"]
 		if vectors > 0 {
 			metrics["patterns_per_s_per_core"] = vectors / elapsed.Seconds() / float64(runtime.NumCPU())
+		}
+		// Fleet activity: how many submissions crossed nodes, how often
+		// the sharded artifact tier paid off, and whether any forwards
+		// degraded to local execution. In-process fleet nodes share the
+		// default metrics registry, so node 0's snapshot covers them all.
+		if cfg.Addr == "" && cfg.Fleet > 1 {
+			metrics["forwarded_jobs"] = snap1["serve.forwarded_jobs"] - snap0["serve.forwarded_jobs"]
+			metrics["remote_artifact_hits"] = snap1["artifact.remote_hits"] - snap0["artifact.remote_hits"]
+			metrics["forward_fallbacks"] = snap1["serve.forward_fallbacks"] - snap0["serve.forward_fallbacks"]
 		}
 	}
 	doc := &jsonDoc{
@@ -372,6 +418,54 @@ func selfHost(cfg loadConfig) (addr string, stop func(), err error) {
 	}, nil
 }
 
+// selfHostFleet starts cfg.Fleet in-process daemons on loopback ports,
+// each advertising itself with the others as peers. All listeners are
+// bound before any Server is built so every node knows the full member
+// set up front — the rings agree from the first request.
+func selfHostFleet(cfg loadConfig) (addrs []string, stop func(), err error) {
+	n := cfg.Fleet
+	lns := make([]net.Listener, n)
+	addrs = make([]string, n)
+	for i := range lns {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			for _, prev := range lns[:i] {
+				prev.Close()
+			}
+			return nil, nil, lerr
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	srvs := make([]*serve.Server, n)
+	https := make([]*http.Server, n)
+	for i := range srvs {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		s := serve.New(serve.Config{
+			Workers: cfg.Workers, QueueDepth: cfg.Queue,
+			SimBatchWords: cfg.SimBatchWords,
+			Peers:         peers, Advertise: addrs[i],
+		})
+		s.Start()
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(lns[i])
+		srvs[i], https[i] = s, hs
+	}
+	return addrs, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for i := range srvs {
+			https[i].Shutdown(ctx)
+			srvs[i].Drain(ctx)
+		}
+	}, nil
+}
+
 // runJob submits one generate job and waits for its terminal status
 // over the SSE event stream. The returned duration is client-observed:
 // from the first submit attempt (including any 429 backoff — queue wait
@@ -465,6 +559,11 @@ func submitAndAwait(ctx context.Context, client *http.Client, base string, body 
 		}
 		if resp.StatusCode == http.StatusOK {
 			replays.Add(1)
+		}
+		// A forwarded submission names its owner: job IDs are per-node,
+		// so status and events for this job live there, not here.
+		if owner := resp.Header.Get(serve.OwnerHeader); owner != "" {
+			base = "http://" + owner
 		}
 		var sub struct {
 			ID string `json:"id"`

@@ -17,8 +17,18 @@
 //	GET  /metrics              Prometheus text exposition (counters, gauges,
 //	                           latency histograms)
 //	GET  /metrics.json         the pre-Prometheus JSON metrics shape
+//	GET  /v1/artifacts/{fp}    serve one cache entry to a fleet peer (framed)
+//	PUT  /v1/artifacts/{fp}    accept one framed cache entry (verified first)
 //
-// A full queue rejects submits with 429 and a Retry-After header. On
+// With -peers the daemon joins a fleet: submissions are consistent-hash
+// sharded by netlist fingerprint (a non-owner node proxies the request,
+// preserving Idempotency-Key, so identical submissions dedupe fleet-wide
+// against the owner's journal; an unreachable owner degrades to local
+// execution), and the artifact cache gains a remote tier that fetches
+// entries peers already computed — hash-verified before use.
+//
+// A full queue rejects submits with 429 and a Retry-After header derived
+// from the observed queue-wait p50 (clamped to [1, 30] seconds). On
 // SIGINT/SIGTERM the daemon stops accepting work, gives in-flight jobs
 // -drain-grace to finish (then cancels them), and writes a final run
 // report to -report (or stderr).
@@ -42,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,8 +77,23 @@ func main() {
 		journalDir  = flag.String("journal-dir", "", "persist the job journal here and recover it on boot (no durability if empty)")
 		maxAttempts = flag.Int("max-attempts", serve.DefaultMaxAttempts, "poison a job after this many crash-interrupted attempts")
 		batchWords  = flag.Int("sim-batch-words", 0, "shared simulation engine width in 64-pattern words (0 = default, negative = exclusive engines per block)")
+		peers       = flag.String("peers", "", "comma-separated peer node addresses (host:port); enables fleet mode: job sharding + remote artifact tier")
+		advertise   = flag.String("advertise", "", "this node's own address as peers reach it (places the node on the ring; defaults to -addr)")
 	)
 	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	adv := *advertise
+	if adv == "" && len(peerList) > 0 {
+		adv = *addr
+	}
 
 	var cache *artifact.Cache
 	if *cacheDir != "" {
@@ -95,6 +121,8 @@ func main() {
 		Journal:       jnl,
 		MaxAttempts:   *maxAttempts,
 		SimBatchWords: *batchWords,
+		Peers:         peerList,
+		Advertise:     adv,
 	})
 	if rec, err := srv.Recover(); err != nil {
 		cli.Fatal(tool, err)

@@ -127,6 +127,187 @@ func TestSmoke(t *testing.T) {
 	}
 }
 
+// TestFleetSmoke is the end-to-end fleet check `make fleetsmoke` runs:
+// build the real binary, start TWO peered daemons, and require the
+// fleet contracts to hold over real process boundaries — the same
+// Idempotency-Key submitted to both nodes lands on one job at the ring
+// owner, a forced-local rerun on the cold node pulls its artifacts
+// from the warm peer (remote-tier hit in the cold node's own metrics),
+// and both processes drain cleanly on SIGTERM.
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet smoke test builds and runs the real binary twice")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "htserved")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Reserve both ports first so each daemon can name the other as a
+	// peer on its command line.
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+
+	cmds := make([]*exec.Cmd, 2)
+	stderrs := make([]*bytes.Buffer, 2)
+	for i := range cmds {
+		cmd := exec.Command(bin,
+			"-addr", addrs[i],
+			"-peers", addrs[1-i],
+			"-workers", "2",
+			"-queue", "8",
+			"-drain-grace", "20s",
+		)
+		stderrs[i] = &bytes.Buffer{}
+		cmd.Stderr = stderrs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cmd.Process.Kill()
+		cmds[i] = cmd
+	}
+	for i := range addrs {
+		waitHealthy(t, "http://"+addrs[i])
+	}
+
+	n, err := cghti.Circuit("c17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := cghti.WriteBench(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"bench":             sb.String(),
+		"name":              "c17",
+		"seed":              1,
+		"instances":         1,
+		"min_trigger_nodes": 2,
+		"rare_vectors":      200,
+		"rare_threshold":    0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keyed dedup across nodes: the same key submitted to BOTH daemons
+	// must resolve to one job. Whichever node we hit, the submission is
+	// routed to the ring owner; the owner's journal dedupes the second.
+	submit := func(base string, headers map[string]string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/generate", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		for k, v := range headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+		resp.Body.Close()
+		return resp, sub.ID
+	}
+	key := map[string]string{"Idempotency-Key": "fleet-smoke-dedup"}
+	resp1, id1 := submit("http://"+addrs[0], key)
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first keyed submit status = %d, want 202\n%s", resp1.StatusCode, stderrs[0].String())
+	}
+	// The job lives at the ring owner: the forwarding node names it in
+	// X-Cghti-Owner; absence means node 0 owned it itself.
+	owner := resp1.Header.Get("X-Cghti-Owner")
+	if owner == "" {
+		owner = addrs[0]
+	}
+	resp2, id2 := submit("http://"+addrs[1], key)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate keyed submit status = %d, want 200 (replay)\n%s", resp2.StatusCode, stderrs[1].String())
+	}
+	if resp2.Header.Get("Idempotency-Replayed") != "true" {
+		t.Fatal("duplicate keyed submit not marked Idempotency-Replayed")
+	}
+	if id1 == "" || id1 != id2 {
+		t.Fatalf("keyed submits returned different jobs: %q vs %q", id1, id2)
+	}
+	if status := pollSmokeJob(t, "http://"+owner, id1); status != "done" {
+		t.Fatalf("deduped job status = %q, want done", status)
+	}
+
+	// Remote artifact tier across processes: force the SAME work to run
+	// locally on the node that did not execute it (X-Cghti-Forwarded
+	// suppresses forwarding). Its cache is cold, so its stage lookups
+	// must hit the warm peer — visible in its own process's metrics.
+	cold := addrs[1]
+	if owner == addrs[1] {
+		cold = addrs[0]
+	}
+	hitsBefore := counterValue(t, "http://"+cold, "artifact.remote_hits")
+	resp3, id3 := submit("http://"+cold, map[string]string{"X-Cghti-Forwarded": "1"})
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("forced-local submit status = %d, want 202", resp3.StatusCode)
+	}
+	if status := pollSmokeJob(t, "http://"+cold, id3); status != "done" {
+		t.Fatalf("forced-local job status = %q, want done", status)
+	}
+	hitsAfter := counterValue(t, "http://"+cold, "artifact.remote_hits")
+	if hitsAfter <= hitsBefore {
+		t.Fatalf("cold node artifact.remote_hits = %v before, %v after — expected remote-tier hits from the warm peer", hitsBefore, hitsAfter)
+	}
+
+	// Both daemons must drain cleanly.
+	for i, cmd := range cmds {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		exit := make(chan error, 1)
+		go func() { exit <- cmd.Wait() }()
+		select {
+		case err := <-exit:
+			if err != nil {
+				t.Fatalf("node %d exited non-zero after SIGTERM: %v\n%s", i, err, stderrs[i].String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("node %d did not exit within 30s of SIGTERM\n%s", i, stderrs[i].String())
+		}
+	}
+}
+
+// counterValue reads one counter from a daemon's /metrics.json.
+func counterValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Counters[name]
+}
+
 func waitHealthy(t *testing.T, base string) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)

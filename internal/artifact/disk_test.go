@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 	"time"
 
@@ -125,6 +126,71 @@ func TestAttachDirIndexesExisting(t *testing.T) {
 	for i := 3; i < 6; i++ {
 		if data, ok := c.Get(fpN(i)); !ok || string(data) != fmt.Sprintf("old-%d", i) {
 			t.Fatalf("surviving entry %d unreadable after attach", i)
+		}
+	}
+}
+
+// TestAttachDirEqualMtimeDeterministic pins the scan tiebreak: when a
+// whole batch of entries shares one mtime (coarse filesystem
+// timestamps), eviction order falls back to fingerprint order, so every
+// restart of the same directory evicts the same entries — not whatever
+// ReadDir happened to enumerate first.
+func TestAttachDirEqualMtimeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewCache(0, 0)
+	if err := seed.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	fps := make([]Fingerprint, n)
+	when := time.Now().Add(-time.Hour)
+	for i := 0; i < n; i++ {
+		fps[i] = fpN(i)
+		seed.Put(fps[i], []byte(fmt.Sprintf("tied-%d", i)))
+		if err := os.Chtimes(filepath.Join(dir, fps[i].String()), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With all mtimes equal, ascending-fingerprint order decides age:
+	// the lexicographically smallest fingerprints rank oldest and are
+	// evicted first.
+	sort.Slice(fps, func(a, b int) bool { return bytes.Compare(fps[a][:], fps[b][:]) < 0 })
+
+	survivors := func() []string {
+		c := NewCache(0, 0)
+		c.SetDiskLimits(3, 0)
+		if err := c.AttachDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		des, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, de := range des {
+			names = append(names, de.Name())
+		}
+		sort.Strings(names)
+		return names
+	}
+
+	first := survivors()
+	if len(first) != 3 {
+		t.Fatalf("%d survivors, want 3", len(first))
+	}
+	for i, fp := range fps[n-3:] {
+		if first[i] != fp.String() {
+			t.Fatalf("survivor %d = %s, want the lexicographically largest fingerprints %s", i, first[i], fp)
+		}
+	}
+	// Re-attaching what's left must be a no-op set-wise: same survivors.
+	second := survivors()
+	if len(second) != len(first) {
+		t.Fatalf("second attach changed survivor count: %d vs %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("eviction not stable across restarts: %v vs %v", first, second)
 		}
 	}
 }

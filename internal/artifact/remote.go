@@ -1,0 +1,198 @@
+package artifact
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cghti/internal/iofault"
+)
+
+// DefaultRemoteTimeout bounds one peer request end to end (dial,
+// headers, body). The remote tier is an optimization over recompute, so
+// a slow peer must cost strictly less than the work it would save.
+const DefaultRemoteTimeout = 2 * time.Second
+
+// defaultRemoteRetry mirrors the disk tier's policy: transient
+// transport errors get two more tries with jittered backoff, permanent
+// ones (the peer answered 404 — the entry does not exist there) fail
+// immediately via iofault.Permanent.
+var defaultRemoteRetry = iofault.RetryPolicy{Attempts: 3, Base: 10 * time.Millisecond, Jitter: 0.5}
+
+// RemoteOptions configures NewRemote; zero values take the defaults
+// above.
+type RemoteOptions struct {
+	// Timeout bounds one peer HTTP request (DefaultRemoteTimeout when
+	// non-positive).
+	Timeout time.Duration
+	// Retry overrides the per-peer retry policy.
+	Retry *iofault.RetryPolicy
+	// Client overrides the HTTP client (tests). Timeout is ignored when
+	// set.
+	Client *http.Client
+}
+
+// Remote is the cache's peer-fetch tier: on a local miss it asks each
+// configured peer for the entry over GET /v1/artifacts/{fingerprint},
+// in order, until one returns a verifiable body. Responses are framed
+// exactly like disk entries (EncodeEntry) and verified by the same
+// rules — a torn or wrong-hash body is rejected and counted in
+// artifact.remote_rejects, never trusted. Concurrent fetches of the
+// same fingerprint collapse to one request (singleflight), so a
+// thundering herd of jobs missing on the same artifact costs one peer
+// round trip.
+type Remote struct {
+	peers  []string // normalized base URLs, e.g. "http://127.0.0.1:7070"
+	client *http.Client
+	retry  iofault.RetryPolicy
+
+	mu       sync.Mutex
+	inflight map[Fingerprint]*remoteFlight
+}
+
+type remoteFlight struct {
+	done chan struct{}
+	data []byte
+	ok   bool
+}
+
+// NewRemote builds a remote tier over the given peer addresses
+// (host:port or full http:// URLs; empty entries are dropped). Returns
+// nil when no peers remain — callers can pass the result straight to
+// Cache.SetRemote.
+func NewRemote(peers []string, opts RemoteOptions) *Remote {
+	var bases []string
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		bases = append(bases, strings.TrimRight(p, "/"))
+	}
+	if len(bases) == 0 {
+		return nil
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: timeout}
+	}
+	retry := defaultRemoteRetry
+	if opts.Retry != nil {
+		retry = *opts.Retry
+	}
+	return &Remote{
+		peers:    bases,
+		client:   client,
+		retry:    retry,
+		inflight: make(map[Fingerprint]*remoteFlight),
+	}
+}
+
+// Peers returns the normalized peer base URLs (for health reporting).
+func (r *Remote) Peers() []string { return append([]string(nil), r.peers...) }
+
+// fetch resolves fp against the peers, deduplicating concurrent calls
+// per fingerprint: the first caller becomes the leader and performs the
+// network I/O (attributing metrics to its registry); followers block on
+// the leader's result. The fetch duration — including a follower's
+// wait — lands in artifact.remote_get_time.
+func (r *Remote) fetch(fp Fingerprint, met *meters) ([]byte, bool) {
+	start := time.Now()
+	defer func() { met.remoteGetTime.Observe(time.Since(start)) }()
+
+	r.mu.Lock()
+	if fl, ok := r.inflight[fp]; ok {
+		r.mu.Unlock()
+		<-fl.done
+		return fl.data, fl.ok
+	}
+	fl := &remoteFlight{done: make(chan struct{})}
+	r.inflight[fp] = fl
+	r.mu.Unlock()
+
+	fl.data, fl.ok = r.fetchOnce(fp, met)
+
+	r.mu.Lock()
+	delete(r.inflight, fp)
+	r.mu.Unlock()
+	close(fl.done)
+	return fl.data, fl.ok
+}
+
+// fetchOnce tries each peer in order with the retry policy. Every call
+// that ends without a verified payload counts one remote_miss; bodies
+// that arrived but failed verification additionally count one
+// remote_reject per bad body, so "peer unreachable" and "peer returned
+// garbage" are distinguishable on a dashboard.
+func (r *Remote) fetchOnce(fp Fingerprint, met *meters) ([]byte, bool) {
+	for _, peer := range r.peers {
+		var payload []byte
+		_, err := r.retry.Do(func() error {
+			raw, gerr := r.getPeer(peer, fp)
+			if gerr != nil {
+				return gerr
+			}
+			// Verify by exactly the disk tier's rules: the framed hash
+			// attests the payload bytes survived the wire. (The
+			// fingerprint itself addresses the *inputs* that produced
+			// the artifact, so it cannot double-check the payload.)
+			p, derr := DecodeEntry(raw)
+			if derr != nil {
+				met.remoteRejects.Inc()
+				// A bad body is worth one more try — the connection may
+				// have been cut mid-transfer — but never worth trusting.
+				return derr
+			}
+			payload = p
+			return nil
+		})
+		if err == nil {
+			met.remoteHits.Inc()
+			return payload, true
+		}
+	}
+	met.remoteMisses.Inc()
+	return nil, false
+}
+
+// getPeer performs one GET against one peer, returning the raw framed
+// body. A 404 wraps fs.ErrNotExist so iofault.Permanent short-circuits
+// the retry loop — the peer answered authoritatively; asking again
+// immediately cannot help.
+func (r *Remote) getPeer(peer string, fp Fingerprint) ([]byte, error) {
+	resp, err := r.client.Get(peer + "/v1/artifacts/" + fp.String())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("artifact: peer %s: %w", peer, fs.ErrNotExist)
+	case resp.StatusCode != http.StatusOK:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("artifact: peer %s: unexpected status %d", peer, resp.StatusCode)
+	}
+	// +1 over the cap distinguishes "exactly at the bound" from
+	// "oversized": a body that still has bytes left past the limit is
+	// rejected rather than silently truncated into a torn-entry miss.
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, MaxEntryWireBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) > MaxEntryWireBytes {
+		return nil, fmt.Errorf("artifact: peer %s: entry exceeds %d-byte wire bound", peer, MaxEntryWireBytes)
+	}
+	return raw, nil
+}

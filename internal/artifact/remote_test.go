@@ -1,0 +1,374 @@
+package artifact
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cghti/internal/iofault"
+	"cghti/internal/obs"
+)
+
+// noRetry keeps the per-failure metric counts deterministic in tests:
+// one attempt per peer, so one bad body = one reject.
+var noRetry = iofault.RetryPolicy{Attempts: 1}
+
+// peerServer runs an httptest peer whose GET /v1/artifacts/{fp}
+// response bytes come from serve. It returns the server and a request
+// counter.
+func peerServer(t *testing.T, serve func(fp string) ([]byte, int)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var reqs atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		fp := strings.TrimPrefix(r.URL.Path, "/v1/artifacts/")
+		body, code := serve(fp)
+		w.WriteHeader(code)
+		w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &reqs
+}
+
+func scopedCtx(t *testing.T) (context.Context, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	return obs.WithRegistry(context.Background(), reg), reg
+}
+
+// TestRemoteTierFetchAndWriteThrough pins the happy path: a local miss
+// is answered by a peer, the verified payload is installed in the
+// memory tier and written through to the disk tier, and the hit is
+// counted as both a cache hit and a remote hit.
+func TestRemoteTierFetchAndWriteThrough(t *testing.T) {
+	payload := []byte("compat-graph-bytes")
+	fp := Hash([]byte("some-stage-inputs"))
+	srv, reqs := peerServer(t, func(got string) ([]byte, int) {
+		if got != fp.String() {
+			return nil, http.StatusNotFound
+		}
+		return EncodeEntry(payload), http.StatusOK
+	})
+
+	dir := t.TempDir()
+	c := NewCache(0, 0)
+	if err := c.AttachDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRemote(NewRemote([]string{srv.URL}, RemoteOptions{Retry: &noRetry}))
+
+	ctx, reg := scopedCtx(t)
+	data, ok := c.GetCtx(ctx, fp)
+	if !ok || string(data) != string(payload) {
+		t.Fatalf("remote get = %q, %v; want payload hit", data, ok)
+	}
+	if got := reg.Counter("artifact.remote_hits").Value(); got != 1 {
+		t.Fatalf("remote_hits = %d, want 1", got)
+	}
+	if got := reg.Counter("artifact.cache_hits").Value(); got != 1 {
+		t.Fatalf("cache_hits = %d, want 1", got)
+	}
+	if got := reg.Counter("artifact.remote_rejects").Value(); got != 0 {
+		t.Fatalf("remote_rejects = %d, want 0", got)
+	}
+	if reg.Histogram("artifact.remote_get_time").Snapshot().Count != 1 {
+		t.Fatal("remote_get_time not observed")
+	}
+
+	// Write-through: the entry is now on local disk...
+	if _, err := os.Stat(filepath.Join(dir, fp.String())); err != nil {
+		t.Fatalf("fetched entry not written through to disk: %v", err)
+	}
+	// ...and a second lookup is a memory hit, no new peer request.
+	before := reqs.Load()
+	if _, ok := c.Get(fp); !ok {
+		t.Fatal("second get missed")
+	}
+	if reqs.Load() != before {
+		t.Fatal("second get hit the peer instead of the local tiers")
+	}
+}
+
+// TestRemoteTierPeerDown pins degradation when the peer is unreachable:
+// the lookup is a plain miss (the caller recomputes), counted as a
+// remote miss but NOT a reject — nothing arrived to reject.
+func TestRemoteTierPeerDown(t *testing.T) {
+	// Grab a loopback port and close it so the address refuses.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	dead := srv.URL
+	srv.Close()
+
+	c := NewCache(0, 0)
+	c.SetRemote(NewRemote([]string{dead}, RemoteOptions{Retry: &noRetry}))
+	ctx, reg := scopedCtx(t)
+	if _, ok := c.GetCtx(ctx, Hash([]byte("x"))); ok {
+		t.Fatal("dead peer produced a hit")
+	}
+	if got := reg.Counter("artifact.remote_misses").Value(); got != 1 {
+		t.Fatalf("remote_misses = %d, want 1", got)
+	}
+	if got := reg.Counter("artifact.remote_rejects").Value(); got != 0 {
+		t.Fatalf("remote_rejects = %d, want 0 (nothing arrived)", got)
+	}
+	if got := reg.Counter("artifact.cache_misses").Value(); got != 1 {
+		t.Fatalf("cache_misses = %d, want 1 (degrade to recompute)", got)
+	}
+}
+
+// TestRemoteTierTornBody pins rejection of a response cut short
+// relative to its declared length — the peer-protocol analogue of a
+// crashed disk write: counted as a reject AND a miss, never served.
+func TestRemoteTierTornBody(t *testing.T) {
+	full := EncodeEntry([]byte("payload-that-gets-cut"))
+	srv, _ := peerServer(t, func(string) ([]byte, int) {
+		return full[:len(full)-5], http.StatusOK
+	})
+	c := NewCache(0, 0)
+	c.SetRemote(NewRemote([]string{srv.URL}, RemoteOptions{Retry: &noRetry}))
+	ctx, reg := scopedCtx(t)
+	if _, ok := c.GetCtx(ctx, Hash([]byte("y"))); ok {
+		t.Fatal("torn peer body served as a hit")
+	}
+	if got := reg.Counter("artifact.remote_rejects").Value(); got != 1 {
+		t.Fatalf("remote_rejects = %d, want 1", got)
+	}
+	if got := reg.Counter("artifact.remote_misses").Value(); got != 1 {
+		t.Fatalf("remote_misses = %d, want 1", got)
+	}
+}
+
+// TestRemoteTierWrongHashBody pins rejection of a full-length body
+// whose payload no longer matches its framed hash — bit corruption or a
+// lying peer. Verify-before-trust: reject, count, recompute.
+func TestRemoteTierWrongHashBody(t *testing.T) {
+	bad := EncodeEntry([]byte("honest-payload"))
+	bad[len(bad)-1] ^= 0xFF // flip a payload bit, length intact
+	srv, _ := peerServer(t, func(string) ([]byte, int) {
+		return bad, http.StatusOK
+	})
+	c := NewCache(0, 0)
+	c.SetRemote(NewRemote([]string{srv.URL}, RemoteOptions{Retry: &noRetry}))
+	ctx, reg := scopedCtx(t)
+	if _, ok := c.GetCtx(ctx, Hash([]byte("z"))); ok {
+		t.Fatal("wrong-hash peer body served as a hit")
+	}
+	if got := reg.Counter("artifact.remote_rejects").Value(); got != 1 {
+		t.Fatalf("remote_rejects = %d, want 1", got)
+	}
+	if got := reg.Counter("artifact.remote_misses").Value(); got != 1 {
+		t.Fatalf("remote_misses = %d, want 1", got)
+	}
+}
+
+// TestRemoteTierSlowPeerTimesOut pins the bounded-timeout rule: a peer
+// slower than the configured timeout is a miss (not a hang, not a
+// reject) and the lookup degrades to local recompute.
+func TestRemoteTierSlowPeerTimesOut(t *testing.T) {
+	release := make(chan struct{})
+	srv, _ := peerServer(t, func(string) ([]byte, int) {
+		<-release
+		return nil, http.StatusNotFound
+	})
+	// Registered after peerServer so it runs before srv.Close (cleanups
+	// are LIFO): Close waits for the parked handler, which waits on
+	// release.
+	t.Cleanup(func() { close(release) })
+	c := NewCache(0, 0)
+	c.SetRemote(NewRemote([]string{srv.URL}, RemoteOptions{
+		Timeout: 50 * time.Millisecond,
+		Retry:   &noRetry,
+	}))
+	ctx, reg := scopedCtx(t)
+	start := time.Now()
+	if _, ok := c.GetCtx(ctx, Hash([]byte("slow"))); ok {
+		t.Fatal("slow peer produced a hit")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout not bounded: lookup took %v", elapsed)
+	}
+	if got := reg.Counter("artifact.remote_misses").Value(); got != 1 {
+		t.Fatalf("remote_misses = %d, want 1", got)
+	}
+	if got := reg.Counter("artifact.remote_rejects").Value(); got != 0 {
+		t.Fatalf("remote_rejects = %d, want 0", got)
+	}
+}
+
+// TestRemoteTier404IsPermanent pins the retry short-circuit: a peer
+// that answers 404 answered authoritatively, so even a multi-attempt
+// retry policy asks exactly once.
+func TestRemoteTier404IsPermanent(t *testing.T) {
+	srv, reqs := peerServer(t, func(string) ([]byte, int) {
+		return nil, http.StatusNotFound
+	})
+	c := NewCache(0, 0)
+	retry := iofault.RetryPolicy{Attempts: 5}
+	c.SetRemote(NewRemote([]string{srv.URL}, RemoteOptions{Retry: &retry}))
+	ctx, reg := scopedCtx(t)
+	if _, ok := c.GetCtx(ctx, Hash([]byte("absent"))); ok {
+		t.Fatal("404 produced a hit")
+	}
+	if got := reqs.Load(); got != 1 {
+		t.Fatalf("peer saw %d requests, want 1 (404 is permanent)", got)
+	}
+	if got := reg.Counter("artifact.remote_misses").Value(); got != 1 {
+		t.Fatalf("remote_misses = %d, want 1", got)
+	}
+}
+
+// TestRemoteTierRetriesTransient pins the opposite: a transport-level
+// flake (here: a non-404 error status) is retried up to the policy
+// bound.
+func TestRemoteTierRetriesTransient(t *testing.T) {
+	payload := []byte("eventually-served")
+	var n atomic.Int64
+	srv, reqs := peerServer(t, func(string) ([]byte, int) {
+		if n.Add(1) < 3 {
+			return nil, http.StatusInternalServerError
+		}
+		return EncodeEntry(payload), http.StatusOK
+	})
+	c := NewCache(0, 0)
+	retry := iofault.RetryPolicy{Attempts: 3, Base: time.Millisecond}
+	c.SetRemote(NewRemote([]string{srv.URL}, RemoteOptions{Retry: &retry}))
+	ctx, reg := scopedCtx(t)
+	data, ok := c.GetCtx(ctx, Hash([]byte("flaky")))
+	if !ok || string(data) != string(payload) {
+		t.Fatalf("get = %q, %v; want hit after retries", data, ok)
+	}
+	if got := reqs.Load(); got != 3 {
+		t.Fatalf("peer saw %d requests, want 3", got)
+	}
+	if got := reg.Counter("artifact.remote_hits").Value(); got != 1 {
+		t.Fatalf("remote_hits = %d, want 1", got)
+	}
+}
+
+// TestRemoteTierSecondPeerAnswers pins peer fallthrough: when the
+// first peer lacks the entry, the second is asked.
+func TestRemoteTierSecondPeerAnswers(t *testing.T) {
+	payload := []byte("on-the-second-peer")
+	empty, _ := peerServer(t, func(string) ([]byte, int) { return nil, http.StatusNotFound })
+	warm, _ := peerServer(t, func(string) ([]byte, int) { return EncodeEntry(payload), http.StatusOK })
+	c := NewCache(0, 0)
+	c.SetRemote(NewRemote([]string{empty.URL, warm.URL}, RemoteOptions{Retry: &noRetry}))
+	data, ok := c.Get(Hash([]byte("roam")))
+	if !ok || string(data) != string(payload) {
+		t.Fatalf("get = %q, %v; want hit from second peer", data, ok)
+	}
+}
+
+// TestRemoteTierSingleflight pins the thundering-herd collapse:
+// concurrent fetches of one fingerprint issue one peer request, and
+// every caller gets the payload.
+func TestRemoteTierSingleflight(t *testing.T) {
+	payload := []byte("fetched-once")
+	arrived := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv, reqs := peerServer(t, func(string) ([]byte, int) {
+		select {
+		case arrived <- struct{}{}:
+		default:
+		}
+		<-release
+		return EncodeEntry(payload), http.StatusOK
+	})
+	r := NewRemote([]string{srv.URL}, RemoteOptions{Retry: &noRetry})
+	met := newMeters(obs.NewRegistry())
+	fp := Hash([]byte("herd"))
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		if data, ok := r.fetch(fp, met); !ok || string(data) != string(payload) {
+			t.Errorf("leader fetch = %q, %v", data, ok)
+		}
+	}()
+	<-arrived // leader's request is in flight and will hold until release
+
+	const followers = 4
+	var wg sync.WaitGroup
+	started := make(chan struct{}, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			if data, ok := r.fetch(fp, met); !ok || string(data) != string(payload) {
+				t.Errorf("follower fetch = %q, %v", data, ok)
+			}
+		}()
+	}
+	for i := 0; i < followers; i++ {
+		<-started
+	}
+	// Give the followers a beat to reach the inflight map before the
+	// leader's flight resolves.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if got := reqs.Load(); got != 1 {
+		t.Fatalf("peer saw %d requests, want 1 (singleflight)", got)
+	}
+	if got := met.remoteHits.Value(); got != 1 {
+		t.Fatalf("remote_hits = %d, want 1 (leader attributes the fetch)", got)
+	}
+}
+
+// TestRemoteTierGetLocalNeverFetches pins the recursion guard the peer
+// endpoint relies on: GetLocal consults memory and disk only, so one
+// node's miss cannot ripple around the fleet.
+func TestRemoteTierGetLocalNeverFetches(t *testing.T) {
+	srv, reqs := peerServer(t, func(string) ([]byte, int) {
+		return EncodeEntry([]byte("should-not-be-asked")), http.StatusOK
+	})
+	c := NewCache(0, 0)
+	c.SetRemote(NewRemote([]string{srv.URL}, RemoteOptions{Retry: &noRetry}))
+	if _, ok := c.GetLocal(Hash([]byte("local-only"))); ok {
+		t.Fatal("GetLocal hit without local data")
+	}
+	if got := reqs.Load(); got != 0 {
+		t.Fatalf("GetLocal issued %d peer requests, want 0", got)
+	}
+}
+
+// TestNewRemoteNormalization pins address handling: bare host:port
+// gains http://, blanks drop, and an all-blank list yields nil (no
+// remote tier).
+func TestNewRemoteNormalization(t *testing.T) {
+	r := NewRemote([]string{" 127.0.0.1:7070 ", "", "http://peer:8080/"}, RemoteOptions{})
+	if r == nil {
+		t.Fatal("NewRemote returned nil for a non-empty peer list")
+	}
+	want := []string{"http://127.0.0.1:7070", "http://peer:8080"}
+	got := r.Peers()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("peers = %v, want %v", got, want)
+	}
+	if NewRemote([]string{"", "  "}, RemoteOptions{}) != nil {
+		t.Fatal("NewRemote of blanks should be nil")
+	}
+}
+
+// TestParseFingerprint pins the round trip and the rejection shapes.
+func TestParseFingerprint(t *testing.T) {
+	fp := Hash([]byte("round-trip"))
+	got, err := ParseFingerprint(fp.String())
+	if err != nil || got != fp {
+		t.Fatalf("ParseFingerprint(String()) = %v, %v; want identity", got, err)
+	}
+	for _, bad := range []string{"", "zz", "abcd", strings.Repeat("g", 64), fp.String() + "00"} {
+		if _, err := ParseFingerprint(bad); err == nil {
+			t.Fatalf("ParseFingerprint(%q) accepted", bad)
+		}
+	}
+}

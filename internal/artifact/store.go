@@ -1,11 +1,11 @@
 package artifact
 
 import (
+	"bytes"
 	"container/list"
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,7 +31,11 @@ type meters struct {
 	diskTorn      *obs.Counter
 	ioRetries     *obs.Counter
 	diskEvictions *obs.Counter
+	remoteHits    *obs.Counter
+	remoteMisses  *obs.Counter
+	remoteRejects *obs.Counter
 	getTime       *obs.Histogram
+	remoteGetTime *obs.Histogram
 }
 
 func metersFor(r *obs.Registry) *meters {
@@ -54,7 +58,11 @@ func newMeters(r *obs.Registry) *meters {
 		diskTorn:      r.Counter("artifact.disk_torn"),
 		ioRetries:     r.Counter("artifact.io_retries"),
 		diskEvictions: r.Counter("artifact.disk_evictions"),
+		remoteHits:    r.Counter("artifact.remote_hits"),
+		remoteMisses:  r.Counter("artifact.remote_misses"),
+		remoteRejects: r.Counter("artifact.remote_rejects"),
 		getTime:       r.Histogram("artifact.get_time"),
+		remoteGetTime: r.Histogram("artifact.remote_get_time"),
 	}
 }
 
@@ -76,13 +84,16 @@ const (
 	DefaultDiskMaxBytes   = 1 << 30
 )
 
-// Cache is a two-tier content-addressed artifact store. The memory tier
-// is a bounded LRU (entry count and total payload bytes); the optional
-// disk tier (AttachDir) persists entries across processes and is itself
-// bounded (entry count and total file bytes) with oldest-written-first
-// eviction. Disk entries carry a payload hash that is verified on every
-// read: a corrupted or tampered entry is deleted and reported as a
-// miss, never trusted. All methods are safe for concurrent use.
+// Cache is a three-tier content-addressed artifact store. The memory
+// tier is a bounded LRU (entry count and total payload bytes); the
+// optional disk tier (AttachDir) persists entries across processes and
+// is itself bounded (entry count and total file bytes) with
+// oldest-written-first eviction; the optional remote tier (SetRemote)
+// fetches entries other fleet nodes already computed over the peer
+// protocol. Disk entries and peer responses carry a payload hash that
+// is verified on every read: a corrupted, tampered, or torn entry is
+// dropped and reported as a miss, never trusted. All methods are safe
+// for concurrent use.
 type Cache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -98,6 +109,8 @@ type Cache struct {
 	diskBytes      int64
 	diskOrder      *list.List // front = newest write, back = oldest
 	diskIndex      map[Fingerprint]*list.Element
+
+	remote *Remote // peer-fetch tier, consulted after a disk miss
 }
 
 type cacheEntry struct {
@@ -191,8 +204,13 @@ func (c *Cache) AttachDir(dir string) error {
 }
 
 // scanDir lists dir's valid-looking entry files sorted by ascending
-// modification time. Files whose names do not parse as fingerprints
-// (including leftover .tmp files) are ignored.
+// modification time, ties broken by fingerprint. The tiebreak matters:
+// on filesystems with coarse mtime granularity a whole batch of writes
+// can share one timestamp, and without it the oldest-first eviction
+// order would depend on ReadDir's enumeration order — different across
+// restarts, so two boots of the same directory could evict different
+// entries. Files whose names do not parse as fingerprints (including
+// leftover .tmp files) are ignored.
 func scanDir(fsys iofault.FS, dir string) ([]diskEntry, error) {
 	des, err := fsys.ReadDir(dir)
 	if err != nil {
@@ -219,7 +237,12 @@ func scanDir(fsys iofault.FS, dir string) ([]diskEntry, error) {
 		copy(fp[:], raw)
 		found = append(found, aged{diskEntry{fp: fp, size: info.Size()}, info.ModTime().UnixNano()})
 	}
-	sort.Slice(found, func(a, b int) bool { return found[a].mtime < found[b].mtime })
+	sort.Slice(found, func(a, b int) bool {
+		if found[a].mtime != found[b].mtime {
+			return found[a].mtime < found[b].mtime
+		}
+		return bytes.Compare(found[a].fp[:], found[b].fp[:]) < 0
+	})
 	out := make([]diskEntry, len(found))
 	for i, f := range found {
 		out[i] = f.diskEntry
@@ -328,24 +351,44 @@ func (c *Cache) DiskBytes() int64 {
 	return c.diskBytes
 }
 
+// SetRemote attaches (or, with nil, detaches) the peer-fetch tier:
+// after a memory and disk miss, the cache asks the configured peers for
+// the entry over the artifact peer protocol. Fetched entries are
+// hash-verified before use and installed in the local tiers (including
+// the disk tier, when attached), so one remote fetch warms this node
+// for every later lookup.
+func (c *Cache) SetRemote(r *Remote) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.remote = r
+}
+
 // Get returns the payload stored under fp, consulting the memory tier
-// first and falling back to the disk tier (promoting a verified disk
-// entry into memory). Metrics go to the process default registry; use
-// GetCtx inside a per-run scope.
+// first, then the disk tier (promoting a verified disk entry into
+// memory), then the remote tier. Metrics go to the process default
+// registry; use GetCtx inside a per-run scope.
 func (c *Cache) Get(fp Fingerprint) ([]byte, bool) {
-	return c.get(fp, defaultMeters)
+	return c.get(fp, defaultMeters, false)
 }
 
 // GetCtx is Get attributing its hit/miss metrics to the registry
 // carried by ctx (per-run scoping). The lookup itself is identical.
 func (c *Cache) GetCtx(ctx context.Context, fp Fingerprint) ([]byte, bool) {
-	return c.get(fp, metersCtx(ctx))
+	return c.get(fp, metersCtx(ctx), false)
 }
 
-// get resolves fp across both tiers, timing the whole lookup (memory
-// hit, disk fallback, or miss) into the artifact.get_time histogram so
-// disk-tier stalls are visible as a latency mode, not just a counter.
-func (c *Cache) get(fp Fingerprint, met *meters) ([]byte, bool) {
+// GetLocal is Get restricted to the memory and disk tiers — the lookup
+// the artifact peer endpoint serves, so one node's miss can never
+// recurse into another peer fetch and ripple a miss around the fleet.
+func (c *Cache) GetLocal(fp Fingerprint) ([]byte, bool) {
+	return c.get(fp, defaultMeters, true)
+}
+
+// get resolves fp across the tiers, timing the whole lookup (memory
+// hit, disk or remote fallback, or miss) into the artifact.get_time
+// histogram so disk-tier and peer stalls are visible as a latency mode,
+// not just a counter.
+func (c *Cache) get(fp Fingerprint, met *meters, localOnly bool) ([]byte, bool) {
 	start := time.Now()
 	defer func() { met.getTime.Observe(time.Since(start)) }()
 	c.mu.Lock()
@@ -356,7 +399,7 @@ func (c *Cache) get(fp Fingerprint, met *meters) ([]byte, bool) {
 		met.hits.Inc()
 		return data, true
 	}
-	fsys, dir := c.fs, c.dir
+	fsys, dir, remote := c.fs, c.dir, c.remote
 	c.mu.Unlock()
 	if dir != "" {
 		data, ok, corrupt, torn := readEntry(fsys, filepath.Join(dir, fp.String()), met)
@@ -371,6 +414,21 @@ func (c *Cache) get(fp Fingerprint, met *meters) ([]byte, bool) {
 			c.install(fp, data, met)
 			met.hits.Inc()
 			met.diskHits.Inc()
+			return data, true
+		}
+	}
+	if remote != nil && !localOnly {
+		if data, ok := remote.fetch(fp, met); ok {
+			// Write through to the local tiers: the fetch cost is paid
+			// once, then this node serves the entry itself (including to
+			// other peers).
+			c.install(fp, data, met)
+			if dir != "" {
+				if size, wok := writeEntry(fsys, dir, fp.String(), data, met); wok {
+					c.noteDiskWrite(fp, size, met)
+				}
+			}
+			met.hits.Inc()
 			return data, true
 		}
 	}
@@ -432,23 +490,6 @@ func (c *Cache) install(fp Fingerprint, data []byte, met *meters) {
 	}
 }
 
-// On-disk entry format (v2): 4-byte magic, 8-byte LE payload length,
-// sha256 of the payload, payload. The hash makes every read
-// self-verifying — fingerprints address the *inputs* that produced an
-// artifact, the stored hash attests the artifact bytes themselves
-// survived the round trip — and the explicit length distinguishes a
-// torn write (file shorter than declared: power loss mid-write) from
-// bit corruption (full length, wrong hash), so the two failure modes
-// are counted separately. v1 entries (no length field) written by
-// older processes still read.
-var (
-	diskMagic   = [4]byte{'C', 'G', 'A', '2'}
-	diskMagicV1 = [4]byte{'C', 'G', 'A', '1'}
-)
-
-// entryHeaderLen is the v2 on-disk header: magic + length + sha256.
-const entryHeaderLen = 4 + 8 + sha256.Size
-
 // diskRetry bounds the disk tier's per-operation retries: transient
 // I/O errors get two more tries with jittered backoff, permanent ones
 // (missing file, permission) fail immediately. Retries are counted in
@@ -463,12 +504,7 @@ var diskRetry = iofault.RetryPolicy{Attempts: 3, Base: 2 * time.Millisecond, Jit
 // disk tier is an optimization, and a missing entry just means
 // recomputation.
 func writeEntry(fsys iofault.FS, dir, name string, data []byte, met *meters) (int64, bool) {
-	sum := sha256.Sum256(data)
-	buf := make([]byte, 0, len(diskMagic)+8+len(sum)+len(data))
-	buf = append(buf, diskMagic[:]...)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(data)))
-	buf = append(buf, sum[:]...)
-	buf = append(buf, data...)
+	buf := EncodeEntry(data)
 	path := filepath.Join(dir, name)
 	tmp := path + ".tmp"
 	retries, err := diskRetry.Do(func() error {
@@ -519,10 +555,10 @@ func syncDir(fsys iofault.FS, dir string) {
 
 // readEntry loads and verifies one on-disk entry. A missing file is a
 // plain miss; transient read errors get bounded retries. A failed
-// verification is classified: torn (truncated relative to the declared
-// length — a crashed write) or corrupt (full length, wrong bytes) —
-// either way the file is deleted (best effort) and reported so the
-// caller can count it and drop its index entry.
+// verification is classified by DecodeEntry: torn (truncated relative
+// to the declared length — a crashed write) or corrupt (full length,
+// wrong bytes) — either way the file is deleted (best effort) and
+// reported so the caller can count it and drop its index entry.
 func readEntry(fsys iofault.FS, path string, met *meters) (data []byte, ok, corrupt, torn bool) {
 	var raw []byte
 	retries, err := diskRetry.Do(func() error {
@@ -534,43 +570,12 @@ func readEntry(fsys iofault.FS, path string, met *meters) (data []byte, ok, corr
 	if err != nil {
 		return nil, false, false, false
 	}
-	if len(raw) < len(diskMagic) {
+	payload, derr := DecodeEntry(raw)
+	if derr != nil {
 		fsys.Remove(path)
-		return nil, false, false, true
+		return nil, false, errors.Is(derr, ErrEntryCorrupt), errors.Is(derr, ErrEntryTorn)
 	}
-	switch [4]byte(raw[:4]) {
-	case diskMagic: // v2: length field present
-		const header = entryHeaderLen
-		if len(raw) < header {
-			fsys.Remove(path)
-			return nil, false, false, true
-		}
-		want := binary.LittleEndian.Uint64(raw[4:12])
-		payload := raw[header:]
-		if uint64(len(payload)) < want {
-			fsys.Remove(path)
-			return nil, false, false, true
-		}
-		if uint64(len(payload)) > want || sha256.Sum256(payload) != [sha256.Size]byte(raw[12:header]) {
-			fsys.Remove(path)
-			return nil, false, true, false
-		}
-		return payload, true, false, false
-	case diskMagicV1: // v1: no length, truncation and corruption are indistinguishable
-		const header = 4 + sha256.Size
-		if len(raw) < header {
-			fsys.Remove(path)
-			return nil, false, false, true
-		}
-		payload := raw[header:]
-		if sha256.Sum256(payload) != [sha256.Size]byte(raw[4:header]) {
-			fsys.Remove(path)
-			return nil, false, true, false
-		}
-		return payload, true, false, false
-	}
-	fsys.Remove(path)
-	return nil, false, true, false
+	return payload, true, false, false
 }
 
 // dirCaches deduplicates Cache instances per absolute directory, so

@@ -90,14 +90,24 @@ type HistogramSnapshot struct {
 }
 
 // Quantile estimates the q-quantile (0..1) by locating the target rank's
-// bucket and interpolating linearly inside it. Observations in the
-// overflow bucket report its lower bound — the strongest claim the data
-// supports. Returns 0 on an empty histogram.
+// bucket and interpolating linearly inside it.
+//
+// Edge cases are defined, not accidental:
+//   - An empty snapshot returns 0 — there is no data to make any claim
+//     about, and 0 cannot be mistaken for a measured latency.
+//   - q is clamped into [0,1]: q < 0 behaves as 0 (the first observed
+//     bucket's rank-1 estimate), q > 1 behaves as 1 (the maximum). A NaN
+//     q clamps to 0, the most conservative well-defined request.
+//   - Mass in the overflow (+Inf) bucket reports that bucket's lower
+//     bound (HistogramBound(NumHistogramBuckets-2)) — the strongest
+//     claim the data supports, never a fabricated larger value.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
 	}
-	if q < 0 {
+	// !(q > 0) catches both q <= 0 and NaN, which would otherwise slip
+	// through ordered comparisons and poison rank below.
+	if !(q > 0) {
 		q = 0
 	} else if q > 1 {
 		q = 1

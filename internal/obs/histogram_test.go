@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -129,6 +130,59 @@ func TestHistogramQuantile(t *testing.T) {
 	var empty HistogramSnapshot
 	if q := empty.Quantile(0.5); q != 0 {
 		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the documented results for the
+// inputs that used to return misleading durations: out-of-range q
+// (including NaN), an empty snapshot at every q, and a distribution
+// whose whole mass sits in the overflow (+Inf) bucket.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+
+	// Empty snapshot: 0 for every q, in range or not.
+	var empty HistogramSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, nan} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Out-of-range q clamps: q < 0 and NaN behave as 0, q > 1 as 1.
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	snap := h.Snapshot()
+	if got, want := snap.Quantile(-3), snap.Quantile(0); got != want {
+		t.Fatalf("Quantile(-3) = %v, want the q=0 value %v", got, want)
+	}
+	if got, want := snap.Quantile(nan), snap.Quantile(0); got != want {
+		t.Fatalf("Quantile(NaN) = %v, want the q=0 value %v", got, want)
+	}
+	if got, want := snap.Quantile(7), snap.Quantile(1); got != want {
+		t.Fatalf("Quantile(7) = %v, want the q=1 value %v", got, want)
+	}
+	if got := snap.Quantile(nan); got < 0 || got > 128*time.Microsecond {
+		t.Fatalf("Quantile(NaN) = %v, outside the observed range", got)
+	}
+
+	// All mass in the overflow bucket: every quantile reports the
+	// bucket's lower bound — the strongest supportable claim — rather
+	// than 0 or a fabricated larger value.
+	var inf Histogram
+	infLo := HistogramBound(NumHistogramBuckets - 2)
+	for i := 0; i < 10; i++ {
+		inf.Observe(infLo * 4)
+	}
+	isnap := inf.Snapshot()
+	if isnap.Buckets[NumHistogramBuckets-1] != 10 {
+		t.Fatalf("setup: mass not in the overflow bucket: %v", isnap.Buckets)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1, -1, 2, nan} {
+		if got := isnap.Quantile(q); got != infLo {
+			t.Fatalf("overflow-only Quantile(%v) = %v, want the +Inf lower bound %v", q, got, infLo)
+		}
 	}
 }
 

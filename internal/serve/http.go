@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -21,6 +22,8 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/artifacts/{fp}", s.handleArtifactGet)
+	mux.HandleFunc("PUT /v1/artifacts/{fp}", s.handleArtifactPut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
@@ -75,18 +78,37 @@ func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// retryAfterSeconds derives a 429's Retry-After from the observed
+// queue-wait distribution: the p50 submit-to-start wait, rounded up to
+// whole seconds and clamped to [1, 30]. A lightly loaded queue keeps
+// the old eager 1s; a backed-up queue tells clients the truth, so
+// retry storms thin out in proportion to the actual backlog instead of
+// hammering a saturated node once per second. The clamp bounds both
+// ends: an empty histogram (cold daemon) stays at 1, and a
+// pathologically slow day never tells a client to go away for minutes.
+func retryAfterSeconds(snap obs.HistogramSnapshot) int {
+	secs := int(math.Ceil(snap.Quantile(0.5).Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return secs
+}
+
 // respondSubmit maps submit outcomes to HTTP: fresh jobs get 202, an
 // idempotent replay gets 200 with the original job's current status
 // (plus an Idempotency-Replayed header so clients can tell), a full
-// queue gets 429 with Retry-After (backpressure — the client should
-// resubmit, nothing was registered), a draining server gets 503
-// (terminal for this process — resubmitting here won't help), and a
-// journal write failure gets 500 (the accept could not be made
+// queue gets 429 with a load-derived Retry-After (backpressure — the
+// client should resubmit, nothing was registered), a draining server
+// gets 503 (terminal for this process — resubmitting here won't help),
+// and a journal write failure gets 500 (the accept could not be made
 // durable).
 func (s *Server) respondSubmit(w http.ResponseWriter, j *Job, replayed bool, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(histQueueWait.Snapshot())))
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
@@ -112,7 +134,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Parse at submit so a malformed netlist is the client's 400, not a
 	// failed job discovered by polling.
-	run, err := s.generateJob(req)
+	run, fp, err := s.generateJob(req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
@@ -120,6 +142,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// Re-marshal the validated request as the journal payload: Recover
 	// rebuilds the run closure from exactly these bytes.
 	payload, _ := json.Marshal(req)
+	if s.forwardIfRemote(w, r, fp, payload) {
+		return
+	}
 	j, replayed, err := s.submit("generate", r.Header.Get("Idempotency-Key"), payload, run)
 	s.respondSubmit(w, j, replayed, err)
 }
@@ -129,12 +154,15 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if !decodeRequest(w, r, &req) {
 		return
 	}
-	run, err := s.detectJob(req)
+	run, fp, err := s.detectJob(req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
 	payload, _ := json.Marshal(req)
+	if s.forwardIfRemote(w, r, fp, payload) {
+		return
+	}
 	j, replayed, err := s.submit("detect", r.Header.Get("Idempotency-Key"), payload, run)
 	s.respondSubmit(w, j, replayed, err)
 }
@@ -273,7 +301,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status": status,
 		"queue": map[string]int{
 			"depth":    len(s.queue),
@@ -283,7 +311,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"busy":  busy,
 			"total": int64(s.cfg.Workers),
 		},
-	})
+	}
+	if s.ring != nil {
+		body["fleet"] = map[string]any{
+			"advertise": s.ring.self,
+			"members":   s.ring.members(),
+		}
+	}
+	writeJSON(w, code, body)
 }
 
 // handleMetricsProm serves the process-wide registry (scoped per-job

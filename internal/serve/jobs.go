@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cghti"
+	"cghti/internal/artifact"
 	"cghti/internal/detect"
 	"cghti/internal/obs"
 	"cghti/internal/rare"
@@ -85,21 +86,23 @@ func parsePayload(s string) (trojan.PayloadKind, error) {
 }
 
 // generateJob validates the request (netlist parse, payload name,
-// config sanity) and returns the run closure; validation errors are the
+// config sanity) and returns the run closure plus the netlist's content
+// fingerprint — the fleet's sharding key, so identical submissions land
+// on one owner however they enter the fleet. Validation errors are the
 // submitter's 400, not a failed job. The sink receives the pipeline's
 // stage progress events — wired to the job's SSE feed by runJob.
-func (s *Server) generateJob(req GenerateRequest) (func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error), error) {
+func (s *Server) generateJob(req GenerateRequest) (runFunc, artifact.Fingerprint, error) {
 	name := req.Name
 	if name == "" {
 		name = "job"
 	}
 	n, err := cghti.ParseBenchString(req.Bench, name)
 	if err != nil {
-		return nil, err
+		return nil, artifact.Fingerprint{}, err
 	}
 	payload, err := parsePayload(req.Payload)
 	if err != nil {
-		return nil, err
+		return nil, artifact.Fingerprint{}, err
 	}
 	cfg := cghti.Config{
 		RareVectors:     req.RareVectors,
@@ -114,9 +117,9 @@ func (s *Server) generateJob(req GenerateRequest) (func(ctx context.Context, reg
 		Cache:           s.cfg.Cache,
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, artifact.Fingerprint{}, err
 	}
-	return func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error) {
+	run := func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error) {
 		runCfg := cfg
 		runCfg.Metrics = reg
 		runCfg.Trace = trace
@@ -147,7 +150,8 @@ func (s *Server) generateJob(req GenerateRequest) (func(ctx context.Context, reg
 			})
 		}
 		return out, nil
-	}, nil
+	}
+	return run, artifact.NetlistFingerprint(n), nil
 }
 
 // DetectRequest submits one detection-evaluation job: a golden/infected
@@ -189,23 +193,24 @@ type DetectResult struct {
 	RareNodes    int    `json:"rare_nodes,omitempty"`
 }
 
-// detectJob validates the request and returns the run closure. Detect
-// phases are coarser than the generate pipeline's, so the closure emits
-// its own start/end events per phase into the sink (rare extraction,
-// then the scheme run) — the SSE stream shows the same shape either
-// way.
-func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error), error) {
+// detectJob validates the request and returns the run closure plus the
+// golden netlist's content fingerprint (the fleet's sharding key, like
+// generateJob's). Detect phases are coarser than the generate
+// pipeline's, so the closure emits its own start/end events per phase
+// into the sink (rare extraction, then the scheme run) — the SSE stream
+// shows the same shape either way.
+func (s *Server) detectJob(req DetectRequest) (runFunc, artifact.Fingerprint, error) {
 	golden, err := cghti.ParseBenchString(req.Golden, "golden")
 	if err != nil {
-		return nil, fmt.Errorf("golden: %w", err)
+		return nil, artifact.Fingerprint{}, fmt.Errorf("golden: %w", err)
 	}
 	infected, err := cghti.ParseBenchString(req.Infected, "infected")
 	if err != nil {
-		return nil, fmt.Errorf("infected: %w", err)
+		return nil, artifact.Fingerprint{}, fmt.Errorf("infected: %w", err)
 	}
 	trigID, ok := infected.Lookup(req.Trigger)
 	if !ok {
-		return nil, fmt.Errorf("trigger net %q not found in infected netlist", req.Trigger)
+		return nil, artifact.Fingerprint{}, fmt.Errorf("trigger net %q not found in infected netlist", req.Trigger)
 	}
 	scheme := req.Scheme
 	if scheme == "" {
@@ -214,7 +219,7 @@ func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *ob
 	switch scheme {
 	case "random", "mero", "ndatpg":
 	default:
-		return nil, fmt.Errorf("unknown scheme %q (want random, mero or ndatpg)", scheme)
+		return nil, artifact.Fingerprint{}, fmt.Errorf("unknown scheme %q (want random, mero or ndatpg)", scheme)
 	}
 	activation := uint8(1)
 	if req.Activation != nil {
@@ -227,7 +232,7 @@ func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *ob
 	timeout := s.jobTimeout(req.TimeoutMS)
 	tgt := detect.Target{Golden: golden, Infected: infected, TriggerOut: trigID, Activation: activation}
 
-	return func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error) {
+	run := func(ctx context.Context, reg *obs.Registry, trace *obs.Trace, sink obs.Sink) (any, error) {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		var rs *rare.Set
@@ -289,5 +294,6 @@ func (s *Server) detectJob(req DetectRequest) (func(ctx context.Context, reg *ob
 			res.RareNodes = rs.Len()
 		}
 		return res, nil
-	}, nil
+	}
+	return run, artifact.NetlistFingerprint(golden), nil
 }

@@ -214,7 +214,9 @@ func jobIDNumber(id string) int64 {
 }
 
 // rebuildRun reconstructs a job's run closure from its journaled
-// request payload.
+// request payload. The fingerprint is discarded: a replayed job is
+// already this node's to run — re-deciding ownership on recovery would
+// let a ring change strand journaled work.
 func (s *Server) rebuildRun(kind string, payload []byte) (runFunc, error) {
 	switch kind {
 	case "generate":
@@ -222,13 +224,15 @@ func (s *Server) rebuildRun(kind string, payload []byte) (runFunc, error) {
 		if err := json.Unmarshal(payload, &req); err != nil {
 			return nil, fmt.Errorf("generate payload: %w", err)
 		}
-		return s.generateJob(req)
+		run, _, err := s.generateJob(req)
+		return run, err
 	case "detect":
 		var req DetectRequest
 		if err := json.Unmarshal(payload, &req); err != nil {
 			return nil, fmt.Errorf("detect payload: %w", err)
 		}
-		return s.detectJob(req)
+		run, _, err := s.detectJob(req)
+		return run, err
 	}
 	return nil, fmt.Errorf("unknown job kind %q", kind)
 }

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cghti/internal/artifact"
+)
+
+// ringReplicas is the number of virtual nodes each member contributes.
+// 64 points per member keeps the ownership split within a few percent
+// of even for small fleets while the whole ring stays a few KB.
+const ringReplicas = 64
+
+// ring is a consistent-hash ring over fleet member addresses, keyed by
+// netlist fingerprint: every node configured with the same member set
+// computes the same owner for a given submission, with no coordination,
+// so identical jobs entering anywhere in the fleet converge on one
+// owner's journal and dedupe there. Members hash to ringReplicas points
+// each; a fingerprint is owned by the member whose point follows it on
+// the ring. Immutable after construction.
+type ring struct {
+	self   string // this node's advertised address ("" = forward-only)
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// normalizeAddr canonicalizes one member address so "127.0.0.1:7070",
+// " 127.0.0.1:7070 " and "http://127.0.0.1:7070/" are the same member —
+// ring agreement across nodes depends on every node hashing identical
+// strings.
+func normalizeAddr(addr string) string {
+	addr = strings.TrimSpace(addr)
+	addr = strings.TrimPrefix(addr, "http://")
+	return strings.TrimRight(addr, "/")
+}
+
+// newRing builds the ring over self plus peers (deduplicated after
+// normalization). An empty self is legal: the node forwards everything
+// it does not fall back on, but owns nothing.
+func newRing(self string, peers []string) *ring {
+	self = normalizeAddr(self)
+	seen := make(map[string]bool)
+	var members []string
+	add := func(addr string) {
+		if addr == "" || seen[addr] {
+			return
+		}
+		seen[addr] = true
+		members = append(members, addr)
+	}
+	add(self)
+	for _, p := range peers {
+		add(normalizeAddr(p))
+	}
+
+	r := &ring{self: self, points: make([]ringPoint, 0, len(members)*ringReplicas)}
+	for _, m := range members {
+		for i := 0; i < ringReplicas; i++ {
+			sum := sha256.Sum256([]byte(m + "#" + strconv.Itoa(i)))
+			r.points = append(r.points, ringPoint{
+				hash: binary.BigEndian.Uint64(sum[:8]),
+				addr: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A 64-bit collision between members is vanishingly unlikely but
+		// must still order identically on every node.
+		return r.points[a].addr < r.points[b].addr
+	})
+	return r
+}
+
+// owner returns the member owning fp: the first ring point at or after
+// the fingerprint's hash, wrapping at the top. Empty ring (or the zero
+// fingerprint, which carries no identity) owns nothing.
+func (r *ring) owner(fp artifact.Fingerprint) string {
+	if len(r.points) == 0 || fp.IsZero() {
+		return ""
+	}
+	h := binary.BigEndian.Uint64(fp[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].addr
+}
+
+// members lists the distinct member addresses in ring-point order of
+// first appearance, sorted for stable health output.
+func (r *ring) members() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

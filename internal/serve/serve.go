@@ -45,10 +45,16 @@ var (
 	cntPoisoned   = obs.NewCounter("serve.jobs_poisoned")
 	cntRecovered  = obs.NewCounter("serve.recovered_jobs")
 	cntIdemHits   = obs.NewCounter("serve.idempotent_hits")
+	cntForwarded  = obs.NewCounter("serve.forwarded_jobs")
+	cntFallbacks  = obs.NewCounter("serve.forward_fallbacks")
 	gaugeQueued   = obs.NewGauge("serve.queue_depth")
 	gaugeQueueCap = obs.NewGauge("serve.queue_capacity")
 	gaugeRunning  = obs.NewGauge("serve.jobs_running")
 	histHandler   = obs.NewHistogram("serve.handler_time")
+	// histQueueWait is the process-wide accumulation of every job's
+	// submit-to-start wait (scoped job registries mirror into it) — the
+	// signal 429 Retry-After derivation reads.
+	histQueueWait = obs.NewHistogram("serve.queue_wait")
 	// histAttempts records each terminal job's attempt count, encoded
 	// as milliseconds so the histogram's quantiles read directly as
 	// attempts (p99_ms == 99th-percentile attempts).
@@ -64,6 +70,9 @@ const (
 	DefaultMaxAttempts  = 3
 	DefaultRetryBase    = 500 * time.Millisecond
 	DefaultCompactEvery = 1024
+	// DefaultForwardTimeout bounds one proxied submission to the owning
+	// fleet node; past it the submit falls back to local execution.
+	DefaultForwardTimeout = 10 * time.Second
 	// maxRetryBackoff caps the recovery backoff however many attempts
 	// a job has accumulated.
 	maxRetryBackoff = 30 * time.Second
@@ -106,6 +115,20 @@ type Config struct {
 	// CompactEvery triggers a background journal compaction after this
 	// many terminal jobs (DefaultCompactEvery if 0).
 	CompactEvery int
+	// Peers lists the other fleet nodes' HTTP addresses (host:port or
+	// http:// URLs). Non-empty enables fleet mode: submissions are
+	// consistent-hash sharded across the ring (this node plus Peers),
+	// and the artifact cache gains a remote tier that fetches entries
+	// the peers already computed.
+	Peers []string
+	// Advertise is this node's own address as the Peers reach it; it
+	// places the node on the ring. Empty with Peers set is legal: the
+	// node owns no shard and forwards every submission (falling back to
+	// local execution when the owner is unreachable).
+	Advertise string
+	// ForwardTimeout bounds one proxied submission
+	// (DefaultForwardTimeout if 0).
+	ForwardTimeout time.Duration
 	// SimBatchWords is the shared simulation engine width in 64-pattern
 	// words: every job's pattern blocks are multiplexed onto one
 	// process-wide batching service (sim.Batcher), so concurrent jobs
@@ -144,6 +167,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompactEvery <= 0 {
 		c.CompactEvery = DefaultCompactEvery
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = DefaultForwardTimeout
 	}
 	return c
 }
@@ -248,6 +274,12 @@ type Server struct {
 	// batcher is the process-wide batching simulation service every
 	// job's context carries (nil when Config.SimBatchWords < 0).
 	batcher *sim.Batcher
+
+	// ring and forward are the fleet state (nil outside fleet mode):
+	// the consistent-hash ownership ring and the HTTP client submissions
+	// are proxied with.
+	ring    *ring
+	forward *http.Client
 }
 
 // New builds a Server; no goroutines run until Start.
@@ -268,6 +300,13 @@ func New(cfg Config) *Server {
 			EngineWords: cfg.SimBatchWords, // 0 -> sim.DefaultEngineWords
 			Workers:     cfg.JobWorkers,
 		})
+	}
+	if len(cfg.Peers) > 0 {
+		s.ring = newRing(cfg.Advertise, cfg.Peers)
+		s.forward = &http.Client{Timeout: cfg.ForwardTimeout}
+		// The shared cache learns to ask the same peers for artifacts
+		// they already computed — the fleet's third cache tier.
+		cfg.Cache.SetRemote(artifact.NewRemote(cfg.Peers, artifact.RemoteOptions{}))
 	}
 	return s
 }
